@@ -1,0 +1,84 @@
+// Ablation A2 — proposal distribution choice (Sec. 4.3): the IS estimator
+// is unbiased for *any* proposal Q (Eq. 4); the paper picks uniform for
+// lack of a-priori knowledge. We compare uniform against weight-
+// proportional sampling: per-pair estimator variance across repeated
+// index builds, and error against the iterative ground truth.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/iterative.h"
+#include "core/mc_semsim.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+namespace {
+
+constexpr int kPairs = 120;
+constexpr int kRuns = 25;
+
+void Run() {
+  Dataset dataset = bench::AmazonSmall();
+  bench::Banner("Ablation: proposal distribution / Amazon", dataset, 2);
+  LinMeasure lin(&dataset.context);
+  ScoreMatrix truth =
+      bench::Unwrap(ComputeSemSim(dataset.graph, lin, 0.6, 12, nullptr));
+
+  Rng rng(41);
+  size_t n = dataset.graph.num_nodes();
+  std::vector<NodePair> pairs;
+  while (pairs.size() < kPairs) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u == v) continue;
+    if (truth.at(u, v) <= 0 && rng.NextDouble() < 0.7) continue;
+    pairs.push_back({u, v});
+  }
+
+  TablePrinter table({"proposal Q", "mean var", "max var", "mean abs err",
+                      "Pearson r vs exact"});
+  for (bool weighted : {false, true}) {
+    std::vector<RunningStats> per_pair(pairs.size());
+    for (int run = 0; run < kRuns; ++run) {
+      WalkIndexOptions wopt;
+      wopt.num_walks = 150;
+      wopt.walk_length = 15;
+      wopt.weighted = weighted;
+      wopt.seed = 500 + static_cast<uint64_t>(run);
+      WalkIndex index = WalkIndex::Build(dataset.graph, wopt);
+      SemSimMcEstimator est(&dataset.graph, &lin, &index);
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        per_pair[p].Add(est.Query(pairs[p].first, pairs[p].second,
+                                  SemSimMcOptions{0.6, 0.0}));
+      }
+    }
+    RunningStats var_stats, err_stats;
+    std::vector<double> means(pairs.size()), exact(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      var_stats.Add(per_pair[p].variance());
+      means[p] = per_pair[p].mean();
+      exact[p] = truth.at(pairs[p].first, pairs[p].second);
+      err_stats.Add(std::fabs(means[p] - exact[p]));
+    }
+    table.AddRow({weighted ? "weight-proportional" : "uniform (paper)",
+                  TablePrinter::Sci(var_stats.mean(), 2),
+                  TablePrinter::Sci(var_stats.max(), 2),
+                  TablePrinter::Num(err_stats.mean(), 4),
+                  TablePrinter::Num(PearsonR(means, exact), 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nboth proposals estimate the same quantity (Eq. 4 holds for any "
+      "Q); they differ only in variance.\n");
+}
+
+}  // namespace
+}  // namespace semsim
+
+int main() {
+  semsim::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Experiment E10 — Sec. 5.1 parameter setting: the uniqueness bound on
+// the decay factor (Theorem 2.3(5)) computed by iterating over all node
+// pairs. The paper reports that on all its datasets the bound exceeded
+// 0.6, the decay value used throughout; we verify the same on the
+// generated instances.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/iterative.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+namespace {
+
+void RunDataset(const Dataset& dataset, TablePrinter* table) {
+  LinMeasure lin(&dataset.context);
+  Timer timer;
+  double bound = ComputeDecayUpperBound(dataset.graph, lin);
+  double seconds = timer.ElapsedSeconds();
+  table->AddRow({dataset.name,
+                 TablePrinter::Int(static_cast<long long>(dataset.graph.num_nodes())),
+                 TablePrinter::Num(bound, 4), bound > 0.6 ? "yes" : "NO",
+                 TablePrinter::Num(seconds, 2)});
+}
+
+void Run() {
+  std::printf(
+      "Decay-factor uniqueness bound min(min N_{u,v}, 1) per dataset.\n"
+      "The paper reports bounds > 0.6 on its corpora; on these sparse\n"
+      "synthetic instances degree-1 node pairs with semantically distant\n"
+      "in-neighbors drive the bound toward the Lin floor (see\n"
+      "EXPERIMENTS.md) — the bound is a *sufficient* condition only, and\n"
+      "the fixed-point iteration at c=0.6 converges on every instance\n"
+      "(Fig. 3 bench).\n\n");
+  TablePrinter table({"dataset", "|V|", "bound", "c=0.6 admissible",
+                      "compute s"});
+  {
+    Dataset d = bench::AminerSmall();
+    RunDataset(d, &table);
+  }
+  {
+    Dataset d = bench::AmazonSmall();
+    RunDataset(d, &table);
+  }
+  {
+    Dataset d = bench::WikipediaSmall();
+    RunDataset(d, &table);
+  }
+  {
+    Dataset d = bench::WordnetDefault();
+    RunDataset(d, &table);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace semsim
+
+int main() {
+  semsim::Run();
+  return 0;
+}

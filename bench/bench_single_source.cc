@@ -1,0 +1,118 @@
+// Extension bench — single-source similarity queries (the paper's Sec. 7
+// future-work direction, inspired by [17, 46]): one inverted-index sweep
+// answers sim(u, ·) for every node. Compares the naive loop of n pair
+// queries against SingleSourceIndex for SimRank and SemSim, and verifies
+// both produce identical scores.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/mc_simrank.h"
+#include "core/single_source.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+namespace {
+
+constexpr int kQueries = 20;
+
+void Run() {
+  Dataset dataset = bench::AmazonMedium();
+  bench::Banner("Single-source queries / Amazon", dataset, 2);
+  LinMeasure lin(&dataset.context);
+
+  WalkIndexOptions wopt;
+  wopt.num_walks = 150;
+  wopt.walk_length = 15;
+  WalkIndex index = WalkIndex::Build(dataset.graph, wopt);
+  Timer build_timer;
+  SingleSourceIndex inverted =
+      SingleSourceIndex::Build(index, dataset.graph.num_nodes());
+  double build_s = build_timer.ElapsedSeconds();
+  SemSimMcEstimator estimator(&dataset.graph, &lin, &index);
+  SemSimMcOptions mc{0.6, 0.05};
+
+  Rng rng(13);
+  std::vector<NodeId> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back(
+        static_cast<NodeId>(rng.NextIndex(dataset.graph.num_nodes())));
+  }
+
+  double sink = 0;
+  double pairwise_simrank_ms, inverted_simrank_ms;
+  {
+    Timer t;
+    for (NodeId u : queries) {
+      for (NodeId v = 0; v < dataset.graph.num_nodes(); ++v) {
+        sink += McSimRankQuery(index, u, v, 0.6);
+      }
+    }
+    pairwise_simrank_ms = t.ElapsedMillis() / kQueries;
+  }
+  {
+    Timer t;
+    for (NodeId u : queries) {
+      sink += inverted.SimRankFrom(u, 0.6)[0];
+    }
+    inverted_simrank_ms = t.ElapsedMillis() / kQueries;
+  }
+  double pairwise_semsim_ms, inverted_semsim_ms;
+  {
+    Timer t;
+    for (NodeId u : queries) {
+      for (NodeId v = 0; v < dataset.graph.num_nodes(); ++v) {
+        sink += estimator.Query(u, v, mc);
+      }
+    }
+    pairwise_semsim_ms = t.ElapsedMillis() / kQueries;
+  }
+  {
+    Timer t;
+    for (NodeId u : queries) {
+      sink += inverted.SemSimFrom(u, estimator, mc)[0];
+    }
+    inverted_semsim_ms = t.ElapsedMillis() / kQueries;
+  }
+  static volatile double g_sink;
+  g_sink = sink;
+  (void)g_sink;
+
+  TablePrinter table(
+      {"measure", "n pair queries ms", "single-source ms", "speedup"});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                pairwise_simrank_ms / inverted_simrank_ms);
+  table.AddRow({"SimRank", TablePrinter::Num(pairwise_simrank_ms, 2),
+                TablePrinter::Num(inverted_simrank_ms, 2), buf});
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                pairwise_semsim_ms / inverted_semsim_ms);
+  table.AddRow({"SemSim (theta=0.05)", TablePrinter::Num(pairwise_semsim_ms, 2),
+                TablePrinter::Num(inverted_semsim_ms, 2), buf});
+  table.Print(std::cout);
+  std::printf("\ninverted index: built in %.2f s, %.1f MB (walk index: "
+              "%.1f MB)\n",
+              build_s, inverted.MemoryBytes() / 1e6,
+              index.MemoryBytes() / 1e6);
+
+  // Consistency spot check.
+  NodeId u = queries[0];
+  std::vector<double> ss = inverted.SemSimFrom(u, estimator, mc);
+  double max_diff = 0;
+  for (NodeId v = 0; v < dataset.graph.num_nodes(); ++v) {
+    max_diff = std::max(max_diff, std::fabs(ss[v] - estimator.Query(u, v, mc)));
+  }
+  std::printf("consistency: max |single-source - pairwise| = %.2e\n",
+              max_diff);
+}
+
+}  // namespace
+}  // namespace semsim
+
+int main() {
+  semsim::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+#ifndef SEMSIM_BENCH_BENCH_UTIL_H_
+#define SEMSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "datasets/aminer_gen.h"
+#include "datasets/amazon_gen.h"
+#include "datasets/wikipedia_gen.h"
+#include "datasets/wordnet_gen.h"
+
+namespace semsim {
+namespace bench {
+
+/// Unwraps a Result in a bench harness, aborting with the status.
+template <typename T>
+T Unwrap(Result<T> result) {
+  SEMSIM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Standard bench-scale dataset instances. The paper runs on graphs up to
+/// |V|=0.6M on a 96 GB server; this container is single-core, so each
+/// harness uses a scaled-down instance with the same structure (DESIGN.md
+/// §2.7) — shapes, not absolute numbers, are the reproduction target.
+/// "small" variants suit the O(n²·d²) exact algorithms; "medium" the MC
+/// estimators.
+
+inline Dataset AminerSmall(uint64_t seed = 1) {
+  AminerOptions opt;
+  opt.num_authors = 500;
+  opt.seed = seed;
+  return Unwrap(GenerateAminer(opt));
+}
+
+/// Extra-small instance for the O(|E|²)-flavoured G² experiments.
+inline Dataset AminerTiny(uint64_t seed = 1) {
+  AminerOptions opt;
+  opt.num_authors = 220;
+  opt.seed = seed;
+  return Unwrap(GenerateAminer(opt));
+}
+
+inline Dataset AminerMedium(uint64_t seed = 1) {
+  AminerOptions opt;
+  opt.num_authors = 1500;
+  opt.seed = seed;
+  return Unwrap(GenerateAminer(opt));
+}
+
+inline Dataset AminerWithDuplicates(uint64_t seed = 1) {
+  AminerOptions opt;
+  opt.num_authors = 300;
+  opt.num_duplicates = 30;  // the paper identifies 30 duplicate pairs
+  opt.seed = seed;
+  return Unwrap(GenerateAminer(opt));
+}
+
+inline Dataset AmazonSmall(uint64_t seed = 2) {
+  AmazonOptions opt;
+  opt.num_items = 500;
+  opt.seed = seed;
+  return Unwrap(GenerateAmazon(opt));
+}
+
+inline Dataset AmazonMedium(uint64_t seed = 2) {
+  AmazonOptions opt;
+  opt.num_items = 1500;
+  opt.seed = seed;
+  return Unwrap(GenerateAmazon(opt));
+}
+
+inline Dataset WikipediaSmall(uint64_t seed = 3) {
+  WikipediaOptions opt;
+  opt.num_articles = 500;
+  opt.relatedness_pairs = 150;
+  opt.seed = seed;
+  return Unwrap(GenerateWikipedia(opt));
+}
+
+/// Extra-small instance for the O(|E|²)-flavoured G² experiments.
+inline Dataset WikipediaTiny(uint64_t seed = 3) {
+  WikipediaOptions opt;
+  opt.num_articles = 220;
+  opt.relatedness_pairs = 100;
+  opt.seed = seed;
+  return Unwrap(GenerateWikipedia(opt));
+}
+
+inline Dataset WordnetDefault(uint64_t seed = 4) {
+  WordnetOptions opt;
+  opt.seed = seed;
+  return Unwrap(GenerateWordnet(opt));
+}
+
+/// Prints the standard bench banner (experiment id, dataset sizes, seed).
+inline void Banner(const std::string& experiment, const Dataset& d,
+                   uint64_t seed) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("dataset=%s |V|=%zu |E|=%zu seed=%llu\n", d.name.c_str(),
+              d.graph.num_nodes(), d.graph.num_edges(),
+              static_cast<unsigned long long>(seed));
+}
+
+}  // namespace bench
+}  // namespace semsim
+
+#endif  // SEMSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: LCA and
+// Lin queries, walk-index sampling, the d²-cost SO normalizer, the IS
+// single-pair estimator with/without pruning and cache, the SimRank MC
+// query, and one iteration of the exact fixed-point sweep.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/iterative.h"
+#include "core/mc_semsim.h"
+#include "core/mc_simrank.h"
+#include "core/pair_graph.h"
+#include "core/sling_cache.h"
+#include "core/walk_index.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+namespace {
+
+// Shared fixture state, built once (datasets are deterministic).
+const Dataset& AmazonFixture() {
+  static const Dataset* d = new Dataset(bench::AmazonMedium());
+  return *d;
+}
+
+void BM_LcaQuery(benchmark::State& state) {
+  const Dataset& d = AmazonFixture();
+  Rng rng(1);
+  size_t n = d.context.taxonomy().num_concepts();
+  for (auto _ : state) {
+    ConceptId a = static_cast<ConceptId>(rng.NextIndex(n));
+    ConceptId b = static_cast<ConceptId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(d.context.Lca(a, b));
+  }
+}
+BENCHMARK(BM_LcaQuery);
+
+void BM_LinQuery(benchmark::State& state) {
+  const Dataset& d = AmazonFixture();
+  LinMeasure lin(&d.context);
+  Rng rng(2);
+  size_t n = d.graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(lin.Sim(a, b));
+  }
+}
+BENCHMARK(BM_LinQuery);
+
+void BM_WalkIndexBuild(benchmark::State& state) {
+  const Dataset& d = AmazonFixture();
+  WalkIndexOptions opt;
+  opt.num_walks = static_cast<int>(state.range(0));
+  opt.walk_length = 15;
+  for (auto _ : state) {
+    WalkIndex index = WalkIndex::Build(d.graph, opt);
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+BENCHMARK(BM_WalkIndexBuild)->Arg(10)->Arg(50);
+
+void BM_Normalizer(benchmark::State& state) {
+  const Dataset& d = AmazonFixture();
+  LinMeasure lin(&d.context);
+  PairGraph pg(&d.graph, &lin);
+  Rng rng(3);
+  size_t n = d.graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(pg.Normalizer(a, b));
+  }
+}
+BENCHMARK(BM_Normalizer);
+
+struct EstimatorState {
+  const Dataset* dataset;
+  LinMeasure lin;
+  WalkIndex index;
+  PairGraph pair_graph;
+  PairNormalizerCache cache;
+  SemSimMcEstimator plain;
+  SemSimMcEstimator cached;
+
+  EstimatorState()
+      : dataset(&AmazonFixture()),
+        lin(&dataset->context),
+        index(WalkIndex::Build(dataset->graph,
+                               WalkIndexOptions{150, 15, 42, false})),
+        pair_graph(&dataset->graph, &lin),
+        cache(PairNormalizerCache::Build(pair_graph, 0.1)),
+        plain(&dataset->graph, &lin, &index),
+        cached(&dataset->graph, &lin, &index, &cache) {}
+};
+
+EstimatorState& Estimators() {
+  static EstimatorState* s = new EstimatorState();
+  return *s;
+}
+
+void BM_SimRankMcQuery(benchmark::State& state) {
+  EstimatorState& s = Estimators();
+  Rng rng(4);
+  size_t n = s.dataset->graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(McSimRankQuery(s.index, a, b, 0.6));
+  }
+}
+BENCHMARK(BM_SimRankMcQuery);
+
+void BM_SemSimIsQuery(benchmark::State& state) {
+  EstimatorState& s = Estimators();
+  double theta = static_cast<double>(state.range(0)) / 100.0;
+  SemSimMcOptions opt{0.6, theta};
+  Rng rng(5);
+  size_t n = s.dataset->graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(s.plain.Query(a, b, opt));
+  }
+}
+BENCHMARK(BM_SemSimIsQuery)->Arg(0)->Arg(5);  // θ=0 and θ=0.05
+
+void BM_SemSimIsQueryCached(benchmark::State& state) {
+  EstimatorState& s = Estimators();
+  SemSimMcOptions opt{0.6, 0.05};
+  Rng rng(6);
+  size_t n = s.dataset->graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    benchmark::DoNotOptimize(s.cached.Query(a, b, opt));
+  }
+}
+BENCHMARK(BM_SemSimIsQueryCached);
+
+void BM_IterativeSweep(benchmark::State& state) {
+  // One full fixed-point iteration on a small instance (O(n²·d²)).
+  static const Dataset* d = new Dataset(bench::AminerSmall());
+  LinMeasure lin(&d->context);
+  for (auto _ : state) {
+    ScoreMatrix m = bench::Unwrap(ComputeSemSim(d->graph, lin, 0.6, 1, nullptr));
+    benchmark::DoNotOptimize(m.at(0, 1));
+  }
+}
+BENCHMARK(BM_IterativeSweep);
+
+void BM_PairGraphTransitions(benchmark::State& state) {
+  EstimatorState& s = Estimators();
+  Rng rng(7);
+  size_t n = s.dataset->graph.num_nodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId b = static_cast<NodeId>(rng.NextIndex(n));
+    double total = 0;
+    s.pair_graph.ForEachTransition(
+        a, b, [&](NodeId, NodeId, double p) { total += p; });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PairGraphTransitions);
+
+}  // namespace
+}  // namespace semsim
+
+BENCHMARK_MAIN();

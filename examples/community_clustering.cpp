@@ -1,0 +1,70 @@
+// Node clustering with SemSim (the introduction's other motivating
+// application besides similarity search): cluster items of an Amazon-like
+// network with average-link agglomerative clustering driven by (a)
+// SemSim and (b) plain SimRank, and score both against the hidden
+// category structure (purity and adjusted Rand index). The two measures
+// make different trade-offs: SemSim's semantic factor keeps clusters
+// category-pure, while its within-category scores are flatter — which
+// metric wins depends on the cluster-count budget.
+//
+// Run: ./build/examples/community_clustering [num_items] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/iterative.h"
+#include "datasets/amazon_gen.h"
+#include "eval/clustering.h"
+#include "taxonomy/semantic_measure.h"
+
+int main(int argc, char** argv) {
+  using namespace semsim;
+
+  AmazonOptions gen;
+  gen.num_items = argc > 1 ? std::atoi(argv[1]) : 150;
+  gen.category_branching = {2, 4};  // 8 leaf categories
+  gen.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 13;
+  Result<Dataset> dataset_result = GenerateAmazon(gen);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_result.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(dataset_result).value();
+  std::printf("product HIN: %zu nodes, %zu edges, 8 hidden categories\n\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges());
+
+  LinMeasure lin(&dataset.context);
+  ScoreMatrix semsim =
+      ComputeSemSim(dataset.graph, lin, 0.6, 8, nullptr).value();
+  ScoreMatrix simrank = ComputeSimRank(dataset.graph, 0.6, 8, nullptr).value();
+
+  // Cluster a sample of items; hidden reference label = leaf category.
+  std::vector<NodeId> items;
+  std::vector<int> labels;
+  const Taxonomy& tax = dataset.context.taxonomy();
+  for (NodeId v = 0;
+       v < dataset.graph.num_nodes() && items.size() < 80; ++v) {
+    if (dataset.graph.label_name(dataset.graph.node_label(v)) == "item") {
+      items.push_back(v);
+      labels.push_back(
+          static_cast<int>(tax.parent(dataset.context.concept_of(v))));
+    }
+  }
+
+  ClusteringOptions opt;
+  opt.num_clusters = 8;
+  NamedSimilarity semsim_fn{
+      "SemSim", [&](NodeId a, NodeId b) { return semsim.at(a, b); }};
+  NamedSimilarity simrank_fn{
+      "SimRank", [&](NodeId a, NodeId b) { return simrank.at(a, b); }};
+
+  for (const NamedSimilarity* measure : {&semsim_fn, &simrank_fn}) {
+    std::vector<int> clusters = AgglomerativeCluster(*measure, items, opt);
+    std::printf("%-8s  purity = %.3f   adjusted Rand index = %.3f\n",
+                measure->name.c_str(), ClusterPurity(clusters, labels),
+                AdjustedRandIndex(clusters, labels));
+  }
+  std::printf("\n(reference labels are the hidden product categories; "
+              "higher is better)\n");
+  return 0;
+}

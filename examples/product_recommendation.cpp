@@ -1,0 +1,90 @@
+// Co-purchase recommendation on a product network (the paper's Amazon
+// scenario): generate a synthetic co-purchase HIN under a category
+// taxonomy, then recommend products for a given item with SemSim and
+// contrast the list against plain SimRank — the semantic layer keeps the
+// recommendations inside taxonomically coherent categories while pure
+// structure drifts to popular but unrelated items.
+//
+// Run: ./build/examples/product_recommendation [num_items] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/iterative.h"
+#include "core/semsim_engine.h"
+#include "core/topk.h"
+#include "datasets/amazon_gen.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace {
+
+// Renders an item with its leaf category for context.
+std::string Describe(const semsim::Dataset& dataset, semsim::NodeId v) {
+  const semsim::Taxonomy& tax = dataset.context.taxonomy();
+  semsim::ConceptId c = dataset.context.concept_of(v);
+  std::string category(tax.name(tax.parent(c)));
+  return std::string(dataset.graph.node_name(v)) + " [" + category + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace semsim;
+
+  AmazonOptions gen;
+  gen.num_items = argc > 1 ? std::atoi(argv[1]) : 400;
+  gen.heldout_fraction = 0.0;  // recommendation demo: keep every edge
+  gen.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+  Result<Dataset> dataset_result = GenerateAmazon(gen);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_result.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(dataset_result).value();
+  const Hin& g = dataset.graph;
+  std::printf("product HIN: %zu nodes, %zu edges\n\n", g.num_nodes(),
+              g.num_edges());
+
+  std::vector<NodeId> items;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.label_name(g.node_label(v)) == "item") items.push_back(v);
+  }
+
+  // Pick a reasonably connected item as the shopping-cart seed.
+  NodeId seed_item = items[0];
+  for (NodeId v : items) {
+    if (g.InDegree(v) > g.InDegree(seed_item)) seed_item = v;
+  }
+  std::printf("customer is looking at: %s (degree %zu)\n\n",
+              Describe(dataset, seed_item).c_str(), g.InDegree(seed_item));
+
+  // SemSim recommendations through the MC engine.
+  LinMeasure lin(&dataset.context);
+  SemSimEngineOptions options;
+  options.query.theta = 0.05;
+  SemSimEngine engine = SemSimEngine::Create(&g, &lin, options).value();
+  std::printf("SemSim recommendations:\n");
+  for (const Scored& s : engine.TopK(seed_item, 5, &items)) {
+    std::printf("  %-34s %.5f\n", Describe(dataset, s.node).c_str(), s.score);
+  }
+
+  // Plain SimRank for contrast (exact, the graph is small).
+  ScoreMatrix simrank = ComputeSimRank(g, 0.6, 8, nullptr).value();
+  std::printf("\nSimRank recommendations (structure only):\n");
+  for (const Scored& s : MatrixTopK(simrank, seed_item, 5, &items)) {
+    std::printf("  %-34s %.5f\n", Describe(dataset, s.node).c_str(), s.score);
+  }
+
+  // How semantically coherent is each list?
+  auto coherence = [&](const std::vector<Scored>& list) {
+    double total = 0;
+    for (const Scored& s : list) total += lin.Sim(seed_item, s.node);
+    return list.empty() ? 0.0 : total / static_cast<double>(list.size());
+  };
+  std::printf("\navg semantic similarity of recommendations: SemSim %.3f "
+              "vs SimRank %.3f\n",
+              coherence(engine.TopK(seed_item, 5, &items)),
+              coherence(MatrixTopK(simrank, seed_item, 5, &items)));
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "baselines/hetesim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace semsim {
+
+Result<HeteSim> HeteSim::Build(const Hin& graph,
+                               const std::vector<std::string>& meta_path) {
+  if (meta_path.empty() || meta_path.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "HeteSim needs a symmetric meta-path of even length");
+  }
+  std::vector<LabelId> labels;
+  for (const std::string& name : meta_path) {
+    LabelId id = graph.FindLabel(name);
+    if (id == kInvalidLabel) {
+      return Status::InvalidArgument("unknown edge label '" + name + "'");
+    }
+    labels.push_back(id);
+  }
+  size_t half = labels.size() / 2;
+
+  HeteSim hs;
+  size_t n = graph.num_nodes();
+  hs.rows_.resize(n);
+  hs.norms_.assign(n, 0.0);
+
+  // Forward half from every node: probability-normalized typed steps.
+  std::unordered_map<NodeId, double> cur, next;
+  for (NodeId u = 0; u < n; ++u) {
+    cur.clear();
+    cur.emplace(u, 1.0);
+    for (size_t step = 0; step < half; ++step) {
+      next.clear();
+      LabelId want = labels[step];
+      for (const auto& [node, probability] : cur) {
+        double total = 0;
+        for (const Neighbor& nb : graph.OutNeighbors(node)) {
+          if (nb.edge_label == want) total += nb.weight;
+        }
+        if (total <= 0) continue;
+        for (const Neighbor& nb : graph.OutNeighbors(node)) {
+          if (nb.edge_label == want) {
+            next[nb.node] += probability * nb.weight / total;
+          }
+        }
+      }
+      cur.swap(next);
+      if (cur.empty()) break;
+    }
+    auto& row = hs.rows_[u];
+    row.reserve(cur.size());
+    double norm = 0;
+    for (const auto& [node, probability] : cur) {
+      row.push_back(Entry{node, probability});
+      norm += probability * probability;
+    }
+    std::sort(row.begin(), row.end(),
+              [](const Entry& a, const Entry& b) { return a.node < b.node; });
+    hs.norms_[u] = std::sqrt(norm);
+  }
+  return hs;
+}
+
+double HeteSim::Score(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  if (norms_[u] <= 0 || norms_[v] <= 0) return 0.0;
+  const auto& a = rows_[u];
+  const auto& b = rows_[v];
+  double dot = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].node == b[j].node) {
+      dot += a[i].probability * b[j].probability;
+      ++i;
+      ++j;
+    } else if (a[i].node < b[j].node) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot / (norms_[u] * norms_[v]);
+}
+
+}  // namespace semsim

@@ -1,0 +1,47 @@
+#ifndef SEMSIM_BASELINES_HETESIM_H_
+#define SEMSIM_BASELINES_HETESIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// HeteSim (Shi et al. [35]): a relevance measure for heterogeneous
+/// networks the paper cites among the HIN-dedicated, meta-path-based
+/// competitors. Two objects are relevant if random walkers starting at
+/// both ends of a (symmetric) meta-path arrive at the *midpoint* with
+/// similar probability distributions:
+///
+///   HeteSim(u,v | P) = cos( d_u , d_v )
+///
+/// where d_u is u's arrival distribution after following the first half
+/// of the meta-path (transition probabilities proportional to edge
+/// weights, restricted to the current meta-path label) and d_v follows
+/// the second half backwards. Like PathSim, the meta-path must be chosen
+/// a-priori — the limitation SemSim avoids.
+class HeteSim {
+ public:
+  /// `meta_path` must have even length so the midpoint is well defined.
+  static Result<HeteSim> Build(const Hin& graph,
+                               const std::vector<std::string>& meta_path);
+
+  /// cos of the two midpoint distributions, in [0,1]; 1 for u == v.
+  double Score(NodeId u, NodeId v) const;
+
+ private:
+  struct Entry {
+    NodeId node;
+    double probability;
+  };
+  // Midpoint arrival distributions: rows_[u] sorted by node.
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<double> norms_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_BASELINES_HETESIM_H_

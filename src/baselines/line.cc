@@ -1,0 +1,150 @@
+#include "baselines/line.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace semsim {
+
+namespace {
+
+float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// One LINE training pass for a single proximity order. `use_context`
+// selects second-order training (target vectors vs. context vectors).
+void TrainOrder(const Hin& g, const LineOptions& opt, bool use_context,
+                Rng& rng, std::vector<float>* vertex_out) {
+  size_t n = g.num_nodes();
+  int dim = opt.dimensions;
+  std::vector<float>& vertex = *vertex_out;
+  vertex.assign(n * static_cast<size_t>(dim), 0.0f);
+  for (float& x : vertex) {
+    x = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+  }
+  std::vector<float> context;
+  if (use_context) context.assign(n * static_cast<size_t>(dim), 0.0f);
+
+  // Edge alias table: sample edges proportionally to weight.
+  std::vector<NodeId> edge_src, edge_dst;
+  std::vector<double> edge_weight;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      edge_src.push_back(v);
+      edge_dst.push_back(nb.node);
+      edge_weight.push_back(nb.weight);
+    }
+  }
+  if (edge_src.empty()) return;
+  AliasTable edge_sampler(edge_weight);
+
+  // Noise distribution for negatives: degree^0.75 (word2vec-style).
+  std::vector<double> noise(n);
+  for (NodeId v = 0; v < n; ++v) {
+    noise[v] = std::pow(static_cast<double>(g.OutDegree(v)) + 1.0, 0.75);
+  }
+  AliasTable noise_sampler(noise);
+
+  std::vector<float> grad_accum(dim);
+  for (size_t step = 0; step < opt.samples; ++step) {
+    float lr = static_cast<float>(
+        opt.initial_lr *
+        std::max(1e-4, 1.0 - static_cast<double>(step) /
+                                 static_cast<double>(opt.samples)));
+    size_t e = edge_sampler.Sample(rng);
+    NodeId src = edge_src[e];
+    float* vs = vertex.data() + static_cast<size_t>(src) * dim;
+    std::fill(grad_accum.begin(), grad_accum.end(), 0.0f);
+    for (int k = 0; k <= opt.negatives; ++k) {
+      NodeId target;
+      float label;
+      if (k == 0) {
+        target = edge_dst[e];
+        label = 1.0f;
+      } else {
+        target = static_cast<NodeId>(noise_sampler.Sample(rng));
+        if (target == edge_dst[e] || target == src) continue;
+        label = 0.0f;
+      }
+      float* vt = (use_context ? context.data() : vertex.data()) +
+                  static_cast<size_t>(target) * dim;
+      float dot = 0;
+      for (int d = 0; d < dim; ++d) dot += vs[d] * vt[d];
+      float coeff = (label - Sigmoid(dot)) * lr;
+      for (int d = 0; d < dim; ++d) {
+        grad_accum[d] += coeff * vt[d];
+        vt[d] += coeff * vs[d];
+      }
+    }
+    for (int d = 0; d < dim; ++d) vs[d] += grad_accum[d];
+  }
+}
+
+void L2NormalizeRows(std::vector<float>* data, size_t n, int dim) {
+  for (size_t v = 0; v < n; ++v) {
+    float* row = data->data() + v * static_cast<size_t>(dim);
+    float norm = 0;
+    for (int d = 0; d < dim; ++d) norm += row[d] * row[d];
+    norm = std::sqrt(norm);
+    if (norm > 1e-12f) {
+      for (int d = 0; d < dim; ++d) row[d] /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+LineEmbedding LineEmbedding::Train(const Hin& graph,
+                                   const LineOptions& options) {
+  SEMSIM_CHECK(options.dimensions > 0);
+  SEMSIM_CHECK(options.order >= 1 && options.order <= 3);
+  LineEmbedding emb;
+  Hin sym = graph.Symmetrized();
+  size_t n = sym.num_nodes();
+  Rng rng(options.seed);
+
+  bool first = options.order == 1 || options.order == 3;
+  bool second = options.order == 2 || options.order == 3;
+  std::vector<float> v1, v2;
+  if (first) {
+    TrainOrder(sym, options, /*use_context=*/false, rng, &v1);
+    L2NormalizeRows(&v1, n, options.dimensions);
+  }
+  if (second) {
+    TrainOrder(sym, options, /*use_context=*/true, rng, &v2);
+    L2NormalizeRows(&v2, n, options.dimensions);
+  }
+
+  emb.width_ = options.dimensions * ((first ? 1 : 0) + (second ? 1 : 0));
+  emb.embedding_.assign(n * static_cast<size_t>(emb.width_), 0.0f);
+  for (size_t v = 0; v < n; ++v) {
+    float* row = emb.embedding_.data() + v * static_cast<size_t>(emb.width_);
+    int offset = 0;
+    if (first) {
+      std::copy(v1.begin() + v * options.dimensions,
+                v1.begin() + (v + 1) * options.dimensions, row);
+      offset = options.dimensions;
+    }
+    if (second) {
+      std::copy(v2.begin() + v * options.dimensions,
+                v2.begin() + (v + 1) * options.dimensions, row + offset);
+    }
+  }
+  L2NormalizeRows(&emb.embedding_, n, emb.width_);
+  return emb;
+}
+
+double LineEmbedding::Score(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  auto a = Vector(u);
+  auto b = Vector(v);
+  double dot = 0;
+  for (int d = 0; d < width_; ++d) dot += a[d] * b[d];
+  return (dot + 1.0) / 2.0;
+}
+
+}  // namespace semsim

@@ -1,0 +1,60 @@
+#ifndef SEMSIM_BASELINES_LINE_H_
+#define SEMSIM_BASELINES_LINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/hin.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Training configuration for the LINE embedder.
+struct LineOptions {
+  /// Embedding width per proximity order (the final vector concatenates
+  /// both orders when `order == 3`).
+  int dimensions = 64;
+  /// 1 = first-order proximity, 2 = second-order, 3 = both concatenated
+  /// (the configuration Tang et al. recommend).
+  int order = 3;
+  /// Total number of SGD edge samples per trained order.
+  size_t samples = 2000000;
+  /// Negative samples per positive edge.
+  int negatives = 5;
+  /// Initial SGD learning rate (decays linearly to ~0).
+  double initial_lr = 0.025;
+  uint64_t seed = 99;
+};
+
+/// LINE (Tang et al. [38]): large-scale network embedding by first- and
+/// second-order proximity, trained with asynchronous SGD over alias-
+/// sampled edges with negative sampling — the paper's representative of
+/// the ML / representation-learning approach (Sec. 5.3). Implemented from
+/// scratch: weighted edge alias table, degree^0.75 noise distribution,
+/// sigmoid SGD updates. Node similarity is the cosine of the learned
+/// vectors mapped into [0,1].
+class LineEmbedding {
+ public:
+  /// Trains on the symmetrized weighted graph. Deterministic for a fixed
+  /// seed (single-threaded SGD).
+  static LineEmbedding Train(const Hin& graph, const LineOptions& options);
+
+  /// (cosine + 1) / 2, in [0,1]; 1 for u == v.
+  double Score(NodeId u, NodeId v) const;
+
+  /// The final (L2-normalized, possibly concatenated) embedding of v.
+  std::span<const float> Vector(NodeId v) const {
+    return {embedding_.data() + static_cast<size_t>(v) * width_,
+            static_cast<size_t>(width_)};
+  }
+  int width() const { return width_; }
+
+ private:
+  std::vector<float> embedding_;
+  int width_ = 0;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_BASELINES_LINE_H_

@@ -1,0 +1,52 @@
+#include "baselines/panther.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+Panther Panther::Build(const Hin& graph, const PantherOptions& options) {
+  SEMSIM_CHECK(options.num_paths > 0 && options.path_length > 1);
+  Panther panther;
+  panther.inv_num_paths_ = 1.0 / static_cast<double>(options.num_paths);
+  Hin sym = graph.Symmetrized();
+  size_t n = sym.num_nodes();
+  if (n == 0) return panther;
+  Rng rng(options.seed);
+  std::vector<double> weights;
+  std::vector<NodeId> path;
+  for (size_t p = 0; p < options.num_paths; ++p) {
+    NodeId cur = static_cast<NodeId>(rng.NextIndex(n));
+    path.clear();
+    path.push_back(cur);
+    for (int s = 1; s < options.path_length; ++s) {
+      auto out = sym.OutNeighbors(cur);
+      if (out.empty()) break;
+      weights.clear();
+      for (const Neighbor& nb : out) weights.push_back(nb.weight);
+      cur = out[rng.NextWeighted(weights)].node;
+      path.push_back(cur);
+    }
+    // Count each unordered node pair co-occurring in the path once.
+    std::sort(path.begin(), path.end());
+    path.erase(std::unique(path.begin(), path.end()), path.end());
+    for (size_t i = 0; i < path.size(); ++i) {
+      for (size_t j = i + 1; j < path.size(); ++j) {
+        ++panther.cooccurrence_[NodePair{path[i], path[j]}];
+      }
+    }
+  }
+  return panther;
+}
+
+double Panther::Score(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  NodePair key = u <= v ? NodePair{u, v} : NodePair{v, u};
+  auto it = cooccurrence_.find(key);
+  return it == cooccurrence_.end()
+             ? 0.0
+             : static_cast<double>(it->second) * inv_num_paths_;
+}
+
+}  // namespace semsim

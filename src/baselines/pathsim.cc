@@ -1,0 +1,73 @@
+#include "baselines/pathsim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace semsim {
+
+Result<PathSim> PathSim::Build(const Hin& graph,
+                               const std::vector<std::string>& meta_path) {
+  if (meta_path.empty()) {
+    return Status::InvalidArgument("meta-path must be non-empty");
+  }
+  std::vector<LabelId> labels;
+  labels.reserve(meta_path.size());
+  for (const std::string& name : meta_path) {
+    LabelId id = graph.FindLabel(name);
+    if (id == kInvalidLabel) {
+      return Status::InvalidArgument("unknown edge label '" + name + "'");
+    }
+    labels.push_back(id);
+  }
+
+  size_t n = graph.num_nodes();
+  PathSim ps;
+  ps.rows_.resize(n);
+  ps.self_counts_.assign(n, 0.0);
+
+  // Expand each row u through the label sequence with a sparse
+  // accumulator; meta-paths are short so this is n·d^|P| with small |P|.
+  std::unordered_map<NodeId, double> cur, next;
+  for (NodeId u = 0; u < n; ++u) {
+    cur.clear();
+    cur.emplace(u, 1.0);
+    for (LabelId step : labels) {
+      next.clear();
+      for (const auto& [node, count] : cur) {
+        for (const Neighbor& nb : graph.OutNeighbors(node)) {
+          if (nb.edge_label == step) {
+            next[nb.node] += count * nb.weight;
+          }
+        }
+      }
+      cur.swap(next);
+      if (cur.empty()) break;
+    }
+    auto& row = ps.rows_[u];
+    row.reserve(cur.size());
+    for (const auto& [node, count] : cur) {
+      row.push_back(Entry{node, count});
+      if (node == u) ps.self_counts_[u] = count;
+    }
+    std::sort(row.begin(), row.end(),
+              [](const Entry& a, const Entry& b) { return a.node < b.node; });
+  }
+  return ps;
+}
+
+double PathSim::PathCount(NodeId u, NodeId v) const {
+  const auto& row = rows_[u];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const Entry& e, NodeId target) { return e.node < target; });
+  return (it != row.end() && it->node == v) ? it->count : 0.0;
+}
+
+double PathSim::Score(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  double denom = self_counts_[u] + self_counts_[v];
+  if (denom <= 0) return 0.0;
+  return 2.0 * PathCount(u, v) / denom;
+}
+
+}  // namespace semsim

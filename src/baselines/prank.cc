@@ -1,0 +1,54 @@
+#include "baselines/prank.h"
+
+namespace semsim {
+
+namespace {
+
+// One side (in or out) of the P-Rank update.
+double SideSum(std::span<const Neighbor> nu, std::span<const Neighbor> nv,
+               const ScoreMatrix& prev) {
+  if (nu.empty() || nv.empty()) return 0.0;
+  double total = 0;
+  for (const Neighbor& a : nu) {
+    const double* row = prev.Row(a.node);
+    for (const Neighbor& b : nv) total += row[b.node];
+  }
+  return total /
+         (static_cast<double>(nu.size()) * static_cast<double>(nv.size()));
+}
+
+}  // namespace
+
+Result<ScoreMatrix> ComputePRank(const Hin& graph,
+                                 const PRankOptions& options) {
+  if (!(options.decay > 0 && options.decay < 1)) {
+    return Status::InvalidArgument("decay must lie in (0,1)");
+  }
+  if (!(options.lambda >= 0 && options.lambda <= 1)) {
+    return Status::InvalidArgument("lambda must lie in [0,1]");
+  }
+  if (options.iterations < 0) {
+    return Status::InvalidArgument("iterations must be >= 0");
+  }
+  size_t n = graph.num_nodes();
+  ScoreMatrix current(n);
+  for (NodeId v = 0; v < n; ++v) current.set(v, v, 1.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    ScoreMatrix next(n);
+    for (NodeId v = 0; v < n; ++v) next.set(v, v, 1.0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < u; ++v) {
+        double in_term =
+            SideSum(graph.InNeighbors(u), graph.InNeighbors(v), current);
+        double out_term =
+            SideSum(graph.OutNeighbors(u), graph.OutNeighbors(v), current);
+        next.set(u, v, options.decay * (options.lambda * in_term +
+                                        (1 - options.lambda) * out_term));
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace semsim

@@ -1,0 +1,33 @@
+#ifndef SEMSIM_BASELINES_PRANK_H_
+#define SEMSIM_BASELINES_PRANK_H_
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "graph/hin.h"
+
+namespace semsim {
+
+/// Options for P-Rank.
+struct PRankOptions {
+  /// Decay factor c.
+  double decay = 0.6;
+  /// Weight λ of the in-neighbor term (1-λ goes to out-neighbors).
+  /// λ = 1 degenerates to SimRank.
+  double lambda = 0.5;
+  int iterations = 8;
+};
+
+/// P-Rank (Zhao, Han & Sun [45]): a structural similarity measure cited
+/// by the paper as a SimRank extension whose computation scheme SemSim's
+/// framework also covers. It penetrates both link directions:
+///
+///   s(u,v) = λ·c/(|I(u)||I(v)|)·ΣΣ s(Iᵢ(u),Iⱼ(v))
+///          + (1-λ)·c/(|O(u)||O(v)|)·ΣΣ s(Oᵢ(u),Oⱼ(v))
+///
+/// with s(u,u)=1 and each term 0 when the corresponding neighborhood is
+/// empty. Exact iterative solution, O(k·n²·d²).
+Result<ScoreMatrix> ComputePRank(const Hin& graph, const PRankOptions& options);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_BASELINES_PRANK_H_

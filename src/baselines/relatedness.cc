@@ -1,0 +1,53 @@
+#include "baselines/relatedness.h"
+
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+namespace semsim {
+
+Relatedness Relatedness::Build(const Hin& graph,
+                               const RelatednessOptions& options) {
+  Relatedness r;
+  r.symmetrized_ = graph.Symmetrized();
+  r.is_a_ = r.symmetrized_.FindLabel(options.is_a_label);
+  r.options_ = options;
+  return r;
+}
+
+double Relatedness::PathCost(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  using QueueItem = std::pair<double, NodeId>;  // (cost, node), min-heap
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+  std::unordered_map<NodeId, double> best;
+  queue.emplace(0.0, u);
+  best.emplace(u, 0.0);
+  while (!queue.empty()) {
+    auto [cost, node] = queue.top();
+    queue.pop();
+    auto found = best.find(node);
+    if (found != best.end() && cost > found->second) continue;
+    if (node == v) return cost;
+    for (const Neighbor& nb : symmetrized_.OutNeighbors(node)) {
+      double step = nb.edge_label == is_a_ ? options_.hierarchy_cost
+                                           : options_.property_cost;
+      double next = cost + step;
+      if (next > options_.max_cost) continue;
+      auto it = best.find(nb.node);
+      if (it == best.end() || next < it->second) {
+        best[nb.node] = next;
+        queue.emplace(next, nb.node);
+      }
+    }
+  }
+  return -1.0;
+}
+
+double Relatedness::Score(NodeId u, NodeId v) const {
+  double cost = PathCost(u, v);
+  return cost < 0 ? 0.0 : 1.0 / (1.0 + cost);
+}
+
+}  // namespace semsim

@@ -1,0 +1,51 @@
+#ifndef SEMSIM_BASELINES_RELATEDNESS_H_
+#define SEMSIM_BASELINES_RELATEDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hin.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Parameters of the Relatedness baseline.
+struct RelatednessOptions {
+  /// Label of taxonomy edges; these get `hierarchy_cost`, every other
+  /// relation gets `property_cost` (property edges relate concepts but
+  /// less directly than hypernymy, per Mazuel & Sabouret).
+  std::string is_a_label = "is_a";
+  double hierarchy_cost = 1.0;
+  double property_cost = 1.5;
+  /// Search radius: paths more expensive than this score 0.
+  double max_cost = 12.0;
+};
+
+/// Relatedness (Mazuel & Sabouret [25]): an ontology measure that, unlike
+/// pure is-a measures, also follows non-hierarchical property edges. Our
+/// implementation scores a pair by the cheapest mixed path between them
+/// (Dijkstra over the symmetrized HIN with per-edge-type costs) mapped to
+/// (0,1] via 1/(1+cost). This preserves the baseline's defining property
+/// — it sees *all* edges of the graph, hierarchical and not — while
+/// dropping their rule-based path-pattern filtering (see DESIGN.md).
+class Relatedness {
+ public:
+  static Relatedness Build(const Hin& graph, const RelatednessOptions& options);
+
+  /// Relatedness score in [0,1]; 1 for u==v.
+  double Score(NodeId u, NodeId v) const;
+
+ private:
+  // Bounded Dijkstra from u; returns cost to v or a negative value when
+  // unreachable within max_cost.
+  double PathCost(NodeId u, NodeId v) const;
+
+  const Hin* graph_ = nullptr;
+  Hin symmetrized_;
+  LabelId is_a_ = kInvalidLabel;
+  RelatednessOptions options_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_BASELINES_RELATEDNESS_H_

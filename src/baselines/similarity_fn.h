@@ -1,0 +1,41 @@
+#ifndef SEMSIM_BASELINES_SIMILARITY_FN_H_
+#define SEMSIM_BASELINES_SIMILARITY_FN_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Uniform adapter the evaluation harnesses consume: any similarity
+/// measure reduced to a name plus a pairwise scoring callback.
+struct NamedSimilarity {
+  std::string name;
+  std::function<double(NodeId, NodeId)> score;
+};
+
+/// The "Multiplication" competitor of Sec. 5.3: the product of
+/// independently computed structural and semantic scores (SimRank × Lin
+/// in the paper). A baseline for SemSim's *interwoven* combination.
+inline NamedSimilarity MultiplicationCombiner(NamedSimilarity structural,
+                                              NamedSimilarity semantic) {
+  return NamedSimilarity{
+      "Multiplication",
+      [s = std::move(structural.score), t = std::move(semantic.score)](
+          NodeId u, NodeId v) { return s(u, v) * t(u, v); }};
+}
+
+/// The "Average" competitor of Sec. 5.3: the mean of the two scores.
+inline NamedSimilarity AverageCombiner(NamedSimilarity structural,
+                                       NamedSimilarity semantic) {
+  return NamedSimilarity{
+      "Average",
+      [s = std::move(structural.score), t = std::move(semantic.score)](
+          NodeId u, NodeId v) { return 0.5 * (s(u, v) + t(u, v)); }};
+}
+
+}  // namespace semsim
+
+#endif  // SEMSIM_BASELINES_SIMILARITY_FN_H_

@@ -1,0 +1,54 @@
+#include "baselines/simrankpp.h"
+
+#include <cmath>
+
+#include "core/iterative.h"
+
+namespace semsim {
+
+double SimRankPPEvidence(const Hin& graph, NodeId u, NodeId v) {
+  auto in_u = graph.InNeighbors(u);
+  auto in_v = graph.InNeighbors(v);
+  // Count distinct common in-neighbors via merge scan (both sides sorted).
+  size_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < in_u.size() && j < in_v.size()) {
+    NodeId a = in_u[i].node;
+    NodeId b = in_v[j].node;
+    if (a == b) {
+      ++common;
+      NodeId cur = a;
+      while (i < in_u.size() && in_u[i].node == cur) ++i;
+      while (j < in_v.size() && in_v[j].node == cur) ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (common == 0) return 0.0;
+  return 1.0 - std::pow(2.0, -static_cast<double>(common));
+}
+
+Result<ScoreMatrix> ComputeSimRankPP(const Hin& graph, double decay,
+                                     int iterations) {
+  IterativeOptions opt;
+  opt.decay = decay;
+  opt.max_iterations = iterations;
+  opt.use_weights = true;
+  opt.semantic = nullptr;
+  opt.use_partial_sums = true;
+  SEMSIM_ASSIGN_OR_RETURN(ScoreMatrix weighted,
+                          ComputeIterativeScores(graph, opt));
+  size_t n = graph.num_nodes();
+  ScoreMatrix result(n);
+  for (NodeId u = 0; u < n; ++u) {
+    result.set(u, u, 1.0);
+    for (NodeId v = 0; v < u; ++v) {
+      result.set(u, v, SimRankPPEvidence(graph, u, v) * weighted.at(u, v));
+    }
+  }
+  return result;
+}
+
+}  // namespace semsim

@@ -1,0 +1,54 @@
+#ifndef SEMSIM_COMMON_LOGGING_H_
+#define SEMSIM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace semsim {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process when destroyed.
+/// Used by SEMSIM_CHECK; invariant violations are programming errors,
+/// so crashing loudly (with the site and message) is the right response
+/// for a library that bans exceptions on its hot paths.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " check failed: " << condition
+            << " ";
+  }
+  ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace semsim
+
+/// Aborts with a diagnostic when `cond` is false; extra context may be
+/// streamed: SEMSIM_CHECK(i < n) << "i=" << i. Active in all build types:
+/// these guard data-structure invariants whose violation would silently
+/// corrupt similarity scores. The loop body runs at most once (the
+/// temporary's destructor aborts).
+#define SEMSIM_CHECK(cond)                                               \
+  while (!(cond))                                                        \
+  ::semsim::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond) \
+      .stream()
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define SEMSIM_DCHECK(cond)                                              \
+  while (false && !(cond))                                               \
+  ::semsim::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond) \
+      .stream()
+#else
+#define SEMSIM_DCHECK(cond) SEMSIM_CHECK(cond)
+#endif
+
+#endif  // SEMSIM_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef SEMSIM_COMMON_RESULT_H_
+#define SEMSIM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace semsim {
+
+/// A value-or-error type in the spirit of arrow::Result / absl::StatusOr.
+/// Accessing the value of an errored Result is a programming error and
+/// aborts via SEMSIM_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SEMSIM_CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SEMSIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SEMSIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SEMSIM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// the value to `lhs`. Usable in functions returning Status or Result.
+#define SEMSIM_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto SEMSIM_CONCAT_(_res_, __LINE__) = (expr);              \
+  if (!SEMSIM_CONCAT_(_res_, __LINE__).ok())                  \
+    return SEMSIM_CONCAT_(_res_, __LINE__).status();          \
+  lhs = std::move(SEMSIM_CONCAT_(_res_, __LINE__)).value()
+
+#define SEMSIM_CONCAT_IMPL_(a, b) a##b
+#define SEMSIM_CONCAT_(a, b) SEMSIM_CONCAT_IMPL_(a, b)
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_RESULT_H_

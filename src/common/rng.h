@@ -1,0 +1,189 @@
+#ifndef SEMSIM_COMMON_RNG_H_
+#define SEMSIM_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Every stochastic component in
+/// the library takes an explicit seed so that experiments are reproducible
+/// run-to-run; std::mt19937_64 is avoided because its stream is not
+/// guaranteed identical across standard-library implementations for the
+/// distribution adaptors, and because xoshiro is considerably faster for the
+/// walk-sampling hot loop.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; a SplitMix64 scrambler expands the single
+  /// 64-bit seed into the full 256-bit state (the xoshiro authors'
+  /// recommended initialization).
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound) {
+    SEMSIM_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform index in [0, size). Convenience for container indexing.
+  size_t NextIndex(size_t size) {
+    return static_cast<size_t>(NextBounded(static_cast<uint64_t>(size)));
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be non-negative with a positive sum. Linear scan:
+  /// used only where the weight vector is tiny or changes per call;
+  /// persistent distributions should use AliasTable.
+  size_t NextWeighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    SEMSIM_DCHECK(total > 0);
+    double r = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i + 1 < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Poisson(lambda) sample via Knuth's method; adequate for the small
+  /// lambdas used by dataset generators.
+  int NextPoisson(double lambda) {
+    SEMSIM_DCHECK(lambda > 0);
+    double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// O(1) sampling from a fixed discrete distribution (Vose's alias method).
+/// Build is O(n). Used by the LINE trainer's edge/negative sampling and by
+/// weighted walk generators.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights) {
+    size_t n = weights.size();
+    SEMSIM_CHECK(n > 0);
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    double total = 0;
+    for (double w : weights) {
+      SEMSIM_CHECK(w >= 0);
+      total += w;
+    }
+    SEMSIM_CHECK(total > 0);
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+    std::vector<size_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      size_t s = small.back();
+      small.pop_back();
+      size_t l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (size_t l : large) prob_[l] = 1.0;
+    for (size_t s : small) prob_[s] = 1.0;
+  }
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Draws one index according to the built distribution.
+  size_t Sample(Rng& rng) const {
+    SEMSIM_DCHECK(!prob_.empty());
+    size_t i = rng.NextIndex(prob_.size());
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_RNG_H_

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <numeric>
+
+namespace semsim {
+
+double PearsonR(const std::vector<double>& x, const std::vector<double>& y) {
+  SEMSIM_CHECK(x.size() == y.size()) << x.size() << " vs " << y.size();
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Lentz continued-fraction evaluation for the incomplete beta function
+// (Numerical Recipes style, relative tolerance 1e-12).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-12;
+  constexpr double kTiny = 1e-300;
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SEMSIM_CHECK(a > 0 && b > 0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                    a * std::log(x) + b * std::log1p(-x);
+  double front = std::exp(ln_front);
+  // Use the symmetry transformation to keep the continued fraction in its
+  // rapidly-converging regime.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double PearsonPValue(double r, size_t n) {
+  if (n < 3) return 1.0;
+  r = std::clamp(r, -0.999999999999, 0.999999999999);
+  double df = static_cast<double>(n - 2);
+  double t = r * std::sqrt(df / (1.0 - r * r));
+  // Two-sided: P(|T| >= |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+  double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+namespace {
+
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  size_t n = v.size();
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y) {
+  SEMSIM_CHECK(x.size() == y.size());
+  return PearsonR(AverageRanks(x), AverageRanks(y));
+}
+
+}  // namespace semsim

@@ -1,0 +1,65 @@
+#ifndef SEMSIM_COMMON_STATS_H_
+#define SEMSIM_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Used by the accuracy and timing experiments.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+double PearsonR(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Two-sided p-value for the null hypothesis r == 0, computed from the
+/// t-statistic t = r * sqrt((n-2) / (1-r^2)) against a Student-t
+/// distribution with n-2 degrees of freedom (via the regularized
+/// incomplete beta function, implemented in stats.cc — no external
+/// dependencies).
+double PearsonPValue(double r, size_t n);
+
+/// Regularized incomplete beta function I_x(a, b); domain x in [0,1].
+/// Exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_STATS_H_

@@ -1,0 +1,38 @@
+#ifndef SEMSIM_COMMON_TABLE_PRINTER_H_
+#define SEMSIM_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace semsim {
+
+/// Renders aligned ASCII tables; every benchmark harness uses this so the
+/// reproduced tables read like the paper's. Cells are strings; helpers
+/// format numbers with a fixed precision.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Num(double value, int precision = 4);
+  /// Formats an integer with thousands separators (1,234,567).
+  static std::string Int(long long value);
+  /// Scientific notation, e.g. 1.3e-04.
+  static std::string Sci(double value, int precision = 2);
+
+  /// Writes the table (header, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_TABLE_PRINTER_H_

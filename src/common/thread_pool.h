@@ -1,0 +1,65 @@
+#ifndef SEMSIM_COMMON_THREAD_POOL_H_
+#define SEMSIM_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+/// Minimal data-parallel helper for the library's embarrassingly
+/// parallel sweeps (fixed-point iterations over node pairs, walk
+/// sampling). The paper notes the random-walk approach "can be trivially
+/// parallelized" (Sec. 6); this is that triviality made explicit.
+/// Threads are spawned per call — the sweeps are coarse (milliseconds to
+/// seconds per call), so pool persistence would buy nothing.
+class ParallelRunner {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ParallelRunner(int num_threads = 1) {
+    if (num_threads <= 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    num_threads_ = num_threads;
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs chunk_fn(begin, end) over a static partition of [begin, end).
+  /// Chunks are contiguous, non-overlapping, and cover the range; the
+  /// calling thread processes the first chunk. Blocks until every chunk
+  /// finished. chunk_fn must not touch state shared across chunks
+  /// without its own synchronization.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t, size_t)>& chunk_fn) const {
+    SEMSIM_CHECK(begin <= end);
+    size_t total = end - begin;
+    if (total == 0) return;
+    size_t threads = std::min<size_t>(static_cast<size_t>(num_threads_), total);
+    if (threads <= 1) {
+      chunk_fn(begin, end);
+      return;
+    }
+    size_t chunk = (total + threads - 1) / threads;
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (size_t t = 1; t < threads; ++t) {
+      size_t lo = begin + t * chunk;
+      size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      workers.emplace_back([&chunk_fn, lo, hi] { chunk_fn(lo, hi); });
+    }
+    chunk_fn(begin, std::min(end, begin + chunk));
+    for (std::thread& w : workers) w.join();
+  }
+
+ private:
+  int num_threads_ = 1;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_THREAD_POOL_H_

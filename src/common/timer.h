@@ -1,0 +1,31 @@
+#ifndef SEMSIM_COMMON_TIMER_H_
+#define SEMSIM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace semsim {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_TIMER_H_

@@ -1,0 +1,84 @@
+#include "core/dynamic_walk_index.h"
+
+#include "common/logging.h"
+
+namespace semsim {
+
+DynamicWalkIndex DynamicWalkIndex::Build(const Hin* graph,
+                                         const WalkIndexOptions& options) {
+  SEMSIM_CHECK(graph != nullptr);
+  DynamicWalkIndex dyn;
+  dyn.graph_ = graph;
+  dyn.index_ = WalkIndex::Build(*graph, options);
+  // Continue the deterministic stream where the builder cannot collide
+  // with it: reseed from the build seed, offset.
+  dyn.rng_.Seed(options.seed ^ 0xD1F2C3B4A5968778ULL);
+  dyn.dirty_mark_.assign(graph->num_nodes(), 0);
+  return dyn;
+}
+
+Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
+                                        std::span<const NodeId> dirty_nodes) {
+  if (new_graph == nullptr) return Status::InvalidArgument("null graph");
+  if (new_graph->num_nodes() != graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "Update supports edge changes only (node count differs)");
+  }
+  size_t n = new_graph->num_nodes();
+  for (NodeId v : dirty_nodes) {
+    if (v >= n) return Status::InvalidArgument("dirty node out of range");
+    dirty_mark_[v] = 1;
+  }
+
+  const Hin& g = *new_graph;
+  const WalkIndexOptions& opt = index_.options_;
+  std::vector<double> weights;
+  size_t resampled = 0;
+
+  for (NodeId origin = 0; origin < n; ++origin) {
+    for (int w = 0; w < opt.num_walks; ++w) {
+      size_t base = (static_cast<size_t>(origin) * opt.num_walks + w) *
+                    static_cast<size_t>(opt.walk_length);
+      NodeId* steps = index_.steps_.data() + base;
+      // Find the first position whose outgoing choice is invalidated:
+      // the step *from* node x is invalid iff x is dirty. Positions are
+      // origin (step from origin) then steps[0..].
+      int first_invalid = -1;
+      NodeId cur = origin;
+      for (int s = 0; s < opt.walk_length; ++s) {
+        if (dirty_mark_[cur]) {
+          first_invalid = s;
+          break;
+        }
+        if (steps[s] == kInvalidNode) break;
+        cur = steps[s];
+      }
+      if (first_invalid < 0) continue;
+      ++resampled;
+      // Resample the suffix from `cur` under the new graph.
+      for (int s = first_invalid; s < opt.walk_length; ++s) {
+        auto in = g.InNeighbors(cur);
+        if (in.empty()) {
+          for (int r = s; r < opt.walk_length; ++r) steps[r] = kInvalidNode;
+          break;
+        }
+        size_t pick;
+        if (opt.weighted) {
+          weights.clear();
+          for (const Neighbor& nb : in) weights.push_back(nb.weight);
+          pick = rng_.NextWeighted(weights);
+        } else {
+          pick = rng_.NextIndex(in.size());
+        }
+        cur = in[pick].node;
+        steps[s] = cur;
+      }
+    }
+  }
+
+  for (NodeId v : dirty_nodes) dirty_mark_[v] = 0;
+  graph_ = new_graph;
+  return resampled;
+}
+
+}  // namespace semsim

@@ -1,0 +1,56 @@
+#ifndef SEMSIM_CORE_DYNAMIC_WALK_INDEX_H_
+#define SEMSIM_CORE_DYNAMIC_WALK_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/walk_index.h"
+#include "graph/hin.h"
+
+namespace semsim {
+
+/// Incrementally maintainable reverse-walk index, in the spirit of
+/// READS [14] — the dynamic-SimRank work the paper cites as directly
+/// applicable to SemSim (Sec. 6: the random-walk approach is "compatible
+/// with updates in the graph"). Graph versions are immutable Hin
+/// snapshots (derive one with Hin::ToBuilder); on Update() only the
+/// walks that *visit a node whose in-neighborhood changed* have their
+/// suffix resampled against the new version, so small updates cost a
+/// fraction of a rebuild while the index stays distributed exactly like
+/// a freshly built one (reverse walks are Markov: per-node choices are
+/// independent, so untouched prefixes remain valid samples).
+class DynamicWalkIndex {
+ public:
+  /// Builds the initial index over `graph` (kept by pointer; replaced by
+  /// Update()).
+  static DynamicWalkIndex Build(const Hin* graph,
+                                const WalkIndexOptions& options);
+
+  /// Read view usable by every estimator (SemSimMcEstimator,
+  /// McSimRankQuery, SingleSourceIndex, ...). Invalidated by Update().
+  const WalkIndex& view() const { return index_; }
+  const Hin& graph() const { return *graph_; }
+
+  /// Switches to `new_graph` (same node set, edges may differ) where
+  /// `dirty_nodes` lists every node whose *in*-neighborhood changed.
+  /// Walks are scanned; any walk visiting (or starting at) a dirty node
+  /// is resampled from its first dirty visit onward. Returns the number
+  /// of resampled walk suffixes. Fails if the node count changed or a
+  /// dirty id is out of range.
+  Result<size_t> Update(const Hin* new_graph,
+                        std::span<const NodeId> dirty_nodes);
+
+ private:
+  DynamicWalkIndex() = default;
+
+  const Hin* graph_ = nullptr;
+  WalkIndex index_;
+  Rng rng_;
+  std::vector<uint8_t> dirty_mark_;  // scratch, sized n
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_DYNAMIC_WALK_INDEX_H_

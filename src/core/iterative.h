@@ -1,0 +1,94 @@
+#ifndef SEMSIM_CORE_ITERATIVE_H_
+#define SEMSIM_CORE_ITERATIVE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Configuration of the exact fixed-point computation (Eqs. 2–3).
+struct IterativeOptions {
+  /// Decay factor c in (0,1). The paper uses 0.6 for experiments and 0.8
+  /// for the worked example. Theorem 2.3(5) additionally requires
+  /// c < min(min N_{u,v}, 1) for uniqueness — see ComputeDecayUpperBound.
+  double decay = 0.6;
+  /// Upper bound on iterations k.
+  int max_iterations = 10;
+  /// Early stop once the max absolute score change in an iteration drops
+  /// below this tolerance (0 disables early stopping so that convergence
+  /// traces cover exactly max_iterations steps).
+  double tolerance = 0.0;
+  /// Take edge weights W into account (true for SemSim/SimRank++; plain
+  /// SimRank treats the graph as unweighted).
+  bool use_weights = true;
+  /// Semantic measure injected into the recursion; nullptr means sem ≡ 1,
+  /// which (with use_weights=false) degenerates to Jeh–Widom SimRank.
+  const SemanticMeasure* semantic = nullptr;
+  /// Ablation (Sec. 2.2): restrict the double sum to neighbor pairs whose
+  /// connecting edges share the same label. The paper found this variant
+  /// less accurate ("may overlook possibly important relations") and kept
+  /// all pairs; bench_ablation_label_restrict reproduces the comparison.
+  bool restrict_same_edge_label = false;
+  /// Worker threads for the O(n²·d²) sweep (rows are partitioned;
+  /// results are bitwise identical for any thread count). <= 0 selects
+  /// the hardware concurrency.
+  int num_threads = 1;
+  /// Partial-sums optimization (Lizorkin et al. [24], which the paper
+  /// cites for SimRank accuracy/optimization): the numerator of Eq. 3
+  /// factors as Σ_b W_b · PS_u(b) with PS_u(b) = Σ_{a∈I(u)} W_a·R_k(a,b)
+  /// shared across all v, and the semantic normalizer N_{u,v} does not
+  /// depend on the iteration, so it is computed once and cached. Per-
+  /// iteration cost drops from O(n²·d²) to O(n²·d) at O(n²) extra memory.
+  /// Scores match the naive sweep up to floating-point summation order.
+  /// Ignored when restrict_same_edge_label is set (the label coupling
+  /// breaks the factorization).
+  bool use_partial_sums = false;
+};
+
+/// Per-iteration convergence datapoint (Fig. 3): differences between
+/// consecutive iterates.
+struct IterationDelta {
+  int iteration;
+  double mean_abs_diff;
+  double mean_rel_diff;
+  double max_abs_diff;
+};
+
+/// All-pairs fixed-point solver for SemSim and its degenerations.
+/// Complexity O(k·n²·d²) time, O(n²) space (paper Sec. 2.3); intended for
+/// the moderate graph sizes where exact ground truth is needed.
+///
+/// `trace`, when non-null, receives one IterationDelta per iteration.
+Result<ScoreMatrix> ComputeIterativeScores(
+    const Hin& graph, const IterativeOptions& options,
+    std::vector<IterationDelta>* trace = nullptr);
+
+/// Convenience wrapper: plain SimRank [13] (unweighted, no semantics).
+/// Uses the partial-sums sweep (bit-equivalent up to summation order).
+Result<ScoreMatrix> ComputeSimRank(const Hin& graph, double decay,
+                                   int iterations,
+                                   std::vector<IterationDelta>* trace = nullptr);
+
+/// Convenience wrapper: SemSim (Eq. 1) with the given measure.
+/// Uses the partial-sums sweep (bit-equivalent up to summation order).
+Result<ScoreMatrix> ComputeSemSim(const Hin& graph,
+                                  const SemanticMeasure& semantic,
+                                  double decay, int iterations,
+                                  std::vector<IterationDelta>* trace = nullptr);
+
+/// Upper bound on the decay factor that guarantees uniqueness of the
+/// SemSim solution (Theorem 2.3(5)): min(min_{u,v} N_{u,v}, 1) over pairs
+/// with non-empty in-neighborhoods, where
+///   N_{u,v} = ΣᵢΣⱼ W(Iᵢ(u),u)·W(Iⱼ(v),v)·sem(Iᵢ(u),Iⱼ(v)).
+/// Average time O(n²·d²).
+double ComputeDecayUpperBound(const Hin& graph,
+                              const SemanticMeasure& semantic);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_ITERATIVE_H_

@@ -1,0 +1,166 @@
+#include "core/mc_semsim.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/mc_simrank.h"
+
+namespace semsim {
+
+double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
+                                     QueryContext* context,
+                                     McQueryStats* stats) const {
+  if (cache_ != nullptr) {
+    double cached;
+    if (cache_->Lookup(u, v, &cached)) {
+      if (stats) ++stats->normalizer_cache_hits;
+      return cached;
+    }
+  }
+  auto it = context->normalizers.find(NodePair{u, v});
+  if (it != context->normalizers.end()) return it->second;
+  if (stats) ++stats->normalizers_computed;
+  auto in_u = graph_->InNeighbors(u);
+  auto in_v = graph_->InNeighbors(v);
+  double norm = 0;
+  for (const Neighbor& a : in_u) {
+    for (const Neighbor& b : in_v) {
+      norm += a.weight * b.weight * semantic_->Sim(a.node, b.node);
+    }
+  }
+  context->normalizers.emplace(NodePair{u, v}, norm);
+  return norm;
+}
+
+double SemSimMcEstimator::CoupledWalkScore(NodeId u, NodeId v, int walk,
+                                           int meeting_step,
+                                           const SemSimMcOptions& options,
+                                           QueryContext* context,
+                                           McQueryStats* stats) const {
+  SEMSIM_DCHECK(meeting_step >= 1 && meeting_step <= index_->walk_length());
+  auto walk_u = index_->Walk(u, walk);
+  auto walk_v = index_->Walk(v, walk);
+  const double c = options.decay;
+
+  // Walk the prefix ⟨(u,v), (u₁,v₁), ..., (u_meet,v_meet)⟩ computing the
+  // running IS ratio Π_j (P_j / Q_j) · c (Algorithm 1 lines 10-18).
+  double score = 1.0;
+  NodeId cur_u = u;
+  NodeId cur_v = v;
+  for (int j = 0; j < meeting_step; ++j) {
+    NodeId next_u = walk_u[j];
+    NodeId next_v = walk_v[j];
+    double so = Normalizer(cur_u, cur_v, context, stats);
+    SEMSIM_DCHECK(so > 0);
+    Hin::EdgeInfo eu = graph_->InEdgeInfo(cur_u, next_u);
+    Hin::EdgeInfo ev = graph_->InEdgeInfo(cur_v, next_v);
+    double p_step = semantic_->Sim(next_u, next_v) * eu.total_weight *
+                    ev.total_weight / so;
+    double q_step;
+    if (index_->options().weighted) {
+      q_step = (eu.total_weight / graph_->TotalInWeight(cur_u)) *
+               (ev.total_weight / graph_->TotalInWeight(cur_v));
+    } else {
+      q_step = (static_cast<double>(eu.multiplicity) /
+                static_cast<double>(graph_->InDegree(cur_u))) *
+               (static_cast<double>(ev.multiplicity) /
+                static_cast<double>(graph_->InDegree(cur_v)));
+    }
+    score *= p_step * c / q_step;
+    cur_u = next_u;
+    cur_v = next_v;
+    // Lines 17-18: once the partial product falls to θ the final score
+    // can only be smaller; keep the bound and stop refining (Def. 4.5).
+    if (options.theta > 0 && score <= options.theta) {
+      if (stats) ++stats->pruned_walks;
+      break;
+    }
+  }
+  return score;
+}
+
+double SemSimMcEstimator::Query(NodeId u, NodeId v,
+                                const SemSimMcOptions& options,
+                                McQueryStats* stats) const {
+  SEMSIM_DCHECK(options.decay > 0 && options.decay < 1);
+  if (u == v) return 1.0;
+  double sem_uv = semantic_->Sim(u, v);
+  // Lines 2-3 of Algorithm 1: sem(u,v) is an upper bound on sim(u,v)
+  // (Prop. 2.5), so low-semantics pairs are answered 0 immediately.
+  if (options.theta > 0 && sem_uv <= options.theta) {
+    if (stats) stats->sem_pruned = true;
+    return 0.0;
+  }
+
+  QueryContext context;
+  double total = 0;
+  for (int w = 0; w < index_->num_walks(); ++w) {
+    int meet = FirstMeetingStep(*index_, u, v, w);
+    if (meet < 0) continue;
+    if (stats) ++stats->met_walks;
+    total += CoupledWalkScore(u, v, w, meet, options, &context, stats);
+  }
+  return sem_uv * total / static_cast<double>(index_->num_walks());
+}
+
+WalkAccuracy RequiredWalkParameters(double epsilon, double delta,
+                                    size_t num_nodes, double decay) {
+  SEMSIM_CHECK(epsilon > 0 && epsilon < 1);
+  SEMSIM_CHECK(delta > 0 && delta < 1);
+  SEMSIM_CHECK(decay > 0 && decay < 1);
+  SEMSIM_CHECK(num_nodes > 0);
+  WalkAccuracy acc;
+  // t > log_c(eps/2)  ⇔  c^t < eps/2.
+  acc.walk_length = static_cast<int>(
+                        std::ceil(std::log(epsilon / 2.0) / std::log(decay))) +
+                    1;
+  double n = static_cast<double>(num_nodes);
+  double walks = 14.0 / (3.0 * epsilon * epsilon) *
+                 (std::log(2.0 / delta) + 2.0 * std::log(n));
+  acc.num_walks = static_cast<int>(std::ceil(walks));
+  return acc;
+}
+
+double NaiveSemSimMcQuery(const Hin& graph, const SemanticMeasure& semantic,
+                          NodeId u, NodeId v, int num_walks, int walk_length,
+                          double decay, Rng& rng) {
+  SEMSIM_CHECK(num_walks > 0 && walk_length > 0);
+  if (u == v) return 1.0;
+  double total = 0;
+  std::vector<double> probs;
+  std::vector<NodePair> targets;
+  for (int w = 0; w < num_walks; ++w) {
+    NodeId cur_u = u;
+    NodeId cur_v = v;
+    double contribution = 0;
+    double factor = 1.0;
+    for (int s = 1; s <= walk_length; ++s) {
+      auto in_u = graph.InNeighbors(cur_u);
+      auto in_v = graph.InNeighbors(cur_v);
+      if (in_u.empty() || in_v.empty()) break;
+      // Materialize the semantic-aware transition row (the d² cost that
+      // makes the naive framework expensive).
+      probs.clear();
+      targets.clear();
+      for (const Neighbor& a : in_u) {
+        for (const Neighbor& b : in_v) {
+          probs.push_back(a.weight * b.weight *
+                          semantic.Sim(a.node, b.node));
+          targets.push_back(NodePair{a.node, b.node});
+        }
+      }
+      size_t pick = rng.NextWeighted(probs);
+      cur_u = targets[pick].first;
+      cur_v = targets[pick].second;
+      factor *= decay;
+      if (cur_u == cur_v) {
+        contribution = factor;  // c^τ with τ = s
+        break;
+      }
+    }
+    total += contribution;
+  }
+  return semantic.Sim(u, v) * total / static_cast<double>(num_walks);
+}
+
+}  // namespace semsim

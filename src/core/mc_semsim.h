@@ -1,0 +1,121 @@
+#ifndef SEMSIM_CORE_MC_SEMSIM_H_
+#define SEMSIM_CORE_MC_SEMSIM_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/sling_cache.h"
+#include "core/walk_index.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Options of the IS-based MC estimator (Algorithm 1).
+struct SemSimMcOptions {
+  /// Decay factor c.
+  double decay = 0.6;
+  /// Pruning threshold θ. 0 disables pruning (the unbiased estimator);
+  /// the paper's default with pruning is 0.05 and Lemma 4.7 requires
+  /// θ ≤ 1 - c for scores to stay in [0,1].
+  double theta = 0.0;
+};
+
+/// Per-query instrumentation (used by the Fig. 4 experiment to explain
+/// where time goes).
+struct McQueryStats {
+  /// Coupled walks whose members met within the truncation.
+  int met_walks = 0;
+  /// Walks cut short by the θ partial-product bound (Def. 4.5).
+  int pruned_walks = 0;
+  /// Query answered 0 because sem(u,v) <= θ (lines 2-3 of Algorithm 1).
+  bool sem_pruned = false;
+  /// Number of d²-cost normalizer (SO) computations performed.
+  int64_t normalizers_computed = 0;
+  /// Normalizer lookups answered by the SLING-style cache.
+  int64_t normalizer_cache_hits = 0;
+};
+
+/// Single-pair SemSim estimator implementing the paper's Algorithm 1:
+/// walks are drawn once from the proposal distribution Q (the WalkIndex),
+/// and Importance Sampling reweights each coupled walk by P(w)/Q(w) under
+/// the semantic-aware distribution P, yielding an unbiased estimate of
+/// sem(u,v)·E_P[c^τ] (Eq. 4). Average query time O(n_w·t·d²); with the
+/// pruning rules the observed time is on par with SimRank (Sec. 5.2).
+class SemSimMcEstimator {
+ public:
+  /// All pointers must outlive the estimator; `cache` is optional
+  /// (nullptr = compute every normalizer on the fly).
+  SemSimMcEstimator(const Hin* graph, const SemanticMeasure* semantic,
+                    const WalkIndex* index,
+                    const PairNormalizerCache* cache = nullptr)
+      : graph_(graph), semantic_(semantic), index_(index), cache_(cache) {}
+
+  /// Estimates sim(u, v). Unbiased for θ = 0 (Prop. 4.4); with θ > 0 the
+  /// additional one-sided error is bounded by θ (Prop. 4.6).
+  double Query(NodeId u, NodeId v, const SemSimMcOptions& options,
+               McQueryStats* stats = nullptr) const;
+
+  /// Reusable per-source scratch state: SO normalizers computed along
+  /// coupled-walk prefixes. Sharing one context across many queries with
+  /// the same source node (single-source / top-k workloads) removes most
+  /// of the d²-cost recomputation.
+  struct QueryContext {
+    std::unordered_map<NodePair, double, NodePairHash> normalizers;
+  };
+
+  /// IS score of the `walk`-th coupled walk from (u,v), given its first
+  /// meeting at step `meeting_step` (1-based, as returned by
+  /// FirstMeetingStep): the running product Π_j (P_j/Q_j)·c over the
+  /// prefix, stopped at the θ bound per Def. 4.5. Building block of
+  /// Query() and of the single-source engine.
+  double CoupledWalkScore(NodeId u, NodeId v, int walk, int meeting_step,
+                          const SemSimMcOptions& options,
+                          QueryContext* context,
+                          McQueryStats* stats = nullptr) const;
+
+  const Hin& graph() const { return *graph_; }
+  const SemanticMeasure& semantic() const { return *semantic_; }
+  const WalkIndex& index() const { return *index_; }
+
+ private:
+  /// SO(u,v): the d²-cost semantic-aware normalizer. Served from the
+  /// SLING-style cache when available, else from the context memo (walk
+  /// prefixes overlap heavily within one source), else computed.
+  double Normalizer(NodeId u, NodeId v, QueryContext* context,
+                    McQueryStats* stats) const;
+
+  const Hin* graph_;
+  const SemanticMeasure* semantic_;
+  const WalkIndex* index_;
+  const PairNormalizerCache* cache_;
+};
+
+/// Sampling parameters guaranteeing a target accuracy (Prop. 4.2): with
+///   t   > log_c(eps / 2)            and
+///   n_w >= 14/(3 eps²) · (log(2/delta) + 2 log n)
+/// the estimate of any pair is within eps of sim(u,v) with probability at
+/// least 1-delta. The paper's default (n_w=150, t=15) corresponds to
+/// loose eps at its graph sizes — these formulas let callers pick
+/// rigorously instead.
+struct WalkAccuracy {
+  int num_walks;
+  int walk_length;
+};
+WalkAccuracy RequiredWalkParameters(double epsilon, double delta,
+                                    size_t num_nodes, double decay);
+
+/// The naive MC framework of Sec. 4.2: samples `num_walks` coupled SARWs
+/// of at most `walk_length` steps directly from the semantic-aware
+/// distribution P (each step costs d² to materialize the transition row)
+/// and averages sem(u,v)·c^τ. Unbiased, but cannot reuse a per-node walk
+/// index — precomputing its walks for all pairs would need O(n_w·t·n²)
+/// storage, the quadratic blow-up that motivates Importance Sampling.
+double NaiveSemSimMcQuery(const Hin& graph, const SemanticMeasure& semantic,
+                          NodeId u, NodeId v, int num_walks, int walk_length,
+                          double decay, Rng& rng);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_MC_SEMSIM_H_

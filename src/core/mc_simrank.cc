@@ -1,0 +1,30 @@
+#include "core/mc_simrank.h"
+
+#include <cmath>
+
+namespace semsim {
+
+int FirstMeetingStep(const WalkIndex& index, NodeId u, NodeId v, int walk) {
+  auto wu = index.Walk(u, walk);
+  auto wv = index.Walk(v, walk);
+  for (int s = 0; s < index.walk_length(); ++s) {
+    NodeId a = wu[s];
+    NodeId b = wv[s];
+    if (a == kInvalidNode || b == kInvalidNode) return -1;  // a walk died
+    if (a == b) return s + 1;
+  }
+  return -1;
+}
+
+double McSimRankQuery(const WalkIndex& index, NodeId u, NodeId v,
+                      double decay) {
+  if (u == v) return 1.0;
+  double total = 0;
+  for (int w = 0; w < index.num_walks(); ++w) {
+    int tau = FirstMeetingStep(index, u, v, w);
+    if (tau > 0) total += std::pow(decay, tau);
+  }
+  return total / static_cast<double>(index.num_walks());
+}
+
+}  // namespace semsim

@@ -1,0 +1,23 @@
+#ifndef SEMSIM_CORE_MC_SIMRANK_H_
+#define SEMSIM_CORE_MC_SIMRANK_H_
+
+#include "core/walk_index.h"
+#include "graph/hin.h"
+
+namespace semsim {
+
+/// SimRank's basic Monte-Carlo framework (Sec. 4.1, after Fogaras &
+/// Rácz [9]): pairs the i-th precomputed reverse walk from u with the i-th
+/// from v and returns (1/n_w)·Σ c^{τ_i}, where τ_i is the first-meeting
+/// step (walks that never meet contribute 0). O(n_w·t) per query.
+double McSimRankQuery(const WalkIndex& index, NodeId u, NodeId v,
+                      double decay);
+
+/// First-meeting step of the i-th coupled walk from (u,v): returns the
+/// 1-based step count, or -1 when the walks never meet within the
+/// truncation. Exposed for the SemSim estimator and tests.
+int FirstMeetingStep(const WalkIndex& index, NodeId u, NodeId v, int walk);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_MC_SIMRANK_H_

@@ -1,0 +1,164 @@
+#include "core/pair_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace semsim {
+
+double PairGraph::Normalizer(NodeId u, NodeId v) const {
+  auto in_u = graph_->InNeighbors(u);
+  auto in_v = graph_->InNeighbors(v);
+  if (in_u.empty() || in_v.empty()) return 0.0;
+  double norm = 0;
+  for (const Neighbor& a : in_u) {
+    double wa = use_weights_ ? a.weight : 1.0;
+    for (const Neighbor& b : in_v) {
+      double w = wa * (use_weights_ ? b.weight : 1.0);
+      norm += semantic_ ? w * semantic_->Sim(a.node, b.node) : w;
+    }
+  }
+  return norm;
+}
+
+void PairGraph::ForEachTransition(
+    NodeId u, NodeId v,
+    const std::function<void(NodeId, NodeId, double)>& fn) const {
+  double norm = Normalizer(u, v);
+  if (norm <= 0) return;
+  auto in_u = graph_->InNeighbors(u);
+  auto in_v = graph_->InNeighbors(v);
+  for (const Neighbor& a : in_u) {
+    double wa = use_weights_ ? a.weight : 1.0;
+    for (const Neighbor& b : in_v) {
+      double w = wa * (use_weights_ ? b.weight : 1.0);
+      double p = (semantic_ ? w * semantic_->Sim(a.node, b.node) : w) / norm;
+      fn(a.node, b.node, p);
+    }
+  }
+}
+
+ScoreMatrix PairGraph::ExactScores(double decay, int iterations) const {
+  SEMSIM_CHECK(decay > 0 && decay < 1);
+  size_t n = graph_->num_nodes();
+  // g(u,v): expected decayed first-meeting functional. Singletons are
+  // absorbing with g = 1 (out-edges of singleton nodes are pruned, Sec. 3.2).
+  ScoreMatrix g(n);
+  for (NodeId v = 0; v < n; ++v) g.set(v, v, 1.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    ScoreMatrix next(n);
+    for (NodeId v = 0; v < n; ++v) next.set(v, v, 1.0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < u; ++v) {
+        double acc = 0;
+        ForEachTransition(u, v, [&](NodeId a, NodeId b, double p) {
+          acc += p * g.at(a, b);
+        });
+        next.set(u, v, decay * acc);
+      }
+    }
+    g = std::move(next);
+  }
+  // sim(u,v) = sem(u,v) · g(u,v) (Thm. 3.3).
+  ScoreMatrix sim(n);
+  for (NodeId u = 0; u < n; ++u) {
+    sim.set(u, u, 1.0);
+    for (NodeId v = 0; v < u; ++v) {
+      double sem_uv = semantic_ ? semantic_->Sim(u, v) : 1.0;
+      sim.set(u, v, sem_uv * g.at(u, v));
+    }
+  }
+  return sim;
+}
+
+double PairGraph::ExactSinglePair(NodeId u, NodeId v, double decay,
+                                  int depth) const {
+  SEMSIM_CHECK(decay > 0 && decay < 1);
+  SEMSIM_CHECK(depth >= 0);
+  double sem_uv = semantic_ ? semantic_->Sim(u, v) : 1.0;
+  if (u == v) return 1.0;
+  // Frontier of non-singleton pairs carrying decayed walk mass; singleton
+  // hits are absorbed into `met`.
+  std::unordered_map<NodePair, double, NodePairHash> frontier, next;
+  frontier.emplace(NodePair{u, v}, 1.0);
+  double met = 0;
+  for (int level = 1; level <= depth && !frontier.empty(); ++level) {
+    next.clear();
+    for (const auto& [pair, mass] : frontier) {
+      ForEachTransition(pair.first, pair.second,
+                        [&](NodeId a, NodeId b, double p) {
+                          double m = mass * p * decay;
+                          if (a == b) {
+                            met += m;  // first meeting: absorb
+                          } else {
+                            next[NodePair{a, b}] += m;
+                          }
+                        });
+    }
+    frontier.swap(next);
+  }
+  return sem_uv * met;
+}
+
+namespace {
+
+struct PathAccumulator {
+  size_t paths = 0;
+  size_t total_length = 0;
+  size_t cap = 0;
+  double min_probability = 0;
+};
+
+// DFS over G² transitions counting walks that terminate at their first
+// singleton within the depth bound; branches whose walk probability has
+// fallen below min_probability are pruned (they contribute negligibly to
+// the SemSim score).
+void CountPaths(const PairGraph& pg, NodeId u, NodeId v, double probability,
+                int depth, int max_depth, PathAccumulator* acc) {
+  if (acc->paths >= acc->cap) return;
+  if (u == v) {
+    ++acc->paths;
+    acc->total_length += static_cast<size_t>(depth);
+    return;
+  }
+  if (depth >= max_depth) return;
+  pg.ForEachTransition(u, v, [&](NodeId a, NodeId b, double p) {
+    double next = probability * p;
+    if (next < acc->min_probability || acc->paths >= acc->cap) return;
+    CountPaths(pg, a, b, next, depth + 1, max_depth, acc);
+  });
+}
+
+}  // namespace
+
+PairGraph::PathStats PairGraph::EstimatePathStats(int max_depth,
+                                                  size_t sample_pairs,
+                                                  size_t max_paths_per_pair,
+                                                  Rng& rng,
+                                                  double min_probability) const {
+  size_t n = graph_->num_nodes();
+  SEMSIM_CHECK(n >= 2);
+  double sum_paths = 0;
+  double sum_length = 0;
+  size_t length_paths = 0;
+  for (size_t s = 0; s < sample_pairs; ++s) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    while (v == u) v = static_cast<NodeId>(rng.NextIndex(n));
+    PathAccumulator acc;
+    acc.cap = max_paths_per_pair;
+    acc.min_probability = min_probability;
+    CountPaths(*this, u, v, 1.0, 0, max_depth, &acc);
+    sum_paths += static_cast<double>(acc.paths);
+    sum_length += static_cast<double>(acc.total_length);
+    length_paths += acc.paths;
+  }
+  PathStats stats;
+  stats.avg_paths_to_singleton =
+      sample_pairs ? sum_paths / static_cast<double>(sample_pairs) : 0;
+  stats.avg_path_length =
+      length_paths ? sum_length / static_cast<double>(length_paths) : 0;
+  return stats;
+}
+
+}  // namespace semsim

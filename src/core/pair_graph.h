@@ -1,0 +1,101 @@
+#ifndef SEMSIM_CORE_PAIR_GRAPH_H_
+#define SEMSIM_CORE_PAIR_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/score_matrix.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// The node-pair graph G² of Sec. 3, as an *implicit* view over G: a
+/// vertex is an ordered pair (u,v); following the reversed-edge surfer
+/// model, the out-neighbors of (u,v) are all pairs (a,b) with a ∈ I(u),
+/// b ∈ I(v), and the transition probability is the Semantic-Aware
+/// Probability Distribution of Def. 3.1:
+///
+///   P[(u,v) → (a,b)] = W(a,u)·W(b,v)·sem(a,b) / N(u,v)
+///
+/// with N(u,v) the sum of the numerator over all out-neighbors. Edges are
+/// never materialized (|E(G²)| = |E(G)|², Table 3), so the structure is
+/// O(1) extra memory; all algorithms stream transitions from G.
+class PairGraph {
+ public:
+  /// `graph` and `semantic` must outlive the PairGraph. With
+  /// `semantic == nullptr` and `use_weights == false` the distribution
+  /// degenerates to SimRank's uniform coupled walk.
+  PairGraph(const Hin* graph, const SemanticMeasure* semantic,
+            bool use_weights = true)
+      : graph_(graph), semantic_(semantic), use_weights_(use_weights) {}
+
+  size_t num_pair_nodes() const {
+    return graph_->num_nodes() * graph_->num_nodes();
+  }
+
+  /// |E(G²)| = |E(G)|² (every pair of G-edges induces one G²-edge).
+  /// Computed without materialization.
+  uint64_t num_pair_edges() const {
+    return static_cast<uint64_t>(graph_->num_edges()) *
+           static_cast<uint64_t>(graph_->num_edges());
+  }
+
+  /// Normalizer N(u,v) = ΣᵢΣⱼ W·W·sem over I(u)×I(v); 0 when either
+  /// in-neighborhood is empty. This is the quantity the SLING-style cache
+  /// stores (Sec. 5.2).
+  double Normalizer(NodeId u, NodeId v) const;
+
+  /// Invokes `fn(a, b, probability)` for every out-neighbor (a,b) of
+  /// (u,v). No-op for pairs with no out-edges.
+  void ForEachTransition(
+      NodeId u, NodeId v,
+      const std::function<void(NodeId, NodeId, double)>& fn) const;
+
+  /// Exact SemSim scores via value iteration of the surfer functional
+  /// (Thm. 3.3): g(x,x) = 1, g(u,v) = c·Σ P[(u,v)→(a,b)]·g(a,b), and
+  /// sim(u,v) = sem(u,v)·g(u,v). Runs `iterations` sweeps (error decays
+  /// as c^iterations). O(iterations·|E(G)|²/n·n) time, O(n²) space.
+  ScoreMatrix ExactScores(double decay, int iterations) const;
+
+  /// Sampled estimate of the Table 3 path statistics: the number of walks
+  /// from a random non-singleton pair that reach a singleton (their first
+  /// singleton) within `max_depth` steps, and their average length. Only
+  /// walks whose probability exceeds `min_probability` are counted —
+  /// these are "the paths that are considered while computing SemSim"
+  /// (lower-probability walks contribute negligibly); `max_paths_per_pair`
+  /// is a hard enumeration cap.
+  struct PathStats {
+    double avg_paths_to_singleton = 0;
+    double avg_path_length = 0;
+  };
+  PathStats EstimatePathStats(int max_depth, size_t sample_pairs,
+                              size_t max_paths_per_pair, Rng& rng,
+                              double min_probability = 1e-4) const;
+
+  /// Exact *single-pair* SemSim evaluated directly on the implicit G² —
+  /// the use case Sec. 3 motivates ("it computes all pair-wise scores,
+  /// even if one is interested only in a single pair"): the surfer series
+  /// is expanded breadth-first from (u,v) with per-level aggregation of
+  /// walk mass, accumulating singleton hits, truncated after `depth`
+  /// levels. The remaining mass contributes at most sem(u,v)·c^{depth+1},
+  /// which bounds the truncation error. Cost is bounded by
+  /// depth·(reachable pairs)·d², independent of n².
+  double ExactSinglePair(NodeId u, NodeId v, double decay, int depth) const;
+
+  const Hin& graph() const { return *graph_; }
+  const SemanticMeasure* semantic() const { return semantic_; }
+  bool use_weights() const { return use_weights_; }
+
+ private:
+  const Hin* graph_;
+  const SemanticMeasure* semantic_;
+  bool use_weights_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_PAIR_GRAPH_H_

@@ -1,0 +1,198 @@
+#include "core/reduced_pair_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semsim {
+
+Result<ReducedPairGraph> ReducedPairGraph::Build(
+    const PairGraph& pair_graph, const ReducedPairGraphOptions& options) {
+  if (!(options.theta > 0 && options.theta < 1)) {
+    return Status::InvalidArgument("theta must lie in (0,1)");
+  }
+  if (!(options.decay > 0 && options.decay < 1)) {
+    return Status::InvalidArgument("decay must lie in (0,1)");
+  }
+  if (options.max_detour < 0) {
+    return Status::InvalidArgument("max_detour must be >= 0");
+  }
+  const SemanticMeasure* sem = pair_graph.semantic();
+  if (sem == nullptr) {
+    return Status::InvalidArgument(
+        "G²_θ requires a semantic measure (pruning is semantics-driven)");
+  }
+  const Hin& g = pair_graph.graph();
+  size_t n = g.num_nodes();
+
+  ReducedPairGraph reduced;
+  // Select kept pairs: sem(u,v) > θ. Singletons always qualify
+  // (sem(u,u)=1 > θ).
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      double s = sem->Sim(u, v);
+      if (s > options.theta) {
+        uint32_t id = static_cast<uint32_t>(reduced.kept_pairs_.size());
+        reduced.kept_pairs_.push_back(NodePair{u, v});
+        reduced.pair_index_.emplace(NodePair{u, v}, id);
+        reduced.sem_.push_back(s);
+      }
+    }
+  }
+
+  reduced.edge_offsets_.assign(reduced.kept_pairs_.size() + 1, 0);
+  reduced.drain_mass_.assign(reduced.kept_pairs_.size(), 0.0);
+
+  const double c = options.decay;
+  std::unordered_map<NodePair, double, NodePairHash> frontier, next_frontier;
+  std::unordered_map<uint32_t, double> row;
+
+  for (uint32_t pid = 0; pid < reduced.kept_pairs_.size(); ++pid) {
+    NodePair p = reduced.kept_pairs_[pid];
+    row.clear();
+    double drained = 0;
+    if (!p.IsSingleton()) {  // Singletons are absorbing: out-edges pruned.
+      frontier.clear();
+      frontier.emplace(p, 1.0);
+      // Level 0 expands the kept pair itself; subsequent levels expand the
+      // mass sitting on dropped pairs.
+      for (int level = 0; level <= options.max_detour; ++level) {
+        if (frontier.empty()) break;
+        next_frontier.clear();
+        for (const auto& [pair, mass] : frontier) {
+          pair_graph.ForEachTransition(
+              pair.first, pair.second,
+              [&](NodeId a, NodeId b, double prob) {
+                double m = mass * prob * c;
+                if (m < options.mass_cutoff) {
+                  drained += m;
+                  return;
+                }
+                auto it = reduced.pair_index_.find(NodePair{a, b});
+                if (it != reduced.pair_index_.end()) {
+                  row[it->second] += m;
+                } else if (level < options.max_detour) {
+                  next_frontier[NodePair{a, b}] += m;
+                } else {
+                  drained += m;
+                }
+              });
+        }
+        frontier.swap(next_frontier);
+      }
+      for (const auto& [pair, mass] : frontier) {
+        (void)pair;
+        drained += mass;
+      }
+    }
+    // Flush the row into CSR staging (two-pass CSR is unnecessary: rows are
+    // produced in order).
+    reduced.edge_offsets_[pid + 1] =
+        reduced.edge_offsets_[pid] + row.size();
+    std::vector<Edge> sorted_row;
+    sorted_row.reserve(row.size());
+    for (const auto& [target, mass] : row) {
+      sorted_row.push_back(Edge{target, mass});
+    }
+    std::sort(sorted_row.begin(), sorted_row.end(),
+              [](const Edge& a, const Edge& b) { return a.target < b.target; });
+    reduced.edges_.insert(reduced.edges_.end(), sorted_row.begin(),
+                          sorted_row.end());
+    reduced.drain_mass_[pid] = drained;
+    if (drained > 0) ++reduced.num_drain_edges_;
+    reduced.max_drain_mass_ = std::max(reduced.max_drain_mass_, drained);
+  }
+  reduced.num_edges_ = reduced.edges_.size();
+  return reduced;
+}
+
+void ReducedPairGraph::ComputeScores(int iterations) {
+  size_t k = kept_pairs_.size();
+  scores_.assign(k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    if (kept_pairs_[i].IsSingleton()) scores_[i] = 1.0;
+  }
+  std::vector<double> next(k);
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < k; ++i) {
+      if (kept_pairs_[i].IsSingleton()) {
+        next[i] = 1.0;
+        continue;
+      }
+      double acc = 0;
+      for (size_t e = edge_offsets_[i]; e < edge_offsets_[i + 1]; ++e) {
+        acc += edges_[e].mass * scores_[edges_[e].target];
+      }
+      next[i] = acc;
+    }
+    scores_.swap(next);
+  }
+  scores_ready_ = true;
+}
+
+double ReducedPairGraph::Score(NodeId u, NodeId v) const {
+  SEMSIM_CHECK(scores_ready_) << "call ComputeScores() first";
+  auto it = pair_index_.find(NodePair{u, v});
+  if (it == pair_index_.end()) return 0.0;
+  return sem_[it->second] * scores_[it->second];
+}
+
+PairGraph::PathStats ReducedPairGraph::EstimatePathStats(
+    int max_depth, size_t sample_pairs, size_t max_paths_per_pair, Rng& rng,
+    double min_mass) const {
+  // Collect non-singleton kept pairs to sample from.
+  std::vector<uint32_t> candidates;
+  for (uint32_t i = 0; i < kept_pairs_.size(); ++i) {
+    if (!kept_pairs_[i].IsSingleton()) candidates.push_back(i);
+  }
+  PairGraph::PathStats stats;
+  if (candidates.empty()) return stats;
+
+  double sum_paths = 0;
+  double sum_length = 0;
+  size_t length_paths = 0;
+  // Iterative DFS with explicit stack of (pair id, depth, mass).
+  struct Item {
+    uint32_t id;
+    int depth;
+    double mass;
+  };
+  for (size_t s = 0; s < sample_pairs; ++s) {
+    uint32_t start = candidates[rng.NextIndex(candidates.size())];
+    size_t paths = 0;
+    size_t total_len = 0;
+    std::vector<Item> stack = {{start, 0, 1.0}};
+    while (!stack.empty() && paths < max_paths_per_pair) {
+      Item it = stack.back();
+      stack.pop_back();
+      if (kept_pairs_[it.id].IsSingleton()) {
+        ++paths;
+        total_len += static_cast<size_t>(it.depth);
+        continue;
+      }
+      if (it.depth >= max_depth) continue;
+      for (size_t e = edge_offsets_[it.id]; e < edge_offsets_[it.id + 1];
+           ++e) {
+        double mass = it.mass * edges_[e].mass;
+        if (mass < min_mass) continue;
+        stack.push_back({edges_[e].target, it.depth + 1, mass});
+      }
+    }
+    sum_paths += static_cast<double>(paths);
+    sum_length += static_cast<double>(total_len);
+    length_paths += paths;
+  }
+  stats.avg_paths_to_singleton =
+      sum_paths / static_cast<double>(sample_pairs);
+  stats.avg_path_length =
+      length_paths ? sum_length / static_cast<double>(length_paths) : 0;
+  return stats;
+}
+
+size_t ReducedPairGraph::MemoryBytes() const {
+  return kept_pairs_.size() * (sizeof(NodePair) + sizeof(double) * 3) +
+         edges_.size() * sizeof(Edge) +
+         edge_offsets_.size() * sizeof(size_t) +
+         pair_index_.size() * (sizeof(NodePair) + sizeof(uint32_t) + 16);
+}
+
+}  // namespace semsim

@@ -1,0 +1,108 @@
+#ifndef SEMSIM_CORE_REDUCED_PAIR_GRAPH_H_
+#define SEMSIM_CORE_REDUCED_PAIR_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/pair_graph.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Construction parameters for G²_θ (Def. 3.4).
+struct ReducedPairGraphOptions {
+  /// Keep only pairs with sem(u,v) > theta. The paper uses 0.9/0.95 for
+  /// top-k style workloads.
+  double theta = 0.9;
+  /// Decay factor folded into the replaced-walk weights (the c^{l(w)-1}
+  /// term of W₂ in Def. 3.4).
+  double decay = 0.6;
+  /// Maximum number of consecutive dropped pairs a replaced walk may pass
+  /// through. Walk mass not resolved within this bound flows to the drain
+  /// (bounded-by-c^depth truncation; see DESIGN.md).
+  int max_detour = 8;
+  /// Per-entry mass below this is routed to the drain instead of being
+  /// propagated further.
+  double mass_cutoff = 1e-9;
+};
+
+/// The reduced node-pair graph G²_θ: only pairs whose semantic similarity
+/// exceeds θ are materialized; walks of G² that traverse dropped pairs are
+/// folded into direct weighted edges between kept pairs, and a drain
+/// vertex D absorbs the remaining probability mass so kept-pair scores are
+/// unaffected (Thm. 3.5).
+///
+/// Internally we store, for every kept pair p and kept pair q, the
+/// *effective decayed transition*
+///   T(p,q) = Σ_{walks p⇝q with dropped interior} P[w]·c^{steps(w)}
+/// which is the probability-normalized equivalent of the paper's
+/// W₁(e)+W₂(e) edge weights; the surfer evaluation over G²_θ is then
+/// g(p) = Σ_q T(p,q)·g(q) with g(singleton) = 1, and
+/// s_θ(u,v) = sem(u,v)·g(u,v). Out-edges of singletons are pruned (only
+/// the first meeting matters).
+class ReducedPairGraph {
+ public:
+  /// Builds G²_θ from the implicit full pair graph. O(n²) semantic tests
+  /// to select kept pairs plus one bounded mass expansion per kept pair.
+  static Result<ReducedPairGraph> Build(const PairGraph& pair_graph,
+                                        const ReducedPairGraphOptions& options);
+
+  /// Number of kept pair-vertices (excluding the drain).
+  size_t num_kept_pairs() const { return kept_pairs_.size(); }
+  /// Number of kept→kept effective edges (nnz of T).
+  size_t num_edges() const { return num_edges_; }
+  /// Number of kept pairs with a positive-weight edge to the drain.
+  size_t num_drain_edges() const { return num_drain_edges_; }
+  /// Total mass routed to the drain across all kept pairs; bounds the
+  /// truncation error of any kept score.
+  double max_drain_mass() const { return max_drain_mass_; }
+
+  bool IsKept(NodeId u, NodeId v) const {
+    return pair_index_.find(NodePair{u, v}) != pair_index_.end();
+  }
+
+  /// Runs the surfer value iteration over the reduced graph. Must be
+  /// called before Score().
+  void ComputeScores(int iterations);
+
+  /// s_θ(u,v): 0 for pairs not in V_θ (per Sec. 3.2), otherwise the score
+  /// computed over the reduced graph.
+  double Score(NodeId u, NodeId v) const;
+
+  /// Path statistics over the *reduced* graph (Table 3 rows "Avg. # of
+  /// paths to singletons" / "Avg. paths' length"), computed by bounded
+  /// DFS from sampled kept non-singleton pairs. Branches whose
+  /// accumulated transition mass drops below `min_mass` are pruned,
+  /// mirroring PairGraph::EstimatePathStats.
+  PairGraph::PathStats EstimatePathStats(int max_depth, size_t sample_pairs,
+                                         size_t max_paths_per_pair, Rng& rng,
+                                         double min_mass = 1e-4) const;
+
+  /// Approximate memory footprint of the materialized reduction.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Edge {
+    uint32_t target;  // kept-pair dense id
+    double mass;      // T(p, q)
+  };
+
+  std::vector<NodePair> kept_pairs_;
+  std::unordered_map<NodePair, uint32_t, NodePairHash> pair_index_;
+  std::vector<size_t> edge_offsets_;
+  std::vector<Edge> edges_;
+  std::vector<double> drain_mass_;
+  std::vector<double> scores_;  // g values after ComputeScores
+  std::vector<double> sem_;     // sem(u,v) per kept pair
+  size_t num_edges_ = 0;
+  size_t num_drain_edges_ = 0;
+  double max_drain_mass_ = 0;
+  bool scores_ready_ = false;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_REDUCED_PAIR_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "core/score_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semsim {
+
+double ScoreMatrix::MeanAbsDifference(const ScoreMatrix& other) const {
+  SEMSIM_CHECK(n_ == other.n_);
+  if (data_.empty()) return 0.0;
+  double total = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    total += std::fabs(data_[i] - other.data_[i]);
+  }
+  return total / static_cast<double>(data_.size());
+}
+
+double ScoreMatrix::MeanRelDifference(const ScoreMatrix& other) const {
+  SEMSIM_CHECK(n_ == other.n_);
+  double total = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double denom = std::max(data_[i], other.data_[i]);
+    if (denom > 0) {
+      total += std::fabs(data_[i] - other.data_[i]) / denom;
+      ++count;
+    }
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+double ScoreMatrix::MaxAbsDifference(const ScoreMatrix& other) const {
+  SEMSIM_CHECK(n_ == other.n_);
+  double mx = 0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+}  // namespace semsim

@@ -1,0 +1,73 @@
+#ifndef SEMSIM_CORE_SCORE_MATRIX_H_
+#define SEMSIM_CORE_SCORE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Dense symmetric n×n score matrix produced by the iterative engines.
+/// Stores the full square for cache-friendly row scans; SemSim matrices
+/// are only materialized for the moderate n used by the exact algorithms.
+class ScoreMatrix {
+ public:
+  ScoreMatrix() = default;
+  explicit ScoreMatrix(size_t n, double init = 0.0)
+      : n_(n), data_(n * n, init) {}
+
+  size_t size() const { return n_; }
+
+  double at(NodeId u, NodeId v) const {
+    SEMSIM_DCHECK(u < n_ && v < n_);
+    return data_[static_cast<size_t>(u) * n_ + v];
+  }
+
+  /// Sets both (u,v) and (v,u).
+  void set(NodeId u, NodeId v, double value) {
+    SEMSIM_DCHECK(u < n_ && v < n_);
+    data_[static_cast<size_t>(u) * n_ + v] = value;
+    data_[static_cast<size_t>(v) * n_ + u] = value;
+  }
+
+  /// Sets only (u,v). For parallel row-partitioned writers that fill the
+  /// strict lower triangle and mirror afterwards (plain set() would race
+  /// across row partitions on the (v,u) mirror cell).
+  void set_lower(NodeId u, NodeId v, double value) {
+    SEMSIM_DCHECK(u < n_ && v < u);
+    data_[static_cast<size_t>(u) * n_ + v] = value;
+  }
+
+  /// Copies every strict-lower-triangle entry to its mirror cell.
+  void SymmetrizeFromLower() {
+    for (NodeId u = 0; u < n_; ++u) {
+      for (NodeId v = 0; v < u; ++v) {
+        data_[static_cast<size_t>(v) * n_ + u] =
+            data_[static_cast<size_t>(u) * n_ + v];
+      }
+    }
+  }
+
+  const double* Row(NodeId u) const { return data_.data() + static_cast<size_t>(u) * n_; }
+
+  /// Mean absolute entry-wise difference against `other` over all ordered
+  /// pairs (used by the convergence experiment).
+  double MeanAbsDifference(const ScoreMatrix& other) const;
+
+  /// Mean relative difference |a-b| / max(a, b) over entries where
+  /// max(a,b) > 0.
+  double MeanRelDifference(const ScoreMatrix& other) const;
+
+  /// Maximum absolute entry-wise difference.
+  double MaxAbsDifference(const ScoreMatrix& other) const;
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_SCORE_MATRIX_H_

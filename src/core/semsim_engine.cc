@@ -1,0 +1,67 @@
+#include "core/semsim_engine.h"
+
+namespace semsim {
+
+Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
+                                          const SemanticMeasure* semantic,
+                                          const SemSimEngineOptions& options) {
+  if (graph == nullptr || semantic == nullptr) {
+    return Status::InvalidArgument("graph and semantic measure are required");
+  }
+  if (!(options.query.decay > 0 && options.query.decay < 1)) {
+    return Status::InvalidArgument("decay must lie in (0,1)");
+  }
+  if (options.query.theta > 1 - options.query.decay) {
+    // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
+    return Status::InvalidArgument(
+        "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
+  }
+  SemSimEngine engine;
+  engine.graph_ = graph;
+  engine.semantic_ = semantic;
+  engine.options_ = options;
+  engine.walk_index_ =
+      std::make_unique<WalkIndex>(WalkIndex::Build(*graph, options.walks));
+  if (options.cache_min_sem >= 0) {
+    engine.pair_graph_ = std::make_unique<PairGraph>(graph, semantic);
+    engine.cache_ = std::make_unique<PairNormalizerCache>(
+        PairNormalizerCache::Build(*engine.pair_graph_,
+                                   options.cache_min_sem));
+  }
+  engine.estimator_ = std::make_unique<SemSimMcEstimator>(
+      graph, semantic, engine.walk_index_.get(), engine.cache_.get());
+  if (options.single_source) {
+    engine.single_source_ = std::make_unique<SingleSourceIndex>(
+        SingleSourceIndex::Build(*engine.walk_index_, graph->num_nodes()));
+  }
+  return engine;
+}
+
+std::vector<Scored> SemSimEngine::TopK(
+    NodeId query, size_t k, const std::vector<NodeId>* candidates) const {
+  if (single_source_ != nullptr) {
+    std::vector<double> scores =
+        single_source_->SemSimFrom(query, *estimator_, options_.query);
+    return CallbackTopK(graph_->num_nodes(), query, k, candidates,
+                        [&](NodeId v) { return scores[v]; });
+  }
+  return McTopK(*estimator_, query, k, options_.query, candidates);
+}
+
+Result<std::vector<double>> SemSimEngine::AllScores(NodeId query) const {
+  if (single_source_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine built without the single-source index "
+        "(SemSimEngineOptions::single_source)");
+  }
+  return single_source_->SemSimFrom(query, *estimator_, options_.query);
+}
+
+Result<double> SemSimEngine::SimilarityByName(std::string_view u,
+                                              std::string_view v) const {
+  SEMSIM_ASSIGN_OR_RETURN(NodeId nu, graph_->FindNode(u));
+  SEMSIM_ASSIGN_OR_RETURN(NodeId nv, graph_->FindNode(v));
+  return Similarity(nu, nv);
+}
+
+}  // namespace semsim

@@ -1,0 +1,92 @@
+#ifndef SEMSIM_CORE_SEMSIM_ENGINE_H_
+#define SEMSIM_CORE_SEMSIM_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mc_semsim.h"
+#include "core/pair_graph.h"
+#include "core/single_source.h"
+#include "core/sling_cache.h"
+#include "core/topk.h"
+#include "core/walk_index.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Configuration of the high-level engine.
+struct SemSimEngineOptions {
+  /// Reverse-walk index parameters (paper defaults n_w=150, t=15).
+  WalkIndexOptions walks;
+  /// Query-time parameters: c=0.6 and pruning θ=0.05 are the paper's
+  /// experimental setting.
+  SemSimMcOptions query{0.6, 0.05};
+  /// When >= 0, build the SLING-style normalizer cache for pairs with
+  /// sem >= this value (the paper uses 0.1). Negative disables the cache.
+  double cache_min_sem = -1.0;
+  /// Build the inverted single-source index: TopK() then answers through
+  /// one shared-meeting sweep instead of n pair queries (Sec. 7's
+  /// single-source direction). Doubles the index memory.
+  bool single_source = false;
+};
+
+/// The library's front door: binds a HIN, a semantic measure and the
+/// precomputed walk index into a query service for single-pair and top-k
+/// SemSim queries. See examples/quickstart.cc for end-to-end usage.
+class SemSimEngine {
+ public:
+  /// Builds the walk index (and optionally the normalizer cache).
+  /// `graph` and `semantic` must outlive the engine.
+  static Result<SemSimEngine> Create(const Hin* graph,
+                                     const SemanticMeasure* semantic,
+                                     const SemSimEngineOptions& options);
+
+  /// Approximate SemSim score of (u, v) with the engine's options.
+  double Similarity(NodeId u, NodeId v, McQueryStats* stats = nullptr) const {
+    return estimator_->Query(u, v, options_.query, stats);
+  }
+
+  /// Name-based convenience wrapper.
+  Result<double> SimilarityByName(std::string_view u,
+                                  std::string_view v) const;
+
+  /// Top-k most similar nodes to `query`. Uses the inverted
+  /// single-source index when the engine was built with one.
+  std::vector<Scored> TopK(NodeId query, size_t k,
+                           const std::vector<NodeId>* candidates = nullptr) const;
+
+  /// Single-source scores sim(query, v) for every node v. Requires
+  /// options.single_source.
+  Result<std::vector<double>> AllScores(NodeId query) const;
+
+  const Hin& graph() const { return *graph_; }
+  const SemanticMeasure& semantic() const { return *semantic_; }
+  const WalkIndex& walk_index() const { return *walk_index_; }
+  const SemSimEngineOptions& options() const { return options_; }
+  /// Index + cache footprint (Sec. 5.2 memory report).
+  size_t MemoryBytes() const {
+    return walk_index_->MemoryBytes() + (cache_ ? cache_->MemoryBytes() : 0) +
+           (single_source_ ? single_source_->MemoryBytes() : 0);
+  }
+
+ private:
+  SemSimEngine() = default;
+
+  const Hin* graph_ = nullptr;
+  const SemanticMeasure* semantic_ = nullptr;
+  SemSimEngineOptions options_;
+  // unique_ptr members keep the engine cheaply movable.
+  std::unique_ptr<WalkIndex> walk_index_;
+  std::unique_ptr<PairGraph> pair_graph_;
+  std::unique_ptr<PairNormalizerCache> cache_;
+  std::unique_ptr<SemSimMcEstimator> estimator_;
+  std::unique_ptr<SingleSourceIndex> single_source_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_SEMSIM_ENGINE_H_

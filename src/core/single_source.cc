@@ -1,0 +1,146 @@
+#include "core/single_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+SingleSourceIndex SingleSourceIndex::Build(const WalkIndex& index,
+                                           size_t num_nodes) {
+  SingleSourceIndex ss;
+  ss.index_ = &index;
+  ss.num_nodes_ = num_nodes;
+  ss.num_walks_ = index.num_walks();
+  ss.walk_length_ = index.walk_length();
+
+  size_t num_buckets =
+      static_cast<size_t>(ss.num_walks_) * static_cast<size_t>(ss.walk_length_);
+  // Counting pass: how many live positions land in each (walk, step).
+  ss.bucket_offsets_.assign(num_buckets + 1, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (int w = 0; w < ss.num_walks_; ++w) {
+      auto walk = index.Walk(v, w);
+      for (int s = 0; s < ss.walk_length_; ++s) {
+        if (walk[s] == kInvalidNode) break;
+        ++ss.bucket_offsets_[ss.BucketIndex(w, s) + 1];
+      }
+    }
+  }
+  for (size_t b = 1; b <= num_buckets; ++b) {
+    ss.bucket_offsets_[b] += ss.bucket_offsets_[b - 1];
+  }
+  // Fill pass.
+  ss.entries_.resize(ss.bucket_offsets_.back());
+  std::vector<size_t> cursor(ss.bucket_offsets_.begin(),
+                             ss.bucket_offsets_.end() - 1);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (int w = 0; w < ss.num_walks_; ++w) {
+      auto walk = index.Walk(v, w);
+      for (int s = 0; s < ss.walk_length_; ++s) {
+        if (walk[s] == kInvalidNode) break;
+        ss.entries_[cursor[ss.BucketIndex(w, s)]++] = Entry{walk[s], v};
+      }
+    }
+  }
+  // Sort each bucket by position node for binary search.
+  for (size_t b = 0; b < num_buckets; ++b) {
+    std::sort(ss.entries_.begin() +
+                  static_cast<long>(ss.bucket_offsets_[b]),
+              ss.entries_.begin() +
+                  static_cast<long>(ss.bucket_offsets_[b + 1]),
+              [](const Entry& a, const Entry& e) {
+                return a.position != e.position ? a.position < e.position
+                                                : a.origin < e.origin;
+              });
+  }
+  return ss;
+}
+
+std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
+    NodeId u) const {
+  std::vector<Meeting> meetings;
+  // met_stamp[v] == current walk id+1 → v already met u's walk earlier.
+  std::vector<int> met_stamp(num_nodes_, 0);
+  for (int w = 0; w < num_walks_; ++w) {
+    auto walk_u = index_->Walk(u, w);
+    int stamp = w + 1;
+    for (int s = 0; s < walk_length_; ++s) {
+      NodeId pos = walk_u[s];
+      if (pos == kInvalidNode) break;
+      size_t b = BucketIndex(w, s);
+      auto begin = entries_.begin() + static_cast<long>(bucket_offsets_[b]);
+      auto end = entries_.begin() + static_cast<long>(bucket_offsets_[b + 1]);
+      auto lo = std::lower_bound(
+          begin, end, pos,
+          [](const Entry& e, NodeId target) { return e.position < target; });
+      for (auto it = lo; it != end && it->position == pos; ++it) {
+        NodeId v = it->origin;
+        if (v == u) continue;
+        if (met_stamp[v] == stamp) continue;  // met at an earlier step
+        met_stamp[v] = stamp;
+        meetings.push_back(Meeting{v, w, s + 1});
+      }
+    }
+  }
+  std::sort(meetings.begin(), meetings.end(),
+            [](const Meeting& a, const Meeting& b) {
+              return a.node != b.node ? a.node < b.node : a.walk < b.walk;
+            });
+  return meetings;
+}
+
+std::vector<double> SingleSourceIndex::SimRankFrom(NodeId u,
+                                                   double decay) const {
+  SEMSIM_CHECK(decay > 0 && decay < 1);
+  std::vector<double> scores(num_nodes_, 0.0);
+  for (const Meeting& m : FirstMeetings(u)) {
+    scores[m.node] += std::pow(decay, m.step);
+  }
+  double inv = 1.0 / static_cast<double>(num_walks_);
+  for (double& s : scores) s *= inv;
+  scores[u] = 1.0;
+  return scores;
+}
+
+std::vector<double> SingleSourceIndex::SemSimFrom(
+    NodeId u, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options) const {
+  SEMSIM_DCHECK(&estimator.index() == index_)
+      << "estimator wraps a different walk index";
+  std::vector<double> scores(num_nodes_, 0.0);
+  const SemanticMeasure& sem = estimator.semantic();
+  // One shared normalizer memo for the whole source: coupled prefixes
+  // from the same u overlap massively across candidates.
+  SemSimMcEstimator::QueryContext context;
+  // Candidate-level semantic pruning (Algorithm 1 lines 2-3), evaluated
+  // lazily at the first meeting of each candidate.
+  std::vector<int8_t> sem_ok(num_nodes_, -1);
+  for (const Meeting& m : FirstMeetings(u)) {
+    NodeId v = m.node;
+    if (sem_ok[v] < 0) {
+      sem_ok[v] =
+          (options.theta > 0 && sem.Sim(u, v) <= options.theta) ? 0 : 1;
+    }
+    if (!sem_ok[v]) continue;
+    scores[v] +=
+        estimator.CoupledWalkScore(u, v, m.walk, m.step, options, &context);
+  }
+  double inv = 1.0 / static_cast<double>(num_walks_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (scores[v] > 0) scores[v] *= sem.Sim(u, v) * inv;
+  }
+  scores[u] = 1.0;
+  return scores;
+}
+
+std::vector<Scored> SingleSourceIndex::TopKFrom(
+    NodeId u, size_t k, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options) const {
+  std::vector<double> scores = SemSimFrom(u, estimator, options);
+  return CallbackTopK(num_nodes_, u, k, nullptr,
+                      [&](NodeId v) { return scores[v]; });
+}
+
+}  // namespace semsim

@@ -1,0 +1,26 @@
+#include "core/sling_cache.h"
+
+#include "common/timer.h"
+
+namespace semsim {
+
+PairNormalizerCache PairNormalizerCache::Build(const PairGraph& pair_graph,
+                                               double min_sem) {
+  Timer timer;
+  PairNormalizerCache cache;
+  const Hin& g = pair_graph.graph();
+  const SemanticMeasure* sem = pair_graph.semantic();
+  size_t n = g.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u; v < n; ++v) {
+      double s = sem ? sem->Sim(u, v) : 1.0;
+      if (u != v && s < min_sem) continue;
+      double norm = pair_graph.Normalizer(u, v);
+      if (norm > 0) cache.cache_.emplace(NodePair{u, v}, norm);
+    }
+  }
+  cache.build_seconds_ = timer.ElapsedSeconds();
+  return cache;
+}
+
+}  // namespace semsim

@@ -1,0 +1,51 @@
+#ifndef SEMSIM_CORE_SLING_CACHE_H_
+#define SEMSIM_CORE_SLING_CACHE_H_
+
+#include <unordered_map>
+
+#include "core/pair_graph.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// SLING-style probability index (Sec. 5.2 "Execution Times"). The paper
+/// applies SLING [39] to both measures, "storing probabilities only for
+/// node-pairs with semantic similarity scores ≥ 0.1". Our adaptation
+/// stores the semantic-aware transition *normalizers*
+///   SO(u,v) = ΣᵢΣⱼ W(Iᵢ(u),u)·W(Iⱼ(v),v)·sem(Iᵢ(u),Iⱼ(v))
+/// for those pairs, which removes the d² inner loop from Algorithm 1 —
+/// the same memory-for-time trade the experiment measures. Build cost is
+/// O(n²·d²); query lookups are O(1).
+class PairNormalizerCache {
+ public:
+  PairNormalizerCache() = default;
+
+  /// Precomputes normalizers for every unordered pair with
+  /// sem(u,v) >= min_sem (plus all singletons).
+  static PairNormalizerCache Build(const PairGraph& pair_graph,
+                                   double min_sem = 0.1);
+
+  /// Returns true and sets *normalizer when (u,v) is cached.
+  bool Lookup(NodeId u, NodeId v, double* normalizer) const {
+    NodePair key = u <= v ? NodePair{u, v} : NodePair{v, u};
+    auto it = cache_.find(key);
+    if (it == cache_.end()) return false;
+    *normalizer = it->second;
+    return true;
+  }
+
+  size_t size() const { return cache_.size(); }
+  size_t MemoryBytes() const {
+    // Key + value + typical unordered_map node overhead.
+    return cache_.size() * (sizeof(NodePair) + sizeof(double) + 16);
+  }
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  std::unordered_map<NodePair, double, NodePairHash> cache_;
+  double build_seconds_ = 0;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_SLING_CACHE_H_

@@ -1,0 +1,141 @@
+#include "core/walk_index.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace semsim {
+
+WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
+  SEMSIM_CHECK(options.num_walks > 0);
+  SEMSIM_CHECK(options.walk_length > 0);
+  Timer timer;
+  WalkIndex index;
+  index.options_ = options;
+  size_t n = graph.num_nodes();
+  index.steps_.assign(n * static_cast<size_t>(options.num_walks) *
+                          static_cast<size_t>(options.walk_length),
+                      kInvalidNode);
+  ParallelRunner runner(options.num_threads);
+  runner.ParallelFor(0, n, [&](size_t begin, size_t end) {
+    std::vector<double> weights;
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      // Per-node RNG stream: walks are independent of the thread count
+      // and of every other node's sampling.
+      Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (v + 1)));
+      size_t cursor = static_cast<size_t>(v) * options.num_walks *
+                      options.walk_length;
+      for (int w = 0; w < options.num_walks; ++w) {
+        NodeId cur = v;
+        for (int s = 0; s < options.walk_length; ++s, ++cursor) {
+          auto in = graph.InNeighbors(cur);
+          if (in.empty()) {
+            cursor += static_cast<size_t>(options.walk_length - s);
+            break;
+          }
+          size_t pick;
+          if (options.weighted) {
+            weights.clear();
+            for (const Neighbor& nb : in) weights.push_back(nb.weight);
+            pick = rng.NextWeighted(weights);
+          } else {
+            pick = rng.NextIndex(in.size());
+          }
+          cur = in[pick].node;
+          index.steps_[cursor] = cur;
+        }
+      }
+    }
+  });
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+namespace {
+
+// Binary layout: magic, version, node count, options, then the raw step
+// array. Little-endian native; the index is machine-local cache data,
+// not an interchange format.
+constexpr uint64_t kWalkIndexMagic = 0x53454D57414C4B31ULL;  // "SEMWALK1"
+
+struct WalkIndexHeader {
+  uint64_t magic;
+  uint64_t num_nodes;
+  int32_t num_walks;
+  int32_t walk_length;
+  uint64_t seed;
+  uint8_t weighted;
+  uint8_t padding[7];
+};
+
+}  // namespace
+
+Status WalkIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  WalkIndexHeader header{};
+  header.magic = kWalkIndexMagic;
+  size_t per_node = static_cast<size_t>(options_.num_walks) *
+                    static_cast<size_t>(options_.walk_length);
+  header.num_nodes = per_node == 0 ? 0 : steps_.size() / per_node;
+  header.num_walks = options_.num_walks;
+  header.walk_length = options_.walk_length;
+  header.seed = options_.seed;
+  header.weighted = options_.weighted ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(steps_.data()),
+            static_cast<std::streamsize>(steps_.size() * sizeof(NodeId)));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<WalkIndex> WalkIndex::Load(const std::string& path,
+                                  size_t expected_nodes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  WalkIndexHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kWalkIndexMagic) {
+    return Status::IOError("not a walk-index file: " + path);
+  }
+  if (header.num_nodes != expected_nodes) {
+    return Status::FailedPrecondition(
+        "walk index was built for a graph with " +
+        std::to_string(header.num_nodes) + " nodes, expected " +
+        std::to_string(expected_nodes));
+  }
+  if (header.num_walks <= 0 || header.walk_length <= 0) {
+    return Status::IOError("corrupt walk-index header");
+  }
+  WalkIndex index;
+  index.options_.num_walks = header.num_walks;
+  index.options_.walk_length = header.walk_length;
+  index.options_.seed = header.seed;
+  index.options_.weighted = header.weighted != 0;
+  size_t count = header.num_nodes * static_cast<size_t>(header.num_walks) *
+                 static_cast<size_t>(header.walk_length);
+  index.steps_.resize(count);
+  in.read(reinterpret_cast<char*>(index.steps_.data()),
+          static_cast<std::streamsize>(count * sizeof(NodeId)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(count * sizeof(NodeId))) {
+    return Status::IOError("truncated walk-index file: " + path);
+  }
+  return index;
+}
+
+double WalkIndex::ProposalProb(const Hin& graph, NodeId from,
+                               size_t idx) const {
+  auto in = graph.InNeighbors(from);
+  SEMSIM_DCHECK(idx < in.size());
+  if (!options_.weighted) {
+    return 1.0 / static_cast<double>(in.size());
+  }
+  double total = graph.TotalInWeight(from);
+  return in[idx].weight / total;
+}
+
+}  // namespace semsim

@@ -1,0 +1,87 @@
+#ifndef SEMSIM_CORE_WALK_INDEX_H_
+#define SEMSIM_CORE_WALK_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/hin.h"
+
+namespace semsim {
+
+/// Parameters of the precomputed reverse-walk index (the Fogaras–Rácz MC
+/// framework of Sec. 4.1; the paper's defaults are n_w=150, t=15).
+struct WalkIndexOptions {
+  /// Number of walks sampled from each node (n_w).
+  int num_walks = 150;
+  /// Truncation point t: maximum number of steps per walk.
+  int walk_length = 15;
+  /// Deterministic sampling seed. Each node gets its own derived RNG
+  /// stream, so the sampled walks are identical for any thread count.
+  uint64_t seed = 42;
+  /// Proposal distribution Q: false = uniform over in-neighbors (the
+  /// paper's choice); true = proportional to edge weights (ablation).
+  bool weighted = false;
+  /// Worker threads for sampling (nodes are partitioned). <= 0 selects
+  /// the hardware concurrency.
+  int num_threads = 1;
+};
+
+/// Precomputed set of truncated reverse random walks, n_w from every node,
+/// drawn from the proposal distribution Q. Storage is a flat
+/// n·n_w·t array of NodeId; walks that hit a node with no in-neighbors are
+/// padded with kInvalidNode. Space and preprocessing are O(n·n_w·t), as in
+/// the paper.
+class WalkIndex {
+ public:
+  WalkIndex() = default;
+
+  /// Samples all walks. `graph` must outlive the index (the estimators
+  /// need it anyway for degrees and weights).
+  static WalkIndex Build(const Hin& graph, const WalkIndexOptions& options);
+
+  int num_walks() const { return options_.num_walks; }
+  int walk_length() const { return options_.walk_length; }
+  const WalkIndexOptions& options() const { return options_; }
+
+  /// The `walk`-th walk from `v`: `walk_length` entries; entry s is the
+  /// node after s+1 reverse steps, kInvalidNode once the walk has died.
+  std::span<const NodeId> Walk(NodeId v, int walk) const {
+    size_t base =
+        (static_cast<size_t>(v) * options_.num_walks + walk) *
+        options_.walk_length;
+    return {steps_.data() + base, static_cast<size_t>(options_.walk_length)};
+  }
+
+  /// Probability Q assigns to stepping from `from` to in-neighbor at
+  /// position `idx` of InNeighbors(from). Uniform: 1/|I(from)|.
+  double ProposalProb(const Hin& graph, NodeId from, size_t idx) const;
+
+  size_t MemoryBytes() const { return steps_.size() * sizeof(NodeId); }
+  /// Wall-clock seconds the sampling took (Sec. 5.2 preprocessing report).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Persists the index to a binary file, so the paper's offline
+  /// preprocessing (the dominant cost, Sec. 5.2) is paid once per graph.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index saved by Save(). `expected_nodes` guards against
+  /// pairing an index with the wrong graph.
+  static Result<WalkIndex> Load(const std::string& path,
+                                size_t expected_nodes);
+
+ private:
+  friend class DynamicWalkIndex;  // in-place suffix resampling on updates
+
+  WalkIndexOptions options_;
+  std::vector<NodeId> steps_;
+  std::vector<double> weight_prefix_;  // unused for uniform Q
+  double build_seconds_ = 0;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_WALK_INDEX_H_

@@ -1,0 +1,140 @@
+#include "datasets/amazon_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasets/gen_util.h"
+#include "taxonomy/ic.h"
+
+namespace semsim {
+
+Result<Dataset> GenerateAmazon(const AmazonOptions& options) {
+  if (options.num_items < 2) {
+    return Status::InvalidArgument("need at least 2 items");
+  }
+  if (!(options.heldout_fraction >= 0 && options.heldout_fraction < 1)) {
+    return Status::InvalidArgument("heldout_fraction must lie in [0,1)");
+  }
+  Rng rng(options.seed);
+
+  // ---- Taxonomy: category tree + one leaf concept per item. ----
+  TaxonomyBuilder tax;
+  std::vector<ConceptId> categories;
+  BuildBalancedTree(&tax, "cat", options.category_branching, &categories);
+  ZipfSampler cat_sampler(categories.size(), options.category_zipf);
+
+  std::vector<int> item_category(options.num_items);
+  std::vector<ConceptId> item_concepts(options.num_items);
+  std::vector<std::vector<int>> category_items(categories.size());
+  for (int i = 0; i < options.num_items; ++i) {
+    int cat = static_cast<int>(cat_sampler.Sample(rng));
+    item_category[i] = cat;
+    category_items[cat].push_back(i);
+    item_concepts[i] =
+        tax.AddConcept("item_" + std::to_string(i), categories[cat]);
+  }
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(tax).Build());
+
+  // ---- HIN: one node per concept; is_a mirrors the taxonomy. ----
+  HinBuilder hin;
+  size_t num_concepts = taxonomy.num_concepts();
+  std::vector<NodeId> concept_node(num_concepts);
+  std::vector<ConceptId> node_concept(num_concepts);
+  std::unordered_set<ConceptId> item_set(item_concepts.begin(),
+                                         item_concepts.end());
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    std::string_view label = item_set.count(c) ? "item" : "category";
+    NodeId v = hin.AddNode(std::string(taxonomy.name(c)), label);
+    concept_node[c] = v;
+    node_concept[v] = c;
+  }
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    if (c == taxonomy.root()) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        concept_node[c], concept_node[taxonomy.parent(c)], "is_a", 1.0));
+  }
+
+  // ---- Plan co-purchases, then hold a fraction out. ----
+  // Sibling pools: items under any child of the category's parent.
+  std::unordered_map<ConceptId, std::vector<int>> parent_pool;
+  for (size_t cat = 0; cat < categories.size(); ++cat) {
+    ConceptId parent = taxonomy.parent(categories[cat]);
+    auto& pool = parent_pool[parent];
+    pool.insert(pool.end(), category_items[cat].begin(),
+                category_items[cat].end());
+  }
+
+  std::unordered_map<uint64_t, double> planned;  // pair key -> weight
+  auto pair_key = [](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  };
+  for (int i = 0; i < options.num_items; ++i) {
+    for (int attempt = 0; attempt < options.avg_copurchases_per_item;
+         ++attempt) {
+      double roll = rng.NextDouble();
+      int partner = -1;
+      if (roll < options.copurchase_same_cat) {
+        const auto& pool = category_items[item_category[i]];
+        if (pool.size() > 1) partner = pool[rng.NextIndex(pool.size())];
+      } else if (roll <
+                 options.copurchase_same_cat + options.copurchase_sibling_cat) {
+        const auto& pool =
+            parent_pool[taxonomy.parent(categories[item_category[i]])];
+        if (pool.size() > 1) partner = pool[rng.NextIndex(pool.size())];
+      }
+      if (partner < 0) {
+        partner = static_cast<int>(
+            rng.NextIndex(static_cast<size_t>(options.num_items)));
+      }
+      if (partner == i) continue;
+      planned[pair_key(i, partner)] +=
+          1.0 + rng.NextPoisson(options.weight_lambda);
+    }
+  }
+
+  // Deterministic iteration order for the holdout split.
+  std::vector<std::pair<uint64_t, double>> pairs(planned.begin(),
+                                                 planned.end());
+  std::sort(pairs.begin(), pairs.end());
+  // Fisher-Yates with our Rng for a reproducible shuffle.
+  for (size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.NextIndex(i)]);
+  }
+  size_t heldout = static_cast<size_t>(
+      options.heldout_fraction * static_cast<double>(pairs.size()));
+
+  Dataset dataset;
+  dataset.name = "amazon";
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    int a = static_cast<int>(pairs[p].first >> 32);
+    int b = static_cast<int>(pairs[p].first & 0xFFFFFFFFu);
+    NodeId na = concept_node[item_concepts[a]];
+    NodeId nb = concept_node[item_concepts[b]];
+    if (p < heldout) {
+      dataset.heldout_edges.emplace_back(na, nb);
+    } else {
+      SEMSIM_RETURN_NOT_OK(
+          hin.AddUndirectedEdge(na, nb, "co_purchase", pairs[p].second));
+    }
+  }
+
+  SEMSIM_ASSIGN_OR_RETURN(dataset.graph, std::move(hin).Build());
+
+  // ---- Corpus IC: item prevalence 1 each; categories aggregate. ----
+  std::vector<double> counts(num_concepts, 0.0);
+  for (ConceptId c : item_concepts) counts[c] = 1.0;
+  std::vector<double> ic = ComputeCorpusIc(taxonomy, counts, 1e-3);
+  SEMSIM_ASSIGN_OR_RETURN(
+      dataset.context,
+      SemanticContext::FromTaxonomyWithIc(std::move(taxonomy),
+                                          std::move(node_concept),
+                                          std::move(ic), 1e-3));
+  return dataset;
+}
+
+}  // namespace semsim

@@ -1,0 +1,214 @@
+#include "datasets/aminer_gen.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasets/gen_util.h"
+#include "taxonomy/ic.h"
+
+namespace semsim {
+
+Result<Dataset> GenerateAminer(const AminerOptions& options) {
+  if (options.num_authors < 2) {
+    return Status::InvalidArgument("need at least 2 authors");
+  }
+  if (options.num_duplicates >= options.num_authors) {
+    return Status::InvalidArgument("more duplicates than authors");
+  }
+  Rng rng(options.seed);
+
+  // ---- Taxonomy: CS topics, geography, and the Author category. ----
+  TaxonomyBuilder tax;
+  std::vector<ConceptId> topic_leaves;
+  BuildBalancedTree(&tax, "cs", options.field_branching, &topic_leaves);
+  std::vector<ConceptId> country_concepts;
+  BuildBalancedTree(&tax, "geo", options.geo_branching, &country_concepts);
+  ConceptId author_category = tax.AddConcept("Author");
+
+  // One term entity per leaf topic: the term *is* the leaf concept.
+  // Authors get individual leaf concepts under the Author category, so
+  // all author pairs share the same (uninformative) semantic similarity,
+  // exactly as the paper observes for AMiner.
+  int total_authors = options.num_authors + options.num_duplicates;
+  std::vector<ConceptId> author_concepts(total_authors);
+  for (int a = 0; a < total_authors; ++a) {
+    author_concepts[a] =
+        tax.AddConcept("author_" + std::to_string(a), author_category);
+  }
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(tax).Build());
+
+  // ---- HIN nodes: one per concept; label derives from the subtree. ----
+  HinBuilder hin;
+  size_t num_concepts = taxonomy.num_concepts();
+  std::vector<NodeId> concept_node(num_concepts);
+  std::vector<ConceptId> node_concept(num_concepts);
+  std::unordered_map<ConceptId, int> author_index;  // concept -> author id
+  for (int a = 0; a < total_authors; ++a) author_index[author_concepts[a]] = a;
+  std::unordered_map<ConceptId, bool> is_topic_leaf;
+  for (ConceptId c : topic_leaves) is_topic_leaf[c] = true;
+  std::unordered_map<ConceptId, bool> is_country;
+  for (ConceptId c : country_concepts) is_country[c] = true;
+
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    std::string_view label;
+    if (author_index.count(c)) {
+      label = "author";
+    } else if (is_topic_leaf.count(c)) {
+      label = "term";
+    } else if (is_country.count(c)) {
+      label = "country";
+    } else {
+      label = "concept";
+    }
+    NodeId v = hin.AddNode(std::string(taxonomy.name(c)), label);
+    concept_node[c] = v;
+    node_concept[v] = c;
+  }
+
+  // is_a edges mirror the taxonomy (undirected so similarity can flow
+  // through categories, as in Figure 1).
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    if (c == taxonomy.root()) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        concept_node[c], concept_node[taxonomy.parent(c)], "is_a", 1.0));
+  }
+
+  // ---- Entity attachments and collaborations. ----
+  ZipfSampler topic_sampler(topic_leaves.size(), options.topic_zipf);
+  ZipfSampler country_sampler(country_concepts.size(), options.country_zipf);
+
+  // Duplicate bookkeeping: the last num_duplicates author slots clone the
+  // first num_duplicates originals. When adding a structural edge of a
+  // cloned original, it is routed to the clone with probability 1/2.
+  Dataset dataset;
+  dataset.name = "aminer";
+  std::vector<int> clone_of(total_authors, -1);
+  for (int d = 0; d < options.num_duplicates; ++d) {
+    int original = d;  // originals 0..num_duplicates-1 get clones
+    int clone = options.num_authors + d;
+    clone_of[original] = clone;
+    dataset.duplicate_pairs.emplace_back(
+        concept_node[author_concepts[original]],
+        concept_node[author_concepts[clone]]);
+  }
+  auto author_node = [&](int a) { return concept_node[author_concepts[a]]; };
+  auto route = [&](int a) {
+    // Clones have no edges of their own; they receive half of the
+    // original's edges.
+    if (clone_of[a] >= 0 && rng.NextDouble() < 0.5) return clone_of[a];
+    return a;
+  };
+
+  std::vector<int> author_topic(total_authors);
+  std::vector<std::vector<int>> topic_authors(topic_leaves.size());
+  for (int a = 0; a < options.num_authors; ++a) {
+    int topic = static_cast<int>(topic_sampler.Sample(rng));
+    author_topic[a] = topic;
+    topic_authors[topic].push_back(a);
+    if (clone_of[a] >= 0) author_topic[clone_of[a]] = topic;
+  }
+
+  // writes_about: primary topic term (weight = prevalence of the term in
+  // the author's papers), a sibling topic (an author's terms cluster
+  // semantically — their papers cover adjacent subfields), and sometimes
+  // an unrelated topic. When a duplicated author's term edges are split
+  // between the two entries, each entry keeps *semantically close but
+  // distinct* terms — the signal the paper says SemSim exploits and
+  // structure-only measures cannot.
+  std::unordered_map<ConceptId, std::vector<size_t>> topics_by_parent;
+  for (size_t t = 0; t < topic_leaves.size(); ++t) {
+    topics_by_parent[taxonomy.parent(topic_leaves[t])].push_back(t);
+  }
+  for (int a = 0; a < options.num_authors; ++a) {
+    double w = 1.0 + rng.NextPoisson(1.5);
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        author_node(route(a)), concept_node[topic_leaves[author_topic[a]]],
+        "writes_about", w));
+    const auto& siblings =
+        topics_by_parent[taxonomy.parent(topic_leaves[author_topic[a]])];
+    if (siblings.size() > 1) {
+      size_t sibling = siblings[rng.NextIndex(siblings.size())];
+      if (static_cast<int>(sibling) != author_topic[a]) {
+        SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+            author_node(route(a)), concept_node[topic_leaves[sibling]],
+            "writes_about", 1.0));
+      }
+    }
+    if (rng.NextDouble() < 0.3) {
+      int other = static_cast<int>(topic_sampler.Sample(rng));
+      if (other != author_topic[a]) {
+        SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+            author_node(route(a)), concept_node[topic_leaves[other]],
+            "writes_about", 1.0));
+      }
+    }
+  }
+
+  // from_country.
+  for (int a = 0; a < options.num_authors; ++a) {
+    int country = static_cast<int>(country_sampler.Sample(rng));
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        author_node(route(a)), concept_node[country_concepts[country]],
+        "from_country", 1.0));
+    if (clone_of[a] >= 0) {
+      // A duplicate entry keeps its residence information.
+      SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+          author_node(clone_of[a]), concept_node[country_concepts[country]],
+          "from_country", 1.0));
+    }
+  }
+
+  // co_author: biased toward same-topic partners, weighted by the number
+  // of joint papers.
+  for (int a = 0; a < options.num_authors; ++a) {
+    for (int attempt = 0; attempt < options.avg_collabs_per_author;
+         ++attempt) {
+      int partner;
+      if (rng.NextDouble() < options.collab_same_topic_prob &&
+          topic_authors[author_topic[a]].size() > 1) {
+        const auto& pool = topic_authors[author_topic[a]];
+        partner = pool[rng.NextIndex(pool.size())];
+      } else {
+        partner = static_cast<int>(rng.NextIndex(
+            static_cast<size_t>(options.num_authors)));
+      }
+      if (partner == a) continue;
+      double w = 1.0 + rng.NextPoisson(options.collab_weight_lambda);
+      SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+          author_node(route(a)), author_node(route(partner)), "co_author",
+          w));
+    }
+  }
+
+  SEMSIM_ASSIGN_OR_RETURN(Hin graph, std::move(hin).Build());
+
+  // ---- Corpus IC: concept prevalence = entity attachments. ----
+  std::vector<double> counts(num_concepts, 0.0);
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    NodeId v = concept_node[c];
+    if (author_index.count(c)) {
+      counts[c] = 1.0;  // each author entry occurs once
+    } else if (is_topic_leaf.count(c) || is_country.count(c)) {
+      // Prevalence = number of non-taxonomy references to the concept.
+      double refs = 0;
+      LabelId is_a = graph.FindLabel("is_a");
+      for (const Neighbor& nb : graph.InNeighbors(v)) {
+        if (nb.edge_label != is_a) refs += 1.0;
+      }
+      counts[c] = refs;
+    }
+  }
+  std::vector<double> ic = ComputeCorpusIc(taxonomy, counts, 1e-3);
+
+  SEMSIM_ASSIGN_OR_RETURN(
+      dataset.context,
+      SemanticContext::FromTaxonomyWithIc(std::move(taxonomy),
+                                          std::move(node_concept),
+                                          std::move(ic), 1e-3));
+  dataset.graph = std::move(graph);
+  return dataset;
+}
+
+}  // namespace semsim

@@ -1,0 +1,49 @@
+#ifndef SEMSIM_DATASETS_AMINER_GEN_H_
+#define SEMSIM_DATASETS_AMINER_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+
+namespace semsim {
+
+/// Parameters of the synthetic AMiner-like bibliographic HIN (DESIGN.md
+/// §2.1). Defaults produce a graph in the "small version" regime the
+/// paper uses for the exact iterative algorithms.
+struct AminerOptions {
+  /// Number of distinct authors (before duplicate injection).
+  int num_authors = 1000;
+  /// Cloned authors injected as entity-resolution ground truth; each
+  /// original structural edge moves to the clone with probability 1/2.
+  int num_duplicates = 0;
+  /// Branching of the CS-topic taxonomy (root → ... → leaf topics).
+  std::vector<int> field_branching = {4, 4, 5};
+  /// Branching of the geographic taxonomy (root → continents → countries).
+  std::vector<int> geo_branching = {4, 6};
+  /// Probability a collaboration partner shares the author's topic; the
+  /// remainder is uniform (community structure correlated with the
+  /// taxonomy, which is what SemSim exploits).
+  double collab_same_topic_prob = 0.7;
+  /// Expected collaboration attempts per author.
+  int avg_collabs_per_author = 4;
+  /// Collaboration-count weights are 1 + Poisson(lambda).
+  double collab_weight_lambda = 1.0;
+  /// Zipf exponents controlling topic and country prevalence skew.
+  double topic_zipf = 0.8;
+  double country_zipf = 1.1;
+  uint64_t seed = 1;
+};
+
+/// Generates the dataset. The HIN contains author/term/country entity
+/// nodes plus one node per taxonomy category, connected by undirected
+/// co_author (weighted), writes_about (weighted), from_country and is_a
+/// edges; IC reflects corpus prevalence (ComputeCorpusIc), so frequent
+/// countries are uninformative and specific topics informative, matching
+/// Example 1.1.
+Result<Dataset> GenerateAminer(const AminerOptions& options);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_DATASETS_AMINER_GEN_H_

@@ -1,0 +1,41 @@
+#ifndef SEMSIM_DATASETS_DATASET_H_
+#define SEMSIM_DATASETS_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/hin.h"
+#include "taxonomy/semantic_context.h"
+
+namespace semsim {
+
+/// A term pair with its "human" relatedness judgment — the synthetic
+/// stand-in for the WordSim-353 benchmark [8] (see DESIGN.md §2.5).
+struct RelatednessPair {
+  NodeId a;
+  NodeId b;
+  double human_score;  // in [0, 1]
+};
+
+/// A generated benchmark dataset: the HIN, its semantic binding, and the
+/// ground truth for whichever evaluation tasks the dataset supports.
+struct Dataset {
+  std::string name;
+  Hin graph;
+  SemanticContext context;
+
+  /// Link prediction (Amazon): co-purchase edges removed from the graph;
+  /// the task is to rank `second` highly among nodes similar to `first`.
+  std::vector<std::pair<NodeId, NodeId>> heldout_edges;
+
+  /// Entity resolution (AMiner): pairs (original, injected duplicate).
+  std::vector<std::pair<NodeId, NodeId>> duplicate_pairs;
+
+  /// Term relatedness (Wikipedia / WordNet): pairs with human scores.
+  std::vector<RelatednessPair> relatedness;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_DATASETS_DATASET_H_

@@ -1,0 +1,134 @@
+#include "datasets/figure1.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+Result<Dataset> MakeFigure1Dataset() {
+  // ---- Taxonomy (pink nodes of Figure 1) with Table 1 IC values. ----
+  TaxonomyBuilder tax;
+  ConceptId author_cat = tax.AddConcept("Author");
+  ConceptId country = tax.AddConcept("Country");
+  ConceptId asia = tax.AddConcept("Country_in_Asia", country);
+  ConceptId america = tax.AddConcept("Country_in_America", country);
+  ConceptId cs_fields = tax.AddConcept("CS_Fields");
+  ConceptId data_mining = tax.AddConcept("Data_Mining", cs_fields);
+  ConceptId crowdsourcing = tax.AddConcept("Crowdsourcing", cs_fields);
+  ConceptId web_dm = tax.AddConcept("Web_Data_Mining", data_mining);
+  ConceptId crowd_mining = tax.AddConcept("Crowd_Mining", crowdsourcing);
+  ConceptId spatial_cs =
+      tax.AddConcept("Spatial_Crowdsourcing", crowdsourcing);
+  ConceptId india = tax.AddConcept("India", asia);
+  ConceptId china = tax.AddConcept("China", asia);
+  ConceptId usa = tax.AddConcept("USA", america);
+  ConceptId aditi_c = tax.AddConcept("Aditi", author_cat);
+  ConceptId bo_c = tax.AddConcept("Bo", author_cat);
+  ConceptId john_c = tax.AddConcept("John", author_cat);
+  ConceptId paul_c = tax.AddConcept("Paul", author_cat);
+  // Background authors (the figure shows only an excerpt of the network;
+  // edge weights and further nodes are "omitted for conciseness"). Each
+  // works on one of the three fields, which makes the fields popular
+  // hubs: SimRank's uniform neighbor average is diluted by them, while
+  // SemSim re-weights neighbor pairs by semantic similarity and keeps the
+  // informative (Crowdsourcing, Crowdsourcing) meeting dominant.
+  ConceptId wei_c = tax.AddConcept("Wei", author_cat);
+  ConceptId ann_c = tax.AddConcept("Ann", author_cat);
+  ConceptId tom_c = tax.AddConcept("Tom", author_cat);
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(tax).Build());
+
+  // ---- HIN: a node per concept, structural + is_a edges. ----
+  HinBuilder hin;
+  size_t num_concepts = taxonomy.num_concepts();
+  std::vector<NodeId> node_of(num_concepts);
+  std::vector<ConceptId> node_concept(num_concepts);
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    std::string_view label;
+    if (c == aditi_c || c == bo_c || c == john_c || c == paul_c ||
+        c == wei_c || c == ann_c || c == tom_c) {
+      label = "author";
+    } else if (c == india || c == china || c == usa) {
+      label = "country";
+    } else if (c == web_dm || c == crowd_mining || c == spatial_cs) {
+      label = "field";
+    } else {
+      label = "concept";
+    }
+    NodeId v = hin.AddNode(std::string(taxonomy.name(c)), label);
+    node_of[c] = v;
+    node_concept[v] = c;
+  }
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    if (c == taxonomy.root()) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        node_of[c], node_of[taxonomy.parent(c)], "is_a", 1.0));
+  }
+  // Collaborations: each author worked with Paul twice (edge weight 2).
+  for (ConceptId a : {aditi_c, bo_c, john_c}) {
+    SEMSIM_RETURN_NOT_OK(
+        hin.AddUndirectedEdge(node_of[a], node_of[paul_c], "co_author", 2.0));
+  }
+  // Countries of origin.
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(node_of[aditi_c], node_of[india],
+                                             "from_country", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(node_of[bo_c], node_of[china],
+                                             "from_country", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(node_of[john_c], node_of[usa],
+                                             "from_country", 1.0));
+  // Fields of interest.
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+      node_of[aditi_c], node_of[crowd_mining], "interested_in", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(node_of[bo_c], node_of[web_dm],
+                                             "interested_in", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+      node_of[john_c], node_of[spatial_cs], "interested_in", 1.0));
+  // Background authors' interests (see comment above).
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+      node_of[wei_c], node_of[spatial_cs], "interested_in", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+      node_of[ann_c], node_of[crowd_mining], "interested_in", 1.0));
+  SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+      node_of[tom_c], node_of[web_dm], "interested_in", 1.0));
+
+  Dataset dataset;
+  dataset.name = "figure1";
+  SEMSIM_ASSIGN_OR_RETURN(dataset.graph, std::move(hin).Build());
+  SEMSIM_ASSIGN_OR_RETURN(dataset.context,
+                          SemanticContext::FromTaxonomy(
+                              std::move(taxonomy), std::move(node_concept)));
+
+  // Table 1 IC values (authors are taxonomy leaves, IC = 1).
+  struct IcEntry {
+    const char* name;
+    double ic;
+  };
+  for (const IcEntry& e : std::initializer_list<IcEntry>{
+           {"Country", 0.001},
+           {"Author", 0.01},
+           {"Country_in_Asia", 0.015},
+           {"Country_in_America", 0.02},
+           {"Data_Mining", 0.2},
+           {"CS_Fields", 0.3},
+           {"Crowdsourcing", 0.85},
+           {"Web_Data_Mining", 0.7},
+           {"Crowd_Mining", 0.9},
+           {"Spatial_Crowdsourcing", 1.0},
+           {"India", 1.0},
+           {"China", 1.0},
+           {"USA", 1.0},
+           {"Aditi", 1.0},
+           {"Bo", 1.0},
+           {"John", 1.0},
+           {"Paul", 1.0},
+           {"Wei", 1.0},
+           {"Ann", 1.0},
+           {"Tom", 1.0}}) {
+    SEMSIM_RETURN_NOT_OK(dataset.context.SetIc(e.name, e.ic));
+  }
+  return dataset;
+}
+
+}  // namespace semsim

@@ -1,0 +1,186 @@
+#include "datasets/gen_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "core/iterative.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+void BuildBalancedTree(TaxonomyBuilder* builder, const std::string& root_name,
+                       const std::vector<int>& branching,
+                       std::vector<ConceptId>* leaves) {
+  SEMSIM_CHECK(builder != nullptr && leaves != nullptr);
+  ConceptId root = builder->AddConcept(root_name);
+  std::vector<ConceptId> level = {root};
+  for (size_t depth = 0; depth < branching.size(); ++depth) {
+    SEMSIM_CHECK(branching[depth] > 0);
+    std::vector<ConceptId> next;
+    next.reserve(level.size() * static_cast<size_t>(branching[depth]));
+    size_t counter = 0;
+    for (ConceptId parent : level) {
+      for (int b = 0; b < branching[depth]; ++b) {
+        std::string name = root_name + "_" + std::to_string(depth + 1) + "_" +
+                           std::to_string(counter++);
+        next.push_back(builder->AddConcept(std::move(name), parent));
+      }
+    }
+    level = std::move(next);
+  }
+  *leaves = std::move(level);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  SEMSIM_CHECK(n > 0);
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+  }
+  table_.Build(weights);
+}
+
+int ShortestPathHops(const Hin& symmetrized, NodeId u, NodeId v,
+                     int max_hops) {
+  if (u == v) return 0;
+  // Simple BFS with hop bound; graphs here are small.
+  std::unordered_map<NodeId, int> dist;
+  std::queue<NodeId> queue;
+  dist.emplace(u, 0);
+  queue.push(u);
+  while (!queue.empty()) {
+    NodeId cur = queue.front();
+    queue.pop();
+    int d = dist[cur];
+    if (d >= max_hops) continue;
+    for (const Neighbor& nb : symmetrized.OutNeighbors(cur)) {
+      if (dist.find(nb.node) != dist.end()) continue;
+      if (nb.node == v) return d + 1;
+      dist.emplace(nb.node, d + 1);
+      queue.push(nb.node);
+    }
+  }
+  return -1;
+}
+
+double StructuralProximity(const Hin& symmetrized, NodeId u, NodeId v,
+                           int max_hops, double decay) {
+  int hops = ShortestPathHops(symmetrized, u, v, max_hops);
+  return hops < 0 ? 0.0 : std::pow(decay, hops);
+}
+
+double CommonNeighborScore(const Hin& symmetrized, NodeId u, NodeId v) {
+  if (u == v) return 1.0;
+  auto nu = symmetrized.OutNeighbors(u);
+  auto nv = symmetrized.OutNeighbors(v);
+  if (nu.empty() || nv.empty()) return 0.0;
+  double dot = 0, norm_u = 0, norm_v = 0;
+  // Both adjacency runs are sorted by node: merge scan.
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].node == nv[j].node) {
+      dot += nu[i].weight * nv[j].weight;
+      ++i;
+      ++j;
+    } else if (nu[i].node < nv[j].node) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (const Neighbor& nb : nu) norm_u += nb.weight * nb.weight;
+  for (const Neighbor& nb : nv) norm_v += nb.weight * nb.weight;
+  return dot / std::sqrt(norm_u * norm_v);
+}
+
+std::vector<RelatednessPair> SynthesizeRelatedness(
+    const Hin& graph, const SemanticContext& context,
+    const std::vector<NodeId>& candidates, size_t num_pairs,
+    const RelatednessModel& model, Rng& rng) {
+  SEMSIM_CHECK(candidates.size() >= 2);
+  Hin sym = graph.Symmetrized();
+  LinMeasure lin(&context);
+  // Plain-SimRank meeting probabilities as the co-occurrence part of the
+  // association signal (computed on the graph itself, independent of the
+  // taxonomy binding).
+  Result<ScoreMatrix> cooccur_result = ComputeSimRank(graph, 0.6, 5, nullptr);
+  SEMSIM_CHECK(cooccur_result.ok()) << cooccur_result.status().ToString();
+  const ScoreMatrix& cooccur = *cooccur_result;
+
+  // Group candidates by the taxonomy parent of their concept, to sample
+  // same-category pairs directly.
+  std::unordered_map<ConceptId, std::vector<NodeId>> by_parent;
+  const Taxonomy& tax = context.taxonomy();
+  for (NodeId v : candidates) {
+    ConceptId c = context.concept_of(v);
+    if (c != tax.root()) by_parent[tax.parent(c)].push_back(v);
+  }
+  std::vector<const std::vector<NodeId>*> groups;
+  for (const auto& [parent, members] : by_parent) {
+    if (members.size() >= 2) groups.push_back(&members);
+  }
+
+  std::unordered_set<NodeId> candidate_set(candidates.begin(),
+                                           candidates.end());
+  std::vector<RelatednessPair> pairs;
+  pairs.reserve(num_pairs);
+  std::unordered_map<uint64_t, bool> seen;
+  size_t attempts = 0;
+  while (pairs.size() < num_pairs && attempts < num_pairs * 50) {
+    ++attempts;
+    // Stratified sampling so the semantic and structural signals are
+    // decorrelated across the benchmark: same-category pairs share their
+    // Lin score but differ structurally; linked pairs share structure
+    // but differ semantically. Without this, any single-signal measure
+    // explains the benchmark.
+    NodeId a = candidates[rng.NextIndex(candidates.size())];
+    NodeId b = a;
+    uint64_t stratum = rng.NextIndex(100);
+    if (stratum < 15) {  // uniform random pair
+      b = candidates[rng.NextIndex(candidates.size())];
+    } else if (stratum < 30) {  // 2-hop neighborhood pair
+      NodeId cur = a;
+      for (int hop = 0; hop < 2; ++hop) {
+        auto out = sym.OutNeighbors(cur);
+        if (out.empty()) break;
+        cur = out[rng.NextIndex(out.size())].node;
+      }
+      b = cur;
+    } else if (stratum < 75) {
+      // Same-category pair: identical Lin, varying structure. The
+      // largest stratum — within-category differentiation is where
+      // purely semantic measures are blind.
+      if (!groups.empty()) {
+        const auto& group = *groups[rng.NextIndex(groups.size())];
+        a = group[rng.NextIndex(group.size())];
+        b = group[rng.NextIndex(group.size())];
+      }
+    } else {  // directly linked pair (high structure, varying Lin)
+      auto out = sym.OutNeighbors(a);
+      if (!out.empty()) b = out[rng.NextIndex(out.size())].node;
+    }
+    if (a == b || candidate_set.find(b) == candidate_set.end()) continue;
+    uint64_t key = a < b ? (static_cast<uint64_t>(a) << 32) | b
+                         : (static_cast<uint64_t>(b) << 32) | a;
+    if (seen.count(key)) continue;
+    seen.emplace(key, true);
+    double sem = lin.Sim(a, b);
+    double prox = StructuralProximity(sym, a, b, 6);
+    double meet = std::min(1.0, cooccur.at(a, b) / 0.6);
+    double assoc = 0.3 * CommonNeighborScore(sym, a, b) + 0.3 * prox +
+                   0.4 * meet;
+    double score = std::pow(sem, model.sem_exponent) *
+                       (model.struct_floor +
+                        (1.0 - model.struct_floor) * assoc) +
+                   model.noise_sd * rng.NextGaussian();
+    score = std::min(1.0, std::max(0.0, score));
+    pairs.push_back(RelatednessPair{a, b, score});
+  }
+  return pairs;
+}
+
+}  // namespace semsim

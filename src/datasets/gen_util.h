@@ -1,0 +1,86 @@
+#ifndef SEMSIM_DATASETS_GEN_UTIL_H_
+#define SEMSIM_DATASETS_GEN_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "graph/hin.h"
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// A balanced concept tree under `root_name` with the given branching
+/// factor per level; returns the builder (so callers can attach entity
+/// leaves) plus the concept ids of the deepest level in `leaves`.
+/// Concept names are "<root>_<level>_<index>".
+void BuildBalancedTree(TaxonomyBuilder* builder, const std::string& root_name,
+                       const std::vector<int>& branching,
+                       std::vector<ConceptId>* leaves);
+
+/// Zipf-like sampler over [0, n): probability ∝ 1/(rank+1)^s. Models the
+/// skewed prevalence of countries/categories that drives the paper's IC
+/// intuition (frequent concept → low IC → uninformative).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+  size_t Sample(Rng& rng) const { return table_.Sample(rng); }
+
+ private:
+  AliasTable table_;
+};
+
+/// Pairwise structural proximity used when synthesizing "human"
+/// relatedness judgments: decay^dist for the unweighted shortest-path
+/// distance on the symmetrized graph, 0 when unreachable within
+/// `max_hops`. Geometric decay models association by random co-browsing
+/// (the chance of encountering v while exploring from u).
+double StructuralProximity(const Hin& symmetrized, NodeId u, NodeId v,
+                           int max_hops, double decay = 0.55);
+
+/// Unweighted shortest-path hop count, or -1 when unreachable within
+/// `max_hops`.
+int ShortestPathHops(const Hin& symmetrized, NodeId u, NodeId v,
+                     int max_hops);
+
+/// Weighted common-neighbor association: cosine similarity of the two
+/// nodes' weighted adjacency rows on the symmetrized graph. A one-hop
+/// structural signal, 1 for u == v.
+double CommonNeighborScore(const Hin& symmetrized, NodeId u, NodeId v);
+
+/// Parameters of the synthetic human-judgment model (see below).
+struct RelatednessModel {
+  /// Exponent applied to the Lin score (flattens the semantic signal).
+  double sem_exponent = 1.0;
+  /// Baseline share of the product not modulated by structure.
+  double struct_floor = 0.0;
+  /// Gaussian judgment noise.
+  double noise_sd = 0.04;
+};
+
+/// Synthesizes a WordSim-353-style benchmark (DESIGN.md §2.5): samples
+/// `num_pairs` node pairs from `candidates` (half uniformly, half from
+/// 2-hop neighborhoods so scores span the range) and assigns each the
+/// "human" judgment
+///
+///   clamp01( Lin^sem_exponent · (floor + (1-floor)·assoc) + noise )
+///
+/// where assoc blends common-neighbor association, path proximity and a
+/// co-occurrence signal (normalized plain-SimRank meeting probability —
+/// how often the two terms are encountered together when randomly
+/// exploring the network).
+/// The *multiplicative* form captures the accepted picture of human
+/// relatedness — semantic closeness modulated by contextual association;
+/// two terms must be both taxonomically close and structurally associated
+/// to be judged highly related — which is exactly the regime Sec. 5.3
+/// says the task exercises (neither purely structural nor purely semantic
+/// measures suffice).
+std::vector<RelatednessPair> SynthesizeRelatedness(
+    const Hin& graph, const SemanticContext& context,
+    const std::vector<NodeId>& candidates, size_t num_pairs,
+    const RelatednessModel& model, Rng& rng);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_DATASETS_GEN_UTIL_H_

@@ -1,0 +1,121 @@
+#include "datasets/wikipedia_gen.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasets/gen_util.h"
+#include "taxonomy/ic.h"
+
+namespace semsim {
+
+Result<Dataset> GenerateWikipedia(const WikipediaOptions& options) {
+  if (options.num_articles < 2) {
+    return Status::InvalidArgument("need at least 2 articles");
+  }
+  Rng rng(options.seed);
+
+  TaxonomyBuilder tax;
+  std::vector<ConceptId> categories;
+  BuildBalancedTree(&tax, "wcat", options.category_branching, &categories);
+  ZipfSampler cat_sampler(categories.size(), options.category_zipf);
+
+  std::vector<int> article_category(options.num_articles);
+  std::vector<ConceptId> article_concepts(options.num_articles);
+  std::vector<std::vector<int>> category_articles(categories.size());
+  for (int i = 0; i < options.num_articles; ++i) {
+    int cat = static_cast<int>(cat_sampler.Sample(rng));
+    article_category[i] = cat;
+    category_articles[cat].push_back(i);
+    article_concepts[i] =
+        tax.AddConcept("article_" + std::to_string(i), categories[cat]);
+  }
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(tax).Build());
+
+  HinBuilder hin;
+  size_t num_concepts = taxonomy.num_concepts();
+  std::vector<NodeId> concept_node(num_concepts);
+  std::vector<ConceptId> node_concept(num_concepts);
+  std::unordered_set<ConceptId> article_set(article_concepts.begin(),
+                                            article_concepts.end());
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    std::string_view label = article_set.count(c) ? "article" : "category";
+    NodeId v = hin.AddNode(std::string(taxonomy.name(c)), label);
+    concept_node[c] = v;
+    node_concept[v] = c;
+  }
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    if (c == taxonomy.root()) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        concept_node[c], concept_node[taxonomy.parent(c)], "is_a", 1.0));
+  }
+
+  // Sibling pools keyed by category parent.
+  std::unordered_map<ConceptId, std::vector<int>> parent_pool;
+  for (size_t cat = 0; cat < categories.size(); ++cat) {
+    ConceptId parent = taxonomy.parent(categories[cat]);
+    auto& pool = parent_pool[parent];
+    pool.insert(pool.end(), category_articles[cat].begin(),
+                category_articles[cat].end());
+  }
+
+  std::unordered_set<uint64_t> added;
+  auto pair_key = [](int a, int b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  };
+  for (int i = 0; i < options.num_articles; ++i) {
+    for (int attempt = 0; attempt < options.avg_links_per_article;
+         ++attempt) {
+      double roll = rng.NextDouble();
+      int partner = -1;
+      if (roll < options.link_same_cat) {
+        const auto& pool = category_articles[article_category[i]];
+        if (pool.size() > 1) partner = pool[rng.NextIndex(pool.size())];
+      } else if (roll < options.link_same_cat + options.link_sibling_cat) {
+        const auto& pool =
+            parent_pool[taxonomy.parent(categories[article_category[i]])];
+        if (pool.size() > 1) partner = pool[rng.NextIndex(pool.size())];
+      }
+      if (partner < 0) {
+        partner = static_cast<int>(
+            rng.NextIndex(static_cast<size_t>(options.num_articles)));
+      }
+      if (partner == i) continue;
+      if (!added.insert(pair_key(i, partner)).second) continue;
+      SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+          concept_node[article_concepts[i]],
+          concept_node[article_concepts[partner]], "links_to", 1.0));
+    }
+  }
+
+  Dataset dataset;
+  dataset.name = "wikipedia";
+  SEMSIM_ASSIGN_OR_RETURN(dataset.graph, std::move(hin).Build());
+
+  std::vector<double> counts(num_concepts, 0.0);
+  for (ConceptId c : article_concepts) counts[c] = 1.0;
+  std::vector<double> ic = ComputeCorpusIc(taxonomy, counts, 1e-3);
+  SEMSIM_ASSIGN_OR_RETURN(
+      dataset.context,
+      SemanticContext::FromTaxonomyWithIc(std::move(taxonomy),
+                                          std::move(node_concept),
+                                          std::move(ic), 1e-3));
+
+  // Relatedness benchmark over article nodes.
+  std::vector<NodeId> candidates;
+  candidates.reserve(article_concepts.size());
+  for (ConceptId c : article_concepts) candidates.push_back(concept_node[c]);
+  RelatednessModel model;
+  model.sem_exponent = options.relatedness_sem_exponent;
+  model.struct_floor = options.relatedness_struct_floor;
+  model.noise_sd = options.relatedness_noise_sd;
+  dataset.relatedness = SynthesizeRelatedness(
+      dataset.graph, dataset.context, candidates,
+      static_cast<size_t>(options.relatedness_pairs), model, rng);
+  return dataset;
+}
+
+}  // namespace semsim

@@ -1,0 +1,43 @@
+#ifndef SEMSIM_DATASETS_WIKIPEDIA_GEN_H_
+#define SEMSIM_DATASETS_WIKIPEDIA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+
+namespace semsim {
+
+/// Parameters of the synthetic Wikipedia-like article HIN (DESIGN.md
+/// §2.3). The real dataset is 4.7K articles / 101K links; defaults are a
+/// scaled-down version with the same structure.
+struct WikipediaOptions {
+  int num_articles = 800;
+  /// Branching of the category taxonomy (built from Wikipedia categories
+  /// in the paper).
+  std::vector<int> category_branching = {4, 4, 4};
+  /// links_to partner choice: same category, sibling category, else
+  /// uniform.
+  double link_same_cat = 0.45;
+  double link_sibling_cat = 0.25;
+  int avg_links_per_article = 6;
+  /// Number of WordSim-style relatedness pairs to synthesize (the paper
+  /// retains 40 for Wikipedia; more pairs make Pearson r stabler).
+  int relatedness_pairs = 120;
+  /// Human-judgment model (see SynthesizeRelatedness in gen_util.h).
+  double relatedness_sem_exponent = 1.0;
+  double relatedness_struct_floor = 0.0;
+  double relatedness_noise_sd = 0.04;
+  double category_zipf = 0.8;
+  uint64_t seed = 3;
+};
+
+/// Generates the dataset: article nodes under a category taxonomy,
+/// links_to edges biased by category proximity, and synthesized human
+/// relatedness judgments for the Table 5 experiment.
+Result<Dataset> GenerateWikipedia(const WikipediaOptions& options);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_DATASETS_WIKIPEDIA_GEN_H_

@@ -1,0 +1,103 @@
+#include "datasets/wordnet_gen.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "datasets/gen_util.h"
+
+namespace semsim {
+
+Result<Dataset> GenerateWordnet(const WordnetOptions& options) {
+  if (options.num_concepts < 2) {
+    return Status::InvalidArgument("need at least 2 concepts");
+  }
+  Rng rng(options.seed);
+
+  TaxonomyBuilder tax;
+  tax.AddConcept("noun_0");
+  for (int i = 1; i < options.num_concepts; ++i) {
+    ConceptId parent =
+        static_cast<ConceptId>(rng.NextIndex(static_cast<size_t>(i)));
+    tax.AddConcept("noun_" + std::to_string(i), parent);
+  }
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(tax).Build());
+
+  HinBuilder hin;
+  size_t num_concepts = taxonomy.num_concepts();
+  std::vector<NodeId> concept_node(num_concepts);
+  std::vector<ConceptId> node_concept(num_concepts);
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    NodeId v = hin.AddNode(std::string(taxonomy.name(c)), "synset");
+    concept_node[c] = v;
+    node_concept[v] = c;
+  }
+  for (ConceptId c = 0; c < num_concepts; ++c) {
+    if (c == taxonomy.root()) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(
+        concept_node[c], concept_node[taxonomy.parent(c)], "is_a", 1.0));
+  }
+
+  // part_of edges: pick a concept, then a partner reached by a short
+  // up/down wander in the tree (meronyms tend to be taxonomically close),
+  // falling back to uniform.
+  size_t num_part_of = static_cast<size_t>(options.part_of_per_concept *
+                                           static_cast<double>(num_concepts));
+  std::unordered_set<uint64_t> added;
+  auto pair_key = [](ConceptId a, ConceptId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  };
+  size_t made = 0;
+  size_t attempts = 0;
+  while (made < num_part_of && attempts < num_part_of * 20) {
+    ++attempts;
+    ConceptId a = static_cast<ConceptId>(rng.NextIndex(num_concepts));
+    ConceptId b;
+    if (rng.NextDouble() < options.part_of_near_bias) {
+      // Wander: up one or two levels, then down a random branch.
+      ConceptId cur = a;
+      int ups = 1 + static_cast<int>(rng.NextIndex(2));
+      for (int s = 0; s < ups && cur != taxonomy.root(); ++s) {
+        cur = taxonomy.parent(cur);
+      }
+      for (int s = 0; s < ups; ++s) {
+        auto kids = taxonomy.children(cur);
+        if (kids.empty()) break;
+        cur = kids[rng.NextIndex(kids.size())];
+      }
+      b = cur;
+    } else {
+      b = static_cast<ConceptId>(rng.NextIndex(num_concepts));
+    }
+    if (a == b) continue;
+    if (!added.insert(pair_key(a, b)).second) continue;
+    SEMSIM_RETURN_NOT_OK(hin.AddUndirectedEdge(concept_node[a],
+                                               concept_node[b], "part_of",
+                                               1.0));
+    ++made;
+  }
+
+  Dataset dataset;
+  dataset.name = "wordnet";
+  SEMSIM_ASSIGN_OR_RETURN(dataset.graph, std::move(hin).Build());
+  // Intrinsic Seco IC — the standard WordNet setting [33].
+  SEMSIM_ASSIGN_OR_RETURN(
+      dataset.context,
+      SemanticContext::FromTaxonomy(std::move(taxonomy),
+                                    std::move(node_concept), 1e-3));
+
+  std::vector<NodeId> candidates(dataset.graph.num_nodes());
+  for (NodeId v = 0; v < dataset.graph.num_nodes(); ++v) candidates[v] = v;
+  RelatednessModel model;
+  model.sem_exponent = options.relatedness_sem_exponent;
+  model.struct_floor = options.relatedness_struct_floor;
+  model.noise_sd = options.relatedness_noise_sd;
+  dataset.relatedness = SynthesizeRelatedness(
+      dataset.graph, dataset.context, candidates,
+      static_cast<size_t>(options.relatedness_pairs), model, rng);
+  return dataset;
+}
+
+}  // namespace semsim

@@ -1,0 +1,41 @@
+#ifndef SEMSIM_DATASETS_WORDNET_GEN_H_
+#define SEMSIM_DATASETS_WORDNET_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/dataset.h"
+
+namespace semsim {
+
+/// Parameters of the synthetic WordNet-like lexical network (DESIGN.md
+/// §2.4): a deep noun taxonomy plus non-hierarchical part-of relations.
+struct WordnetOptions {
+  /// Number of synset concepts. The hypernym tree is a random recursive
+  /// tree (each new synset attaches to a uniformly random earlier one),
+  /// giving the irregular branching and varying depths of the real
+  /// WordNet noun hierarchy -- sibling sets differ structurally, which a
+  /// balanced tree cannot model.
+  int num_concepts = 500;
+  /// Expected part_of edges per concept. Meronymy mostly *crosses*
+  /// taxonomy branches (car-wheel: vehicle vs. artifact part), so only
+  /// `part_of_near_bias` of the endpoints are taxonomically nearby.
+  double part_of_per_concept = 2.5;
+  double part_of_near_bias = 0.3;
+  int relatedness_pairs = 342;  // the paper retains 342 WordSim pairs
+  /// Human-judgment model (see SynthesizeRelatedness in gen_util.h).
+  double relatedness_sem_exponent = 1.0;
+  double relatedness_struct_floor = 0.0;
+  double relatedness_noise_sd = 0.04;
+  uint64_t seed = 4;
+};
+
+/// Generates the dataset: every node is a synset concept; is_a edges form
+/// the hypernym tree, part_of edges the non-hierarchical relations; IC is
+/// the intrinsic Seco formula (the standard choice on WordNet).
+Result<Dataset> GenerateWordnet(const WordnetOptions& options);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_DATASETS_WORDNET_GEN_H_

@@ -1,0 +1,86 @@
+#include "eval/baseline_suite.h"
+
+#include "common/logging.h"
+#include "core/iterative.h"
+
+namespace semsim {
+
+Result<BaselineSuite> BaselineSuite::Build(
+    const Dataset* dataset, const BaselineSuiteOptions& options) {
+  if (dataset == nullptr) return Status::InvalidArgument("null dataset");
+  BaselineSuite suite;
+  suite.dataset_ = dataset;
+  const Hin& g = dataset->graph;
+
+  suite.lin_ = std::make_unique<LinMeasure>(&dataset->context);
+  SEMSIM_ASSIGN_OR_RETURN(
+      ScoreMatrix simrank_scores,
+      ComputeSimRank(g, options.decay, options.iterations, nullptr));
+  suite.simrank_ = std::make_unique<ScoreMatrix>(std::move(simrank_scores));
+  SEMSIM_ASSIGN_OR_RETURN(
+      ScoreMatrix simrankpp_scores,
+      ComputeSimRankPP(g, options.decay, options.iterations));
+  suite.simrankpp_ =
+      std::make_unique<ScoreMatrix>(std::move(simrankpp_scores));
+  SEMSIM_ASSIGN_OR_RETURN(
+      ScoreMatrix semsim_scores,
+      ComputeSemSim(g, *suite.lin_, options.decay, options.iterations,
+                    nullptr));
+  suite.semsim_ = std::make_unique<ScoreMatrix>(std::move(semsim_scores));
+  suite.panther_ = std::make_unique<Panther>(
+      Panther::Build(g, options.panther));
+  SEMSIM_ASSIGN_OR_RETURN(PathSim pathsim,
+                          PathSim::Build(g, options.pathsim_meta_path));
+  suite.pathsim_ = std::make_unique<PathSim>(std::move(pathsim));
+  suite.relatedness_ = std::make_unique<Relatedness>(
+      Relatedness::Build(g, options.relatedness));
+  if (options.include_line) {
+    suite.line_ = std::make_unique<LineEmbedding>(
+        LineEmbedding::Train(g, options.line));
+  }
+
+  // Raw pointers into the suite are safe: the closures live in the suite.
+  const ScoreMatrix* simrank = suite.simrank_.get();
+  const ScoreMatrix* simrankpp = suite.simrankpp_.get();
+  const ScoreMatrix* semsim = suite.semsim_.get();
+  const Panther* panther = suite.panther_.get();
+  const PathSim* pathsim_p = suite.pathsim_.get();
+  const Relatedness* rel = suite.relatedness_.get();
+  const LineEmbedding* line = suite.line_.get();
+  const LinMeasure* lin = suite.lin_.get();
+
+  auto& m = suite.measures_;
+  m.push_back({"Panther",
+               [panther](NodeId u, NodeId v) { return panther->Score(u, v); }});
+  m.push_back({"PathSim",
+               [pathsim_p](NodeId u, NodeId v) { return pathsim_p->Score(u, v); }});
+  m.push_back({"SimRank",
+               [simrank](NodeId u, NodeId v) { return simrank->at(u, v); }});
+  m.push_back({"SimRank++",
+               [simrankpp](NodeId u, NodeId v) { return simrankpp->at(u, v); }});
+  NamedSimilarity simrank_fn = m[2];
+  NamedSimilarity lin_fn{"Lin",
+                         [lin](NodeId u, NodeId v) { return lin->Sim(u, v); }};
+  m.push_back(AverageCombiner(simrank_fn, lin_fn));
+  m.push_back(MultiplicationCombiner(simrank_fn, lin_fn));
+  m.push_back(lin_fn);
+  if (line != nullptr) {
+    m.push_back({"LINE",
+                 [line](NodeId u, NodeId v) { return line->Score(u, v); }});
+  }
+  m.push_back({"Relatedness",
+               [rel](NodeId u, NodeId v) { return rel->Score(u, v); }});
+  m.push_back({"SemSim",
+               [semsim](NodeId u, NodeId v) { return semsim->at(u, v); }});
+  return suite;
+}
+
+const NamedSimilarity& BaselineSuite::measure(const std::string& name) const {
+  for (const NamedSimilarity& m : measures_) {
+    if (m.name == name) return m;
+  }
+  SEMSIM_CHECK(false) << "no measure named " << name;
+  __builtin_unreachable();
+}
+
+}  // namespace semsim

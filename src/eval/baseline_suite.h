@@ -1,0 +1,78 @@
+#ifndef SEMSIM_EVAL_BASELINE_SUITE_H_
+#define SEMSIM_EVAL_BASELINE_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/line.h"
+#include "baselines/panther.h"
+#include "baselines/pathsim.h"
+#include "baselines/relatedness.h"
+#include "baselines/similarity_fn.h"
+#include "baselines/simrankpp.h"
+#include "common/result.h"
+#include "core/score_matrix.h"
+#include "datasets/dataset.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Construction parameters for the full competitor set of Sec. 5.3.
+struct BaselineSuiteOptions {
+  double decay = 0.6;
+  int iterations = 8;
+  /// Meta-path (edge labels) for PathSim; chosen per dataset a-priori, as
+  /// the measure requires.
+  std::vector<std::string> pathsim_meta_path = {"links_to", "links_to"};
+  PantherOptions panther;
+  LineOptions line;
+  RelatednessOptions relatedness;
+  /// Skip LINE (it dominates build time) when a bench doesn't report it.
+  bool include_line = true;
+};
+
+/// Materializes every similarity measure of the paper's quality
+/// evaluation on one dataset and exposes them through the uniform
+/// NamedSimilarity interface:
+///   I.  structural: SimRank, SimRank++, Panther
+///   II. semantic:   Lin
+///   III. combined:  PathSim, Relatedness, LINE, Multiplication, Average,
+///                   and SemSim itself (exact iterative scores).
+/// The suite owns all underlying state; the NamedSimilarity closures stay
+/// valid for its lifetime.
+class BaselineSuite {
+ public:
+  /// `dataset` must outlive the suite.
+  static Result<BaselineSuite> Build(const Dataset* dataset,
+                                     const BaselineSuiteOptions& options);
+
+  /// All measures, SemSim last (the paper's table order).
+  const std::vector<NamedSimilarity>& measures() const { return measures_; }
+
+  /// Looks a measure up by name (aborts if missing — bench-time error).
+  const NamedSimilarity& measure(const std::string& name) const;
+
+  const ScoreMatrix& semsim_scores() const { return *semsim_; }
+  const ScoreMatrix& simrank_scores() const { return *simrank_; }
+
+ private:
+  BaselineSuite() = default;
+
+  const Dataset* dataset_ = nullptr;
+  std::unique_ptr<LinMeasure> lin_;
+  // Heap-held so the NamedSimilarity closures' captured pointers stay
+  // valid when the suite itself is moved (Result returns by value).
+  std::unique_ptr<ScoreMatrix> simrank_;
+  std::unique_ptr<ScoreMatrix> simrankpp_;
+  std::unique_ptr<ScoreMatrix> semsim_;
+  std::unique_ptr<Panther> panther_;
+  std::unique_ptr<PathSim> pathsim_;
+  std::unique_ptr<Relatedness> relatedness_;
+  std::unique_ptr<LineEmbedding> line_;
+  std::vector<NamedSimilarity> measures_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_EVAL_BASELINE_SUITE_H_

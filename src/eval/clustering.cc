@@ -1,0 +1,122 @@
+#include "eval/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+std::vector<int> AgglomerativeCluster(const NamedSimilarity& measure,
+                                      const std::vector<NodeId>& nodes,
+                                      const ClusteringOptions& options) {
+  size_t n = nodes.size();
+  SEMSIM_CHECK(options.num_clusters >= 1);
+  if (n == 0) return {};
+
+  // Pairwise similarity matrix (symmetrized defensively).
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double s = 0.5 * (measure.score(nodes[i], nodes[j]) +
+                        measure.score(nodes[j], nodes[i]));
+      sim[i][j] = s;
+      sim[j][i] = s;
+    }
+  }
+
+  // Active clusters as member lists; average-link similarity between
+  // clusters recomputed from members (n is small in the harness).
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  auto link = [&](const std::vector<size_t>& a,
+                  const std::vector<size_t>& b) {
+    double total = 0;
+    for (size_t x : a) {
+      for (size_t y : b) total += sim[x][y];
+    }
+    return total / (static_cast<double>(a.size()) *
+                    static_cast<double>(b.size()));
+  };
+
+  while (clusters.size() > options.num_clusters) {
+    double best = -1;
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        double l = link(clusters[i], clusters[j]);
+        if (l > best) {
+          best = l;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best < options.min_similarity) break;
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+
+  std::vector<int> assignment(n, -1);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t member : clusters[c]) {
+      assignment[member] = static_cast<int>(c);
+    }
+  }
+  return assignment;
+}
+
+double ClusterPurity(const std::vector<int>& clusters,
+                     const std::vector<int>& labels) {
+  SEMSIM_CHECK(clusters.size() == labels.size());
+  if (clusters.empty()) return 0.0;
+  std::unordered_map<int, std::unordered_map<int, size_t>> counts;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    ++counts[clusters[i]][labels[i]];
+  }
+  size_t pure = 0;
+  for (const auto& [cluster, by_label] : counts) {
+    size_t best = 0;
+    for (const auto& [label, count] : by_label) best = std::max(best, count);
+    pure += best;
+  }
+  return static_cast<double>(pure) / static_cast<double>(clusters.size());
+}
+
+double AdjustedRandIndex(const std::vector<int>& clusters,
+                         const std::vector<int>& labels) {
+  SEMSIM_CHECK(clusters.size() == labels.size());
+  size_t n = clusters.size();
+  if (n < 2) return 1.0;
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+
+  std::unordered_map<int, std::unordered_map<int, size_t>> table;
+  std::unordered_map<int, size_t> row_sums, col_sums;
+  for (size_t i = 0; i < n; ++i) {
+    ++table[clusters[i]][labels[i]];
+    ++row_sums[clusters[i]];
+    ++col_sums[labels[i]];
+  }
+  double sum_cells = 0;
+  for (const auto& [c, row] : table) {
+    for (const auto& [l, count] : row) {
+      sum_cells += choose2(static_cast<double>(count));
+    }
+  }
+  double sum_rows = 0, sum_cols = 0;
+  for (const auto& [c, count] : row_sums) {
+    sum_rows += choose2(static_cast<double>(count));
+  }
+  for (const auto& [l, count] : col_sums) {
+    sum_cols += choose2(static_cast<double>(count));
+  }
+  double total = choose2(static_cast<double>(n));
+  double expected = sum_rows * sum_cols / total;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+}  // namespace semsim

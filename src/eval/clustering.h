@@ -1,0 +1,45 @@
+#ifndef SEMSIM_EVAL_CLUSTERING_H_
+#define SEMSIM_EVAL_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/similarity_fn.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Options for similarity-based agglomerative clustering.
+struct ClusteringOptions {
+  /// Target number of clusters (merging stops when reached).
+  size_t num_clusters = 8;
+  /// Merging also stops when the best inter-cluster similarity falls
+  /// below this threshold (0 disables).
+  double min_similarity = 0.0;
+};
+
+/// Average-link agglomerative clustering driven by an arbitrary pairwise
+/// similarity — node clustering is one of the applications the paper's
+/// introduction motivates ("a fundamental component in numerous network
+/// analysis algorithms, such as link prediction and clustering").
+/// O(n²) similarity evaluations + O(n³) worst-case merging; intended for
+/// the moderate candidate sets of the evaluation harness.
+/// Returns cluster ids (0-based, dense) per element of `nodes`.
+std::vector<int> AgglomerativeCluster(const NamedSimilarity& measure,
+                                      const std::vector<NodeId>& nodes,
+                                      const ClusteringOptions& options);
+
+/// Cluster purity against reference labels: Σ_c max_label |c ∩ label| / N.
+/// 1.0 = every cluster is label-pure. `labels[i]` is the reference class
+/// of `nodes[i]`'s position i.
+double ClusterPurity(const std::vector<int>& clusters,
+                     const std::vector<int>& labels);
+
+/// Adjusted Rand Index between a clustering and reference labels —
+/// chance-corrected agreement in [-1, 1].
+double AdjustedRandIndex(const std::vector<int>& clusters,
+                         const std::vector<int>& labels);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_EVAL_CLUSTERING_H_

@@ -1,0 +1,78 @@
+#include "eval/tasks.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace semsim {
+
+RelatednessResult EvaluateRelatedness(
+    const std::vector<RelatednessPair>& benchmark,
+    const NamedSimilarity& measure) {
+  std::vector<double> predicted, human;
+  predicted.reserve(benchmark.size());
+  human.reserve(benchmark.size());
+  for (const RelatednessPair& pair : benchmark) {
+    predicted.push_back(measure.score(pair.a, pair.b));
+    human.push_back(pair.human_score);
+  }
+  RelatednessResult result;
+  result.pearson_r = PearsonR(predicted, human);
+  result.p_value = PearsonPValue(result.pearson_r, benchmark.size());
+  return result;
+}
+
+bool TopKContains(const NamedSimilarity& measure, NodeId query, NodeId target,
+                  const std::vector<NodeId>& candidates, size_t k) {
+  double target_score = measure.score(query, target);
+  // b is in the top-k iff fewer than k other candidates strictly beat it
+  // (ties broken in the target's favor by node id, matching CallbackTopK).
+  size_t better = 0;
+  for (NodeId c : candidates) {
+    if (c == query || c == target) continue;
+    double s = measure.score(query, c);
+    if (s > target_score || (s == target_score && c < target)) {
+      ++better;
+      if (better >= k) return false;
+    }
+  }
+  return better < k;
+}
+
+double LinkPredictionHitRate(
+    const NamedSimilarity& measure,
+    const std::vector<std::pair<NodeId, NodeId>>& heldout_edges,
+    const std::vector<NodeId>& candidates, size_t k, size_t max_queries,
+    Rng& rng) {
+  SEMSIM_CHECK(!candidates.empty());
+  if (heldout_edges.empty()) return 0.0;
+  std::vector<std::pair<NodeId, NodeId>> queries = heldout_edges;
+  if (queries.size() > max_queries) {
+    for (size_t i = queries.size(); i > 1; --i) {
+      std::swap(queries[i - 1], queries[rng.NextIndex(i)]);
+    }
+    queries.resize(max_queries);
+  }
+  size_t hits = 0;
+  for (const auto& [a, b] : queries) {
+    if (TopKContains(measure, a, b, candidates, k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries.size());
+}
+
+double EntityResolutionPrecision(
+    const NamedSimilarity& measure,
+    const std::vector<std::pair<NodeId, NodeId>>& duplicate_pairs,
+    const std::vector<NodeId>& candidates, size_t k) {
+  SEMSIM_CHECK(!candidates.empty());
+  if (duplicate_pairs.empty()) return 0.0;
+  size_t hits = 0;
+  for (const auto& [original, duplicate] : duplicate_pairs) {
+    if (TopKContains(measure, original, duplicate, candidates, k)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(duplicate_pairs.size());
+}
+
+}  // namespace semsim

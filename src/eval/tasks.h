@@ -1,0 +1,51 @@
+#ifndef SEMSIM_EVAL_TASKS_H_
+#define SEMSIM_EVAL_TASKS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "baselines/similarity_fn.h"
+#include "common/rng.h"
+#include "datasets/dataset.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// Pearson correlation (and two-sided p-value) between a measure's scores
+/// and the human judgments — the Table 5 protocol ("we compared the
+/// scores obtained by each competitor, using the Pearson correlation").
+struct RelatednessResult {
+  double pearson_r = 0;
+  double p_value = 1;
+};
+RelatednessResult EvaluateRelatedness(
+    const std::vector<RelatednessPair>& benchmark,
+    const NamedSimilarity& measure);
+
+/// Link-prediction protocol of Fig. 5(a): for (up to `max_queries`) held-
+/// out edges (a,b), run a top-k similarity search from a over
+/// `candidates` and count a hit when b appears in the top k. Returns the
+/// hit rate in [0,1]. Queries are subsampled deterministically with `rng`
+/// when there are more held-out edges than max_queries.
+double LinkPredictionHitRate(const NamedSimilarity& measure,
+                             const std::vector<std::pair<NodeId, NodeId>>&
+                                 heldout_edges,
+                             const std::vector<NodeId>& candidates, size_t k,
+                             size_t max_queries, Rng& rng);
+
+/// Entity-resolution protocol of Fig. 5(b): for each (original, duplicate)
+/// pair, search top-k from the original and count a hit when the
+/// duplicate is retrieved ("precision in top k" in the paper's phrasing).
+double EntityResolutionPrecision(
+    const NamedSimilarity& measure,
+    const std::vector<std::pair<NodeId, NodeId>>& duplicate_pairs,
+    const std::vector<NodeId>& candidates, size_t k);
+
+/// Shared top-k-contains-target primitive for the two protocols above.
+bool TopKContains(const NamedSimilarity& measure, NodeId query, NodeId target,
+                  const std::vector<NodeId>& candidates, size_t k);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_EVAL_TASKS_H_

@@ -1,0 +1,92 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace semsim {
+
+namespace {
+
+bool HasWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveHin(const Hin& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << std::setprecision(17);
+  out << "# semsim HIN v1: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " edges\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::string_view name = g.node_name(v);
+    std::string_view label = g.label_name(g.node_label(v));
+    if (HasWhitespace(name) || HasWhitespace(label)) {
+      return Status::InvalidArgument(
+          "node names/labels must not contain whitespace: '" +
+          std::string(name) + "'");
+    }
+    out << "n " << name << " " << label << "\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      std::string_view label = g.label_name(nb.edge_label);
+      if (HasWhitespace(label)) {
+        return Status::InvalidArgument("edge label contains whitespace");
+      }
+      out << "e " << v << " " << nb.node << " " << label << " " << nb.weight
+          << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Hin> LoadHin(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  HinBuilder b;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    if (!(ss >> kind)) {
+      return Status::IOError("blank line " + std::to_string(lineno) + " in " +
+                             path);
+    }
+    if (kind == "n") {
+      std::string name, label;
+      if (!(ss >> name >> label)) {
+        return Status::IOError("malformed node at line " +
+                               std::to_string(lineno));
+      }
+      b.AddNode(std::move(name), label);
+    } else if (kind == "e") {
+      unsigned long src = 0, dst = 0;
+      std::string label;
+      double weight = 0;
+      if (!(ss >> src >> dst >> label >> weight)) {
+        return Status::IOError("malformed edge at line " +
+                               std::to_string(lineno));
+      }
+      SEMSIM_RETURN_NOT_OK(b.AddEdge(static_cast<NodeId>(src),
+                                     static_cast<NodeId>(dst), label, weight));
+    } else {
+      return Status::IOError("unknown directive '" + kind + "' at line " +
+                             std::to_string(lineno));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace semsim

@@ -1,0 +1,25 @@
+#ifndef SEMSIM_GRAPH_GRAPH_IO_H_
+#define SEMSIM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/hin.h"
+
+namespace semsim {
+
+/// Writes `g` as a line-oriented text file:
+///   # comment lines
+///   n <name> <node-label>          (nodes, in id order)
+///   e <src-id> <dst-id> <edge-label> <weight>
+/// Names and labels are whitespace-free tokens (enforced on save).
+Status SaveHin(const Hin& g, const std::string& path);
+
+/// Reads a graph produced by SaveHin. Unknown directives and blank lines
+/// are rejected so that silent truncation cannot pass as success.
+Result<Hin> LoadHin(const std::string& path);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,172 @@
+#include "graph/hin.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+LabelId HinBuilder::InternLabel(std::string_view label) {
+  auto it = label_ids_.find(std::string(label));
+  if (it != label_ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(label_names_.size());
+  label_names_.emplace_back(label);
+  label_ids_.emplace(label_names_.back(), id);
+  return id;
+}
+
+NodeId HinBuilder::AddNode(std::string name, std::string_view label) {
+  SEMSIM_CHECK(name_to_node_.find(name) == name_to_node_.end())
+      << "duplicate node name: " << name;
+  NodeId id = static_cast<NodeId>(node_names_.size());
+  name_to_node_.emplace(name, id);
+  node_names_.push_back(std::move(name));
+  node_labels_.push_back(InternLabel(label));
+  return id;
+}
+
+Status HinBuilder::AddEdge(NodeId src, NodeId dst, std::string_view label,
+                           double weight) {
+  if (src >= node_names_.size() || dst >= node_names_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!(weight > 0)) {
+    return Status::InvalidArgument("edge weight must be > 0 (Def. 2.1)");
+  }
+  edge_src_.push_back(src);
+  edge_dst_.push_back(dst);
+  edge_labels_.push_back(InternLabel(label));
+  edge_weights_.push_back(weight);
+  return Status::OK();
+}
+
+Status HinBuilder::AddUndirectedEdge(NodeId u, NodeId v, std::string_view label,
+                                     double weight) {
+  SEMSIM_RETURN_NOT_OK(AddEdge(u, v, label, weight));
+  return AddEdge(v, u, label, weight);
+}
+
+namespace {
+
+// Builds one CSR side (offsets + neighbor array) keyed by `key[i]`,
+// storing `other[i]` as the adjacent node.
+void BuildCsr(size_t num_nodes, const std::vector<NodeId>& key,
+              const std::vector<NodeId>& other,
+              const std::vector<LabelId>& labels,
+              const std::vector<double>& weights,
+              std::vector<size_t>* offsets, std::vector<Neighbor>* neighbors) {
+  offsets->assign(num_nodes + 1, 0);
+  for (NodeId k : key) ++(*offsets)[k + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) (*offsets)[i] += (*offsets)[i - 1];
+  neighbors->resize(key.size());
+  std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (size_t e = 0; e < key.size(); ++e) {
+    (*neighbors)[cursor[key[e]]++] = Neighbor{other[e], labels[e], weights[e]};
+  }
+  // Deterministic neighbor order: sort each adjacency run by (node, label).
+  for (size_t v = 0; v < num_nodes; ++v) {
+    std::sort(neighbors->begin() + static_cast<long>((*offsets)[v]),
+              neighbors->begin() + static_cast<long>((*offsets)[v + 1]),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.node != b.node ? a.node < b.node
+                                        : a.edge_label < b.edge_label;
+              });
+  }
+}
+
+}  // namespace
+
+Result<Hin> HinBuilder::Build() && {
+  Hin g;
+  g.node_names_ = std::move(node_names_);
+  g.node_labels_ = std::move(node_labels_);
+  g.name_to_node_ = std::move(name_to_node_);
+  g.label_names_ = std::move(label_names_);
+  g.label_ids_ = std::move(label_ids_);
+
+  size_t n = g.node_names_.size();
+  BuildCsr(n, edge_src_, edge_dst_, edge_labels_, edge_weights_,
+           &g.out_offsets_, &g.out_neighbors_);
+  BuildCsr(n, edge_dst_, edge_src_, edge_labels_, edge_weights_,
+           &g.in_offsets_, &g.in_neighbors_);
+
+  g.total_in_weight_.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : g.InNeighbors(v)) {
+      g.total_in_weight_[v] += nb.weight;
+    }
+  }
+  return g;
+}
+
+LabelId Hin::FindLabel(std::string_view name) const {
+  auto it = label_ids_.find(std::string(name));
+  return it == label_ids_.end() ? kInvalidLabel : it->second;
+}
+
+Result<NodeId> Hin::FindNode(std::string_view name) const {
+  auto it = name_to_node_.find(std::string(name));
+  if (it == name_to_node_.end()) {
+    return Status::NotFound("no node named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Hin::EdgeInfo Hin::InEdgeInfo(NodeId v, NodeId from) const {
+  auto in = InNeighbors(v);
+  auto lo = std::lower_bound(
+      in.begin(), in.end(), from,
+      [](const Neighbor& nb, NodeId target) { return nb.node < target; });
+  EdgeInfo info;
+  for (auto it = lo; it != in.end() && it->node == from; ++it) {
+    info.total_weight += it->weight;
+    ++info.multiplicity;
+  }
+  return info;
+}
+
+HinBuilder Hin::ToBuilder() const {
+  HinBuilder b;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    b.AddNode(std::string(node_name(v)), label_name(node_label(v)));
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Neighbor& nb : OutNeighbors(v)) {
+      SEMSIM_CHECK(
+          b.AddEdge(v, nb.node, label_name(nb.edge_label), nb.weight).ok());
+    }
+  }
+  return b;
+}
+
+Hin Hin::Reversed() const {
+  Hin g = *this;
+  std::swap(g.out_offsets_, g.in_offsets_);
+  std::swap(g.out_neighbors_, g.in_neighbors_);
+  g.total_in_weight_.assign(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Neighbor& nb : g.InNeighbors(v)) {
+      g.total_in_weight_[v] += nb.weight;
+    }
+  }
+  return g;
+}
+
+Hin Hin::Symmetrized() const {
+  HinBuilder b;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    b.AddNode(std::string(node_name(v)), label_name(node_label(v)));
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Neighbor& nb : OutNeighbors(v)) {
+      std::string_view lbl = label_name(nb.edge_label);
+      SEMSIM_CHECK(b.AddEdge(v, nb.node, lbl, nb.weight).ok());
+      SEMSIM_CHECK(b.AddEdge(nb.node, v, lbl, nb.weight).ok());
+    }
+  }
+  Result<Hin> r = std::move(b).Build();
+  SEMSIM_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace semsim

@@ -1,0 +1,169 @@
+#ifndef SEMSIM_GRAPH_HIN_H_
+#define SEMSIM_GRAPH_HIN_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace semsim {
+
+/// One adjacency entry: the neighbor node, the label of the connecting edge
+/// and its weight W(e) (Def. 2.1 requires strictly positive weights).
+struct Neighbor {
+  NodeId node;
+  LabelId edge_label;
+  double weight;
+};
+
+class Hin;
+
+/// Incremental constructor for a Hin. Nodes are added first (each with a
+/// display name and a node label); edges may then reference them. Build()
+/// freezes everything into CSR form. The builder is single-use.
+class HinBuilder {
+ public:
+  HinBuilder() = default;
+
+  // Move-only: the staging vectors can be large.
+  HinBuilder(const HinBuilder&) = delete;
+  HinBuilder& operator=(const HinBuilder&) = delete;
+  HinBuilder(HinBuilder&&) = default;
+  HinBuilder& operator=(HinBuilder&&) = default;
+
+  /// Adds a node and returns its dense id. `name` must be unique.
+  NodeId AddNode(std::string name, std::string_view label);
+
+  /// Adds a directed edge src -> dst. Weight must be > 0. Parallel edges
+  /// are allowed (they act as independent relations, as in the paper's
+  /// weighted model).
+  Status AddEdge(NodeId src, NodeId dst, std::string_view label,
+                 double weight = 1.0);
+
+  /// Adds both (u,v) and (v,u) with the same label and weight — the paper's
+  /// collaboration/co-purchase relations are symmetric.
+  Status AddUndirectedEdge(NodeId u, NodeId v, std::string_view label,
+                           double weight = 1.0);
+
+  size_t num_nodes() const { return node_names_.size(); }
+  size_t num_edges() const { return edge_src_.size(); }
+
+  /// Freezes the builder into an immutable Hin. Fails if any edge
+  /// references a missing node.
+  Result<Hin> Build() &&;
+
+ private:
+  friend class Hin;
+
+  LabelId InternLabel(std::string_view label);
+
+  std::vector<std::string> node_names_;
+  std::vector<LabelId> node_labels_;
+  std::unordered_map<std::string, NodeId> name_to_node_;
+
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<LabelId> edge_labels_;
+  std::vector<double> edge_weights_;
+
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+};
+
+/// Immutable Heterogeneous Information Network (Def. 2.1): a directed
+/// weighted graph with vertex and edge labeling functions and a strictly
+/// positive edge-weight function W. Both out- and in-adjacency are stored
+/// in CSR form because SimRank-family measures walk *in*-edges while the
+/// random-surfer formulation walks the reversed graph.
+class Hin {
+ public:
+  Hin() = default;
+
+  size_t num_nodes() const { return node_labels_.size(); }
+  size_t num_edges() const { return out_neighbors_.size(); }
+
+  std::string_view node_name(NodeId v) const { return node_names_[v]; }
+  LabelId node_label(NodeId v) const { return node_labels_[v]; }
+  std::string_view label_name(LabelId l) const { return label_names_[l]; }
+  size_t num_labels() const { return label_names_.size(); }
+
+  /// Looks up a label id by name; kInvalidLabel when absent.
+  LabelId FindLabel(std::string_view name) const;
+  /// Looks up a node by its unique name.
+  Result<NodeId> FindNode(std::string_view name) const;
+
+  std::span<const Neighbor> OutNeighbors(NodeId v) const {
+    return {out_neighbors_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const Neighbor> InNeighbors(NodeId v) const {
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sum of W over in-edges of v; 0 for in-isolated nodes.
+  double TotalInWeight(NodeId v) const { return total_in_weight_[v]; }
+
+  /// Aggregate information about the in-edges of `v` coming from `from`.
+  /// Parallel edges act as independent relations, so the MC estimators
+  /// need both their combined weight and their multiplicity.
+  struct EdgeInfo {
+    double total_weight = 0;
+    uint32_t multiplicity = 0;
+  };
+  /// O(log d) lookup (in-adjacency is sorted by source node).
+  EdgeInfo InEdgeInfo(NodeId v, NodeId from) const;
+
+  /// Average in-degree d of the graph (paper's complexity parameter).
+  double AverageInDegree() const {
+    return num_nodes() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) /
+                     static_cast<double>(num_nodes());
+  }
+
+  /// Copies the graph back into a builder — the supported way to derive
+  /// an updated graph version (Hin itself is immutable): re-add or drop
+  /// edges on the builder, Build(), and hand the new version to e.g.
+  /// DynamicWalkIndex::Update.
+  HinBuilder ToBuilder() const;
+
+  /// Returns a Hin with every edge reversed (names/labels preserved).
+  Hin Reversed() const;
+
+  /// Returns an undirected (symmetrized) copy: for every edge (u,v) both
+  /// directions exist; duplicate opposite edges keep their own weights.
+  /// Used by walk-based baselines such as Panther and by LINE.
+  Hin Symmetrized() const;
+
+ private:
+  friend class HinBuilder;
+
+  std::vector<std::string> node_names_;
+  std::vector<LabelId> node_labels_;
+  std::unordered_map<std::string, NodeId> name_to_node_;
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, LabelId> label_ids_;
+
+  std::vector<size_t> out_offsets_;
+  std::vector<Neighbor> out_neighbors_;
+  std::vector<size_t> in_offsets_;
+  std::vector<Neighbor> in_neighbors_;
+  std::vector<double> total_in_weight_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_GRAPH_HIN_H_

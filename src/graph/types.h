@@ -1,0 +1,40 @@
+#ifndef SEMSIM_GRAPH_TYPES_H_
+#define SEMSIM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace semsim {
+
+/// Dense node identifier within a Hin (0..num_nodes-1).
+using NodeId = uint32_t;
+/// Interned label identifier (node or edge label).
+using LabelId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// An ordered pair of nodes — a vertex of the node-pair graph G².
+struct NodePair {
+  NodeId first;
+  NodeId second;
+
+  bool IsSingleton() const { return first == second; }
+
+  friend bool operator==(const NodePair&, const NodePair&) = default;
+};
+
+/// Hash for NodePair suitable for unordered_map keys.
+struct NodePairHash {
+  size_t operator()(const NodePair& p) const {
+    uint64_t k = (static_cast<uint64_t>(p.first) << 32) | p.second;
+    // SplitMix64 finalizer.
+    k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(k ^ (k >> 31));
+  }
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_GRAPH_TYPES_H_

@@ -1,0 +1,63 @@
+#include "taxonomy/ic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+std::vector<double> ComputeSecoIc(const Taxonomy& taxonomy, double floor) {
+  SEMSIM_CHECK(floor > 0 && floor <= 1);
+  size_t n = taxonomy.num_concepts();
+  std::vector<double> ic(n, 1.0);
+  if (n <= 1) return ic;
+  double log_n = std::log(static_cast<double>(n));
+  for (ConceptId c = 0; c < n; ++c) {
+    double hypo = static_cast<double>(taxonomy.SubtreeSize(c) - 1);
+    double value = 1.0 - std::log(hypo + 1.0) / log_n;
+    ic[c] = std::clamp(value, floor, 1.0);
+  }
+  return ic;
+}
+
+std::vector<double> ComputeCorpusIc(const Taxonomy& taxonomy,
+                                    const std::vector<double>& counts,
+                                    double floor) {
+  SEMSIM_CHECK(counts.size() == taxonomy.num_concepts());
+  SEMSIM_CHECK(floor > 0 && floor <= 1);
+  size_t n = taxonomy.num_concepts();
+  // Accumulate counts bottom-up: order concepts by decreasing depth.
+  std::vector<ConceptId> order(n);
+  for (ConceptId c = 0; c < n; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](ConceptId a, ConceptId b) {
+    return taxonomy.depth(a) > taxonomy.depth(b);
+  });
+  std::vector<double> acc(counts);
+  for (ConceptId c : order) {
+    SEMSIM_CHECK(counts[c] >= 0);
+    if (c != taxonomy.root()) acc[taxonomy.parent(c)] += acc[c];
+  }
+  double total = acc[taxonomy.root()];
+  std::vector<double> ic(n, 1.0);
+  if (total <= 0) return ic;
+  // Normalize -log(P) by the maximal attainable value so IC stays in (0,1].
+  double max_ic = 0;
+  std::vector<double> raw(n, 0.0);
+  for (ConceptId c = 0; c < n; ++c) {
+    raw[c] = acc[c] > 0 ? -std::log(acc[c] / total)
+                        : std::numeric_limits<double>::quiet_NaN();
+    if (acc[c] > 0) max_ic = std::max(max_ic, raw[c]);
+  }
+  for (ConceptId c = 0; c < n; ++c) {
+    if (std::isnan(raw[c]) || max_ic <= 0) {
+      ic[c] = 1.0;
+    } else {
+      ic[c] = std::clamp(raw[c] / max_ic, floor, 1.0);
+    }
+  }
+  return ic;
+}
+
+}  // namespace semsim

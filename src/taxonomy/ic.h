@@ -1,0 +1,33 @@
+#ifndef SEMSIM_TAXONOMY_IC_H_
+#define SEMSIM_TAXONOMY_IC_H_
+
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// Intrinsic Information Content per concept, following Seco et al. [33]
+/// as adapted by the paper (Sec. 2.2) so that all values lie in (0, 1]:
+///
+///   IC(c) = 1 - log(hypo(c) + 1) / log(N)
+///
+/// where hypo(c) is the number of strict descendants of c and N the number
+/// of concepts. Leaves get IC = 1; the root would get 0 and is clamped to
+/// `floor` (the paper normalizes scores into [0+eps, 1]). Linear time in
+/// the taxonomy size.
+std::vector<double> ComputeSecoIc(const Taxonomy& taxonomy,
+                                  double floor = 1e-3);
+
+/// Corpus-frequency IC: IC(c) = -log(P[c]) normalized to (0,1], where P[c]
+/// is proportional to `counts[c]` accumulated up the tree (a concept's
+/// frequency includes its descendants', as in Resnik [32]). Concepts with
+/// zero accumulated count get IC = 1. Provided as an alternative to the
+/// intrinsic formula when instance counts are available.
+std::vector<double> ComputeCorpusIc(const Taxonomy& taxonomy,
+                                    const std::vector<double>& counts,
+                                    double floor = 1e-3);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_IC_H_

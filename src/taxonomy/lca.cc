@@ -1,0 +1,88 @@
+#include "taxonomy/lca.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+LcaIndex::LcaIndex(const Taxonomy& taxonomy) {
+  size_t n = taxonomy.num_concepts();
+  SEMSIM_CHECK(n > 0);
+  euler_nodes_.reserve(2 * n - 1);
+  euler_depths_.reserve(2 * n - 1);
+  first_occurrence_.assign(n, 0);
+
+  // Iterative Euler tour: push (node, child-cursor); every visit (first or
+  // re-entry after a child) appends a tour position.
+  struct Frame {
+    ConceptId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({taxonomy.root(), 0});
+  first_occurrence_[taxonomy.root()] = 0;
+  euler_nodes_.push_back(taxonomy.root());
+  euler_depths_.push_back(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto kids = taxonomy.children(f.node);
+    if (f.next_child < kids.size()) {
+      ConceptId child = kids[f.next_child++];
+      first_occurrence_[child] = euler_nodes_.size();
+      euler_nodes_.push_back(child);
+      euler_depths_.push_back(taxonomy.depth(child));
+      stack.push_back({child, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        euler_nodes_.push_back(stack.back().node);
+        euler_depths_.push_back(taxonomy.depth(stack.back().node));
+      }
+    }
+  }
+  SEMSIM_CHECK(euler_nodes_.size() == 2 * n - 1);
+
+  size_t m = euler_nodes_.size();
+  log2_floor_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) log2_floor_[i] = log2_floor_[i / 2] + 1;
+
+  size_t levels = static_cast<size_t>(log2_floor_[m]) + 1;
+  sparse_.assign(levels, std::vector<uint32_t>(m));
+  for (size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<uint32_t>(i);
+  for (size_t k = 1; k < levels; ++k) {
+    size_t half = size_t{1} << (k - 1);
+    for (size_t i = 0; i + (size_t{1} << k) <= m; ++i) {
+      uint32_t left = sparse_[k - 1][i];
+      uint32_t right = sparse_[k - 1][i + half];
+      sparse_[k][i] = euler_depths_[left] <= euler_depths_[right] ? left : right;
+    }
+  }
+}
+
+size_t LcaIndex::RangeMinPos(size_t l, size_t r) const {
+  SEMSIM_DCHECK(l <= r);
+  size_t k = log2_floor_[r - l + 1];
+  uint32_t a = sparse_[k][l];
+  uint32_t b = sparse_[k][r + 1 - (size_t{1} << k)];
+  return euler_depths_[a] <= euler_depths_[b] ? a : b;
+}
+
+ConceptId LcaIndex::Lca(ConceptId a, ConceptId b) const {
+  size_t pa = first_occurrence_[a];
+  size_t pb = first_occurrence_[b];
+  if (pa > pb) std::swap(pa, pb);
+  return euler_nodes_[RangeMinPos(pa, pb)];
+}
+
+size_t LcaIndex::MemoryBytes() const {
+  size_t bytes = euler_nodes_.size() * sizeof(ConceptId) +
+                 euler_depths_.size() * sizeof(uint32_t) +
+                 first_occurrence_.size() * sizeof(size_t) +
+                 log2_floor_.size();
+  for (const auto& level : sparse_) bytes += level.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace semsim

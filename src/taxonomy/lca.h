@@ -1,0 +1,46 @@
+#ifndef SEMSIM_TAXONOMY_LCA_H_
+#define SEMSIM_TAXONOMY_LCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// Constant-time lowest-common-ancestor queries over a Taxonomy, in the
+/// style of Harel & Tarjan [11] (the paper's choice for making Lin
+/// computable in O(1) per pair). Implementation: Euler tour + sparse-table
+/// range-minimum over tour depths (Bender–Farach-Colton), O(m log m)
+/// preprocessing and O(1) per query.
+class LcaIndex {
+ public:
+  LcaIndex() = default;
+
+  /// Builds the index. The index is self-contained: it copies everything
+  /// it needs out of `taxonomy` during construction.
+  explicit LcaIndex(const Taxonomy& taxonomy);
+
+  /// Lowest common ancestor of a and b.
+  ConceptId Lca(ConceptId a, ConceptId b) const;
+
+  /// Bytes of auxiliary memory held by the index (reported by the
+  /// preprocessing experiment).
+  size_t MemoryBytes() const;
+
+ private:
+  // Index into euler_nodes_ of the minimum-depth tour position in
+  // [l, r] (inclusive).
+  size_t RangeMinPos(size_t l, size_t r) const;
+
+  std::vector<ConceptId> euler_nodes_;   // tour, length 2m-1
+  std::vector<uint32_t> euler_depths_;   // depth at each tour position
+  std::vector<size_t> first_occurrence_; // per concept
+  // sparse_[k][i] = position of min depth in tour window [i, i + 2^k).
+  std::vector<std::vector<uint32_t>> sparse_;
+  std::vector<uint8_t> log2_floor_;      // floor(log2(x)) for x in [1, 2m)
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_LCA_H_

@@ -1,0 +1,81 @@
+#include "taxonomy/semantic_context.h"
+
+#include <string>
+#include <utility>
+
+namespace semsim {
+
+Result<SemanticContext> SemanticContext::FromHin(const Hin& hin,
+                                                 std::string_view is_a_label,
+                                                 double ic_floor) {
+  if (hin.num_nodes() == 0) {
+    return Status::InvalidArgument("empty HIN");
+  }
+  LabelId is_a = hin.FindLabel(is_a_label);
+  if (is_a == kInvalidLabel) {
+    return Status::InvalidArgument("HIN has no edge label '" +
+                                   std::string(is_a_label) + "'");
+  }
+  TaxonomyBuilder builder;
+  for (NodeId v = 0; v < hin.num_nodes(); ++v) {
+    builder.AddConcept(std::string(hin.node_name(v)));
+  }
+  for (NodeId v = 0; v < hin.num_nodes(); ++v) {
+    for (const Neighbor& nb : hin.OutNeighbors(v)) {
+      if (nb.edge_label == is_a) {
+        SEMSIM_RETURN_NOT_OK(builder.SetParent(v, nb.node));
+        break;  // Single-parent taxonomy: first is-a edge wins.
+      }
+    }
+  }
+  SEMSIM_ASSIGN_OR_RETURN(Taxonomy taxonomy, std::move(builder).Build());
+  std::vector<ConceptId> node_concept(hin.num_nodes());
+  for (NodeId v = 0; v < hin.num_nodes(); ++v) node_concept[v] = v;
+  return FromTaxonomy(std::move(taxonomy), std::move(node_concept), ic_floor);
+}
+
+Result<SemanticContext> SemanticContext::FromTaxonomy(
+    Taxonomy taxonomy, std::vector<ConceptId> node_concept, double ic_floor) {
+  std::vector<double> ic = ComputeSecoIc(taxonomy, ic_floor);
+  return FromTaxonomyWithIc(std::move(taxonomy), std::move(node_concept),
+                            std::move(ic), ic_floor);
+}
+
+Result<SemanticContext> SemanticContext::FromTaxonomyWithIc(
+    Taxonomy taxonomy, std::vector<ConceptId> node_concept,
+    std::vector<double> ic, double ic_floor) {
+  if (!(ic_floor > 0 && ic_floor <= 1)) {
+    return Status::InvalidArgument("ic_floor must lie in (0, 1]");
+  }
+  if (ic.size() != taxonomy.num_concepts()) {
+    return Status::InvalidArgument("IC vector size != number of concepts");
+  }
+  for (double value : ic) {
+    if (!(value > 0 && value <= 1)) {
+      return Status::InvalidArgument("IC values must lie in (0, 1]");
+    }
+  }
+  for (ConceptId c : node_concept) {
+    if (c >= taxonomy.num_concepts()) {
+      return Status::InvalidArgument("node mapped to out-of-range concept");
+    }
+  }
+  SemanticContext ctx;
+  ctx.ic_ = std::move(ic);
+  ctx.lca_ = LcaIndex(taxonomy);
+  ctx.taxonomy_ = std::move(taxonomy);
+  ctx.node_concept_ = std::move(node_concept);
+  ctx.ic_floor_ = ic_floor;
+  return ctx;
+}
+
+Status SemanticContext::SetIc(std::string_view concept_name, double value) {
+  if (!(value > 0 && value <= 1)) {
+    return Status::InvalidArgument("IC must lie in (0, 1]");
+  }
+  SEMSIM_ASSIGN_OR_RETURN(ConceptId c, taxonomy_.FindConcept(concept_name));
+  ic_[c] = value;
+  return Status::OK();
+}
+
+}  // namespace semsim

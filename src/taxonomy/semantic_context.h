@@ -1,0 +1,74 @@
+#ifndef SEMSIM_TAXONOMY_SEMANTIC_CONTEXT_H_
+#define SEMSIM_TAXONOMY_SEMANTIC_CONTEXT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "taxonomy/ic.h"
+#include "taxonomy/lca.h"
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// Binds a HIN to a concept taxonomy: the taxonomy itself, a concept for
+/// every graph node, per-concept IC values and a constant-time LCA index.
+/// This is the preprocessing artifact the paper describes in Sec. 5.2
+/// ("we processed the taxonomical subpart of the graphs to facilitate
+/// constant-time Lin computations at run time").
+class SemanticContext {
+ public:
+  SemanticContext() = default;
+
+  /// Derives the taxonomy from the HIN itself, the paper's data model: a
+  /// node's parent concept is its out-neighbor over an edge labeled
+  /// `is_a_label` (the first such neighbor when several exist). Every HIN
+  /// node becomes a concept; parentless nodes hang under a synthetic root.
+  /// IC is computed with the adapted Seco formula.
+  static Result<SemanticContext> FromHin(const Hin& hin,
+                                         std::string_view is_a_label = "is_a",
+                                         double ic_floor = 1e-3);
+
+  /// Builds from an explicit taxonomy and node->concept mapping
+  /// (`node_concept[v]` must be a valid ConceptId for every HIN node v).
+  static Result<SemanticContext> FromTaxonomy(
+      Taxonomy taxonomy, std::vector<ConceptId> node_concept,
+      double ic_floor = 1e-3);
+
+  /// Like FromTaxonomy, but with caller-provided IC values (one per
+  /// concept, each in (0,1]) — used when IC reflects corpus prevalence
+  /// (ComputeCorpusIc) rather than the intrinsic Seco formula.
+  static Result<SemanticContext> FromTaxonomyWithIc(
+      Taxonomy taxonomy, std::vector<ConceptId> node_concept,
+      std::vector<double> ic, double ic_floor = 1e-3);
+
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+  size_t num_nodes() const { return node_concept_.size(); }
+
+  ConceptId concept_of(NodeId v) const { return node_concept_[v]; }
+  double ic(ConceptId c) const { return ic_[c]; }
+  ConceptId Lca(ConceptId a, ConceptId b) const { return lca_.Lca(a, b); }
+  double ic_floor() const { return ic_floor_; }
+
+  /// Overrides the IC of a named concept — used to reproduce the paper's
+  /// worked example with the exact Table 1 values. Value must be in (0,1].
+  Status SetIc(std::string_view concept_name, double value);
+
+  /// Bytes held by the IC table and LCA index (Sec. 5.2 memory report).
+  size_t MemoryBytes() const {
+    return ic_.size() * sizeof(double) +
+           node_concept_.size() * sizeof(ConceptId) + lca_.MemoryBytes();
+  }
+
+ private:
+  Taxonomy taxonomy_;
+  LcaIndex lca_;
+  std::vector<ConceptId> node_concept_;
+  std::vector<double> ic_;
+  double ic_floor_ = 1e-3;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_SEMANTIC_CONTEXT_H_

@@ -1,0 +1,41 @@
+#include "taxonomy/semantic_measure.h"
+
+#include <cmath>
+#include <string>
+
+namespace semsim {
+
+Status ValidateSemanticMeasure(const SemanticMeasure& measure,
+                               size_t num_nodes, Rng& rng, int samples) {
+  if (num_nodes == 0) return Status::InvalidArgument("empty node set");
+  auto describe = [&](NodeId u, NodeId v) {
+    return std::string(measure.name()) + "(" + std::to_string(u) + "," +
+           std::to_string(v) + ")";
+  };
+  for (int i = 0; i < samples; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    double uv = measure.Sim(u, v);
+    double vu = measure.Sim(v, u);
+    if (!(uv > 0.0 && uv <= 1.0) || std::isnan(uv)) {
+      return Status::FailedPrecondition(
+          "constraint (3) violated: " + describe(u, v) + " = " +
+          std::to_string(uv) + " not in (0,1]");
+    }
+    if (uv != vu) {
+      return Status::FailedPrecondition(
+          "constraint (1) violated: " + describe(u, v) + " = " +
+          std::to_string(uv) + " but " + describe(v, u) + " = " +
+          std::to_string(vu));
+    }
+    double uu = measure.Sim(u, u);
+    if (uu != 1.0) {
+      return Status::FailedPrecondition(
+          "constraint (2) violated: " + describe(u, u) + " = " +
+          std::to_string(uu) + " != 1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace semsim

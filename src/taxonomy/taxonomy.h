@@ -1,0 +1,108 @@
+#ifndef SEMSIM_TAXONOMY_TAXONOMY_H_
+#define SEMSIM_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace semsim {
+
+/// Dense identifier of a taxonomy concept.
+using ConceptId = uint32_t;
+inline constexpr ConceptId kInvalidConcept =
+    std::numeric_limits<ConceptId>::max();
+
+class Taxonomy;
+
+/// Builder for a rooted concept taxonomy ("is-a" tree). Concepts may be
+/// added in any order; parents are resolved at Build() time, which also
+/// rejects cycles and multiple roots are attached under an implicit
+/// synthetic root so that every pair of concepts has an LCA.
+class TaxonomyBuilder {
+ public:
+  TaxonomyBuilder() = default;
+  TaxonomyBuilder(const TaxonomyBuilder&) = delete;
+  TaxonomyBuilder& operator=(const TaxonomyBuilder&) = delete;
+  TaxonomyBuilder(TaxonomyBuilder&&) = default;
+  TaxonomyBuilder& operator=(TaxonomyBuilder&&) = default;
+
+  /// Adds a concept; `parent` may be kInvalidConcept for a root.
+  /// Names must be unique.
+  ConceptId AddConcept(std::string name,
+                       ConceptId parent = kInvalidConcept);
+
+  /// Re-parents an existing concept (used when the hierarchy is discovered
+  /// incrementally, e.g. while scanning is-a edges of a HIN).
+  Status SetParent(ConceptId child, ConceptId parent);
+
+  size_t num_concepts() const { return names_.size(); }
+
+  /// Validates (no cycles, in-range parents) and freezes the taxonomy.
+  /// If more than one concept is parentless, a synthetic root named
+  /// "<ROOT>" is created above them.
+  Result<Taxonomy> Build() &&;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ConceptId> parents_;
+  std::unordered_map<std::string, ConceptId> name_to_id_;
+};
+
+/// Immutable rooted tree of concepts. Provides parent/children/depth
+/// accessors and subtree sizes (the hyponym counts needed by the Seco
+/// intrinsic-IC formula).
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  size_t num_concepts() const { return names_.size(); }
+  ConceptId root() const { return root_; }
+
+  std::string_view name(ConceptId c) const { return names_[c]; }
+  /// kInvalidConcept for the root.
+  ConceptId parent(ConceptId c) const { return parents_[c]; }
+  std::span<const ConceptId> children(ConceptId c) const {
+    return {children_flat_.data() + child_offsets_[c],
+            child_offsets_[c + 1] - child_offsets_[c]};
+  }
+  /// Root has depth 0.
+  uint32_t depth(ConceptId c) const { return depths_[c]; }
+  bool IsLeaf(ConceptId c) const {
+    return child_offsets_[c + 1] == child_offsets_[c];
+  }
+  /// Number of concepts in the subtree rooted at c, including c itself.
+  uint32_t SubtreeSize(ConceptId c) const { return subtree_sizes_[c]; }
+
+  Result<ConceptId> FindConcept(std::string_view name) const;
+
+  /// LCA by simple upward walk — O(depth). Prefer LcaIndex for bulk
+  /// queries; this is the reference implementation the index is tested
+  /// against.
+  ConceptId LcaSlow(ConceptId a, ConceptId b) const;
+
+  /// Unweighted tree distance (edges on the a..LCA..b path).
+  uint32_t TreeDistance(ConceptId a, ConceptId b) const;
+
+ private:
+  friend class TaxonomyBuilder;
+
+  std::vector<std::string> names_;
+  std::vector<ConceptId> parents_;
+  std::vector<uint32_t> depths_;
+  std::vector<uint32_t> subtree_sizes_;
+  std::vector<size_t> child_offsets_;
+  std::vector<ConceptId> children_flat_;
+  std::unordered_map<std::string, ConceptId> name_to_id_;
+  ConceptId root_ = kInvalidConcept;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,99 @@
+#include "eval/baseline_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/amazon_gen.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+class BaselineSuiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AmazonOptions gen;
+    gen.num_items = 80;
+    gen.seed = 33;
+    dataset_ = Unwrap(GenerateAmazon(gen));
+  }
+  Dataset dataset_;
+};
+
+TEST_F(BaselineSuiteTest, BuildsAllTenMeasures) {
+  BaselineSuiteOptions opt;
+  opt.pathsim_meta_path = {"co_purchase", "co_purchase"};
+  opt.line.samples = 20000;  // tiny training budget: smoke only
+  BaselineSuite suite = Unwrap(BaselineSuite::Build(&dataset_, opt));
+  std::set<std::string> names;
+  for (const NamedSimilarity& m : suite.measures()) names.insert(m.name);
+  for (const char* expected :
+       {"Panther", "PathSim", "SimRank", "SimRank++", "Average",
+        "Multiplication", "Lin", "LINE", "Relatedness", "SemSim"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  EXPECT_EQ(suite.measures().back().name, "SemSim");  // paper's table order
+}
+
+TEST_F(BaselineSuiteTest, MeasuresProduceSaneScores) {
+  BaselineSuiteOptions opt;
+  opt.pathsim_meta_path = {"co_purchase", "co_purchase"};
+  opt.line.samples = 20000;
+  BaselineSuite suite = Unwrap(BaselineSuite::Build(&dataset_, opt));
+  Rng rng(7);
+  for (const NamedSimilarity& m : suite.measures()) {
+    for (int i = 0; i < 50; ++i) {
+      NodeId u = static_cast<NodeId>(rng.NextIndex(dataset_.graph.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.NextIndex(dataset_.graph.num_nodes()));
+      double s = m.score(u, v);
+      ASSERT_GE(s, 0.0) << m.name;
+      ASSERT_LE(s, 1.0 + 1e-9) << m.name;
+    }
+  }
+}
+
+TEST_F(BaselineSuiteTest, SkippingLineDropsOnlyLine) {
+  BaselineSuiteOptions opt;
+  opt.pathsim_meta_path = {"co_purchase", "co_purchase"};
+  opt.include_line = false;
+  BaselineSuite suite = Unwrap(BaselineSuite::Build(&dataset_, opt));
+  for (const NamedSimilarity& m : suite.measures()) {
+    EXPECT_NE(m.name, "LINE");
+  }
+  EXPECT_EQ(suite.measures().size(), 9u);
+}
+
+TEST_F(BaselineSuiteTest, MeasureLookupByName) {
+  BaselineSuiteOptions opt;
+  opt.pathsim_meta_path = {"co_purchase", "co_purchase"};
+  opt.include_line = false;
+  BaselineSuite suite = Unwrap(BaselineSuite::Build(&dataset_, opt));
+  const NamedSimilarity& semsim = suite.measure("SemSim");
+  EXPECT_EQ(semsim.name, "SemSim");
+  EXPECT_DOUBLE_EQ(semsim.score(0, 0), suite.semsim_scores().at(0, 0));
+}
+
+TEST_F(BaselineSuiteTest, RejectsBadInputs) {
+  BaselineSuiteOptions opt;
+  EXPECT_FALSE(BaselineSuite::Build(nullptr, opt).ok());
+  opt.pathsim_meta_path = {"no_such_label"};
+  EXPECT_FALSE(BaselineSuite::Build(&dataset_, opt).ok());
+}
+
+TEST_F(BaselineSuiteTest, SuiteSurvivesMove) {
+  // The NamedSimilarity closures must stay valid after the suite moves
+  // (Result returns by value) — guards the heap-held-matrix invariant.
+  BaselineSuiteOptions opt;
+  opt.pathsim_meta_path = {"co_purchase", "co_purchase"};
+  opt.include_line = false;
+  BaselineSuite a = Unwrap(BaselineSuite::Build(&dataset_, opt));
+  double before = a.measure("SemSim").score(1, 2);
+  BaselineSuite b = std::move(a);
+  EXPECT_DOUBLE_EQ(b.measure("SemSim").score(1, 2), before);
+}
+
+}  // namespace
+}  // namespace semsim

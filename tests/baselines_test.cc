@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "baselines/line.h"
+#include "baselines/panther.h"
+#include "baselines/pathsim.h"
+#include "baselines/relatedness.h"
+#include "baselines/similarity_fn.h"
+#include "baselines/simrankpp.h"
+#include "core/iterative.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(SimRankPP, EvidenceCountsCommonInNeighbors) {
+  auto w = MakeSmallWorld();
+  // a0 and a1 share in-neighbors {CatA, a2} (via rel+is_a edges) plus each
+  // other... count exactly:
+  size_t common = 0;
+  for (const Neighbor& x : w.graph.InNeighbors(w.a0)) {
+    for (const Neighbor& y : w.graph.InNeighbors(w.a1)) {
+      if (x.node == y.node) {
+        ++common;
+        break;
+      }
+    }
+  }
+  double expected = 1.0 - std::pow(2.0, -static_cast<double>(common));
+  EXPECT_DOUBLE_EQ(SimRankPPEvidence(w.graph, w.a0, w.a1), expected);
+}
+
+TEST(SimRankPP, NoCommonNeighborsGivesZeroEvidence) {
+  HinBuilder b;
+  NodeId s1 = b.AddNode("s1", "t");
+  NodeId s2 = b.AddNode("s2", "t");
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(s1, x, "e", 1).ok());
+  ASSERT_TRUE(b.AddEdge(s2, y, "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  EXPECT_DOUBLE_EQ(SimRankPPEvidence(g, x, y), 0.0);
+  ScoreMatrix s = Unwrap(ComputeSimRankPP(g, 0.6, 5));
+  EXPECT_DOUBLE_EQ(s.at(x, y), 0.0);
+}
+
+TEST(SimRankPP, ScoresAreEvidenceTimesWeightedSimRank) {
+  auto w = MakeSmallWorld();
+  ScoreMatrix spp = Unwrap(ComputeSimRankPP(w.graph, 0.6, 6));
+  IterativeOptions opt;
+  opt.decay = 0.6;
+  opt.max_iterations = 6;
+  opt.use_weights = true;
+  ScoreMatrix weighted = Unwrap(ComputeIterativeScores(w.graph, opt));
+  EXPECT_NEAR(spp.at(w.a0, w.a1),
+              SimRankPPEvidence(w.graph, w.a0, w.a1) * weighted.at(w.a0, w.a1),
+              1e-12);
+  EXPECT_DOUBLE_EQ(spp.at(w.a0, w.a0), 1.0);
+}
+
+TEST(Panther, CooccurrenceScores) {
+  auto w = MakeSmallWorld();
+  PantherOptions opt;
+  opt.num_paths = 5000;
+  opt.path_length = 4;
+  Panther panther = Panther::Build(w.graph, opt);
+  EXPECT_DOUBLE_EQ(panther.Score(w.a0, w.a0), 1.0);
+  // Directly connected, heavily weighted pairs co-occur often.
+  double close = panther.Score(w.a0, w.a1);
+  double far = panther.Score(w.a0, w.b1);
+  EXPECT_GT(close, 0.0);
+  EXPECT_GT(close, far);
+  // Symmetric by construction.
+  EXPECT_DOUBLE_EQ(panther.Score(w.a0, w.a1), panther.Score(w.a1, w.a0));
+  EXPECT_GT(panther.num_cooccurring_pairs(), 0u);
+}
+
+TEST(PathSim, CountsWeightedMetaPaths) {
+  // author -writes-> paper <-writes- author: classic APA meta-path,
+  // modeled here as two hops over "w" edges.
+  HinBuilder b;
+  NodeId a1 = b.AddNode("a1", "author");
+  NodeId a2 = b.AddNode("a2", "author");
+  NodeId p1 = b.AddNode("p1", "paper");
+  NodeId p2 = b.AddNode("p2", "paper");
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p2, "w", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  PathSim ps = Unwrap(PathSim::Build(g, {"w", "w"}));
+  // Path counts: a1⇝a1 via p1 = 1; a2⇝a2 via p1,p2 = 2; a1⇝a2 via p1 = 1.
+  EXPECT_DOUBLE_EQ(ps.PathCount(a1, a1), 1.0);
+  EXPECT_DOUBLE_EQ(ps.PathCount(a2, a2), 2.0);
+  EXPECT_DOUBLE_EQ(ps.PathCount(a1, a2), 1.0);
+  EXPECT_DOUBLE_EQ(ps.Score(a1, a2), 2.0 * 1.0 / (1.0 + 2.0));
+  EXPECT_DOUBLE_EQ(ps.Score(a1, a1), 1.0);
+}
+
+TEST(PathSim, RejectsUnknownLabelAndEmptyPath) {
+  auto w = MakeSmallWorld();
+  EXPECT_FALSE(PathSim::Build(w.graph, {"nope"}).ok());
+  EXPECT_FALSE(PathSim::Build(w.graph, {}).ok());
+}
+
+TEST(PathSim, WeightsMultiplyAlongPath) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId m = b.AddNode("m", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(x, m, "e", 2).ok());
+  ASSERT_TRUE(b.AddEdge(m, y, "e", 3).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  PathSim ps = Unwrap(PathSim::Build(g, {"e", "e"}));
+  EXPECT_DOUBLE_EQ(ps.PathCount(x, y), 6.0);
+}
+
+TEST(Relatedness, CheaperPathsScoreHigher) {
+  auto w = MakeSmallWorld();
+  RelatednessOptions opt;
+  Relatedness rel = Relatedness::Build(w.graph, opt);
+  EXPECT_DOUBLE_EQ(rel.Score(w.a0, w.a0), 1.0);
+  double direct = rel.Score(w.a0, w.a1);   // 1 hop
+  double indirect = rel.Score(w.a0, w.b1); // several hops
+  EXPECT_GT(direct, indirect);
+  EXPECT_GT(indirect, 0.0);
+}
+
+TEST(Relatedness, HierarchyEdgesAreCheaper) {
+  auto w = MakeSmallWorld();
+  RelatednessOptions opt;
+  opt.hierarchy_cost = 1.0;
+  opt.property_cost = 5.0;
+  Relatedness rel = Relatedness::Build(w.graph, opt);
+  // a0 -> CatA is one is_a hop: score 1/(1+1).
+  EXPECT_DOUBLE_EQ(rel.Score(w.a0, w.cat_a), 0.5);
+  // a0 -> a1 via rel edge costs 5, but via CatA (2 is_a hops) costs 2.
+  EXPECT_DOUBLE_EQ(rel.Score(w.a0, w.a1), 1.0 / 3.0);
+}
+
+TEST(Relatedness, UnreachableWithinBudgetScoresZero) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  (void)y;
+  Hin g = Unwrap(std::move(b).Build());
+  RelatednessOptions opt;
+  Relatedness rel = Relatedness::Build(g, opt);
+  EXPECT_DOUBLE_EQ(rel.Score(x, y), 0.0);
+}
+
+TEST(Line, EmbedsCommunitiesCloserThanStrangers) {
+  // Two 6-cliques joined by one bridge edge: embeddings should place
+  // intra-clique pairs closer than cross-clique pairs.
+  HinBuilder b;
+  std::vector<NodeId> left, right;
+  for (int i = 0; i < 6; ++i) left.push_back(b.AddNode("l" + std::to_string(i), "t"));
+  for (int i = 0; i < 6; ++i) right.push_back(b.AddNode("r" + std::to_string(i), "t"));
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      ASSERT_TRUE(b.AddUndirectedEdge(left[i], left[j], "e", 1).ok());
+      ASSERT_TRUE(b.AddUndirectedEdge(right[i], right[j], "e", 1).ok());
+    }
+  }
+  ASSERT_TRUE(b.AddUndirectedEdge(left[0], right[0], "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+
+  LineOptions opt;
+  opt.dimensions = 16;
+  opt.samples = 200000;
+  opt.seed = 5;
+  LineEmbedding emb = LineEmbedding::Train(g, opt);
+  EXPECT_EQ(emb.width(), 32);  // both orders concatenated
+
+  double intra = emb.Score(left[1], left[2]);
+  double cross = emb.Score(left[1], right[2]);
+  EXPECT_GT(intra, cross);
+  EXPECT_DOUBLE_EQ(emb.Score(left[1], left[1]), 1.0);
+  // Scores are in [0,1].
+  EXPECT_GE(cross, 0.0);
+  EXPECT_LE(intra, 1.0);
+}
+
+TEST(Line, OrderOneOnlyHasHalfWidth) {
+  auto w = MakeSmallWorld();
+  LineOptions opt;
+  opt.dimensions = 8;
+  opt.order = 1;
+  opt.samples = 10000;
+  LineEmbedding emb = LineEmbedding::Train(w.graph, opt);
+  EXPECT_EQ(emb.width(), 8);
+}
+
+TEST(Combiners, MultiplicationAndAverage) {
+  NamedSimilarity s1{"s1", [](NodeId, NodeId) { return 0.5; }};
+  NamedSimilarity s2{"s2", [](NodeId, NodeId) { return 0.8; }};
+  NamedSimilarity mult = MultiplicationCombiner(s1, s2);
+  NamedSimilarity avg = AverageCombiner(s1, s2);
+  EXPECT_DOUBLE_EQ(mult.score(0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(avg.score(0, 1), 0.65);
+  EXPECT_EQ(mult.name, "Multiplication");
+  EXPECT_EQ(avg.name, "Average");
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,106 @@
+#include "eval/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/iterative.h"
+#include "datasets/amazon_gen.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+TEST(AgglomerativeCluster, SeparatesTwoObviousBlocks) {
+  // Similarity oracle: nodes 0-2 form one block, 3-5 another.
+  NamedSimilarity oracle{"oracle", [](NodeId a, NodeId b) {
+                           bool same = (a < 3) == (b < 3);
+                           return same ? 0.9 : 0.1;
+                         }};
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5};
+  ClusteringOptions opt;
+  opt.num_clusters = 2;
+  std::vector<int> clusters = AgglomerativeCluster(oracle, nodes, opt);
+  ASSERT_EQ(clusters.size(), 6u);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[1], clusters[2]);
+  EXPECT_EQ(clusters[3], clusters[4]);
+  EXPECT_EQ(clusters[4], clusters[5]);
+  EXPECT_NE(clusters[0], clusters[3]);
+}
+
+TEST(AgglomerativeCluster, MinSimilarityStopsMerging) {
+  NamedSimilarity oracle{"oracle", [](NodeId a, NodeId b) {
+                           bool same = (a < 2) == (b < 2);
+                           return same ? 0.9 : 0.05;
+                         }};
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  ClusteringOptions opt;
+  opt.num_clusters = 1;     // would merge everything...
+  opt.min_similarity = 0.5;  // ...but the threshold stops at 2 blocks
+  std::vector<int> clusters = AgglomerativeCluster(oracle, nodes, opt);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[2], clusters[3]);
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(AgglomerativeCluster, EmptyAndSingleton) {
+  NamedSimilarity oracle{"oracle", [](NodeId, NodeId) { return 1.0; }};
+  ClusteringOptions opt;
+  EXPECT_TRUE(AgglomerativeCluster(oracle, {}, opt).empty());
+  std::vector<int> one = AgglomerativeCluster(oracle, {7}, opt);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0);
+}
+
+TEST(ClusterPurity, PerfectAndMixed) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0);
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 1, 2, 3}, {1, 1, 1, 1}), 1.0);
+}
+
+TEST(AdjustedRandIndex, KnownValues) {
+  // Identical partitions → 1.
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 1, 1}, {3, 3, 7, 7}), 1.0);
+  // Completely split vs completely merged → 0 (chance level).
+  EXPECT_NEAR(AdjustedRandIndex({0, 1, 2, 3}, {1, 1, 1, 1}), 0.0, 1e-12);
+  // Partial agreement strictly between.
+  double ari = AdjustedRandIndex({0, 0, 1, 1, 1}, {0, 0, 0, 1, 1});
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Clustering, SemSimRecoversCategoriesOnGeneratedData) {
+  AmazonOptions gen;
+  gen.num_items = 120;
+  gen.category_branching = {2, 3};  // 6 leaf categories
+  gen.seed = 19;
+  Dataset d = Unwrap(GenerateAmazon(gen));
+  LinMeasure lin(&d.context);
+  ScoreMatrix semsim = Unwrap(ComputeSemSim(d.graph, lin, 0.6, 8, nullptr));
+
+  // Cluster a sample of items; reference label = leaf category.
+  std::vector<NodeId> items;
+  std::vector<int> labels;
+  const Taxonomy& tax = d.context.taxonomy();
+  for (NodeId v = 0; v < d.graph.num_nodes() && items.size() < 60; ++v) {
+    if (d.graph.label_name(d.graph.node_label(v)) == "item") {
+      items.push_back(v);
+      labels.push_back(static_cast<int>(tax.parent(d.context.concept_of(v))));
+    }
+  }
+  NamedSimilarity fn{"SemSim",
+                     [&](NodeId a, NodeId b) { return semsim.at(a, b); }};
+  ClusteringOptions opt;
+  opt.num_clusters = 6;
+  std::vector<int> clusters = AgglomerativeCluster(fn, items, opt);
+  double purity = ClusterPurity(clusters, labels);
+  // Category structure must be substantially recovered (chance ≈ 1/6 for
+  // balanced categories, higher under the Zipf skew; require well above).
+  EXPECT_GT(purity, 0.6);
+  EXPECT_GT(AdjustedRandIndex(clusters, labels), 0.2);
+}
+
+}  // namespace
+}  // namespace semsim

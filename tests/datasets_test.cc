@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "datasets/aminer_gen.h"
+#include "datasets/amazon_gen.h"
+#include "datasets/gen_util.h"
+#include "datasets/wikipedia_gen.h"
+#include "datasets/wordnet_gen.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+void CheckContextConsistency(const Dataset& d) {
+  ASSERT_EQ(d.context.num_nodes(), d.graph.num_nodes());
+  LinMeasure lin(&d.context);
+  Rng rng(7);
+  Status s = ValidateSemanticMeasure(lin, d.graph.num_nodes(), rng, 500);
+  EXPECT_TRUE(s.ok()) << d.name << ": " << s.ToString();
+}
+
+TEST(AminerGen, ProducesConsistentDataset) {
+  AminerOptions opt;
+  opt.num_authors = 200;
+  opt.num_duplicates = 10;
+  opt.seed = 1;
+  Dataset d = Unwrap(GenerateAminer(opt));
+  EXPECT_GT(d.graph.num_nodes(), 200u);
+  EXPECT_GT(d.graph.num_edges(), 400u);
+  EXPECT_EQ(d.duplicate_pairs.size(), 10u);
+  CheckContextConsistency(d);
+  // Duplicate endpoints are distinct author nodes.
+  for (const auto& [orig, dup] : d.duplicate_pairs) {
+    EXPECT_NE(orig, dup);
+    EXPECT_EQ(d.graph.label_name(d.graph.node_label(orig)), "author");
+    EXPECT_EQ(d.graph.label_name(d.graph.node_label(dup)), "author");
+  }
+}
+
+TEST(AminerGen, DeterministicForSeed) {
+  AminerOptions opt;
+  opt.num_authors = 100;
+  opt.seed = 5;
+  Dataset a = Unwrap(GenerateAminer(opt));
+  Dataset b = Unwrap(GenerateAminer(opt));
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    auto na = a.graph.InNeighbors(v);
+    auto nb = b.graph.InNeighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i].node, nb[i].node);
+      ASSERT_DOUBLE_EQ(na[i].weight, nb[i].weight);
+    }
+  }
+}
+
+TEST(AminerGen, AuthorSemanticSimilarityIsUninformative) {
+  // The paper observes all AMiner author pairs share sem = IC(Author).
+  AminerOptions opt;
+  opt.num_authors = 50;
+  Dataset d = Unwrap(GenerateAminer(opt));
+  LinMeasure lin(&d.context);
+  std::vector<NodeId> authors;
+  for (NodeId v = 0; v < d.graph.num_nodes(); ++v) {
+    if (d.graph.label_name(d.graph.node_label(v)) == "author") {
+      authors.push_back(v);
+    }
+  }
+  ASSERT_GE(authors.size(), 3u);
+  double first = lin.Sim(authors[0], authors[1]);
+  for (size_t i = 2; i < std::min<size_t>(authors.size(), 10); ++i) {
+    EXPECT_DOUBLE_EQ(lin.Sim(authors[0], authors[i]), first);
+  }
+}
+
+TEST(AminerGen, ValidatesOptions) {
+  AminerOptions opt;
+  opt.num_authors = 1;
+  EXPECT_FALSE(GenerateAminer(opt).ok());
+  opt.num_authors = 10;
+  opt.num_duplicates = 10;
+  EXPECT_FALSE(GenerateAminer(opt).ok());
+}
+
+TEST(AmazonGen, HoldsOutCopurchaseEdges) {
+  AmazonOptions opt;
+  opt.num_items = 300;
+  opt.heldout_fraction = 0.1;
+  opt.seed = 2;
+  Dataset d = Unwrap(GenerateAmazon(opt));
+  CheckContextConsistency(d);
+  EXPECT_GT(d.heldout_edges.size(), 10u);
+  // Held-out pairs must not be edges in the graph.
+  LabelId cp = d.graph.FindLabel("co_purchase");
+  ASSERT_NE(cp, kInvalidLabel);
+  for (const auto& [a, b] : d.heldout_edges) {
+    for (const Neighbor& nb : d.graph.OutNeighbors(a)) {
+      EXPECT_FALSE(nb.node == b && nb.edge_label == cp);
+    }
+  }
+}
+
+TEST(AmazonGen, SameCategoryItemsAreSemanticallyCloser) {
+  AmazonOptions opt;
+  opt.num_items = 200;
+  Dataset d = Unwrap(GenerateAmazon(opt));
+  LinMeasure lin(&d.context);
+  // Find two items in the same category and one in another.
+  const Taxonomy& tax = d.context.taxonomy();
+  NodeId same_a = kInvalidNode, same_b = kInvalidNode, other = kInvalidNode;
+  for (NodeId u = 0; u < d.graph.num_nodes() && other == kInvalidNode; ++u) {
+    if (d.graph.label_name(d.graph.node_label(u)) != "item") continue;
+    for (NodeId v = u + 1; v < d.graph.num_nodes(); ++v) {
+      if (d.graph.label_name(d.graph.node_label(v)) != "item") continue;
+      ConceptId cu = d.context.concept_of(u);
+      ConceptId cv = d.context.concept_of(v);
+      if (tax.parent(cu) == tax.parent(cv)) {
+        same_a = u;
+        same_b = v;
+      } else if (same_a != kInvalidNode) {
+        other = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(same_a, kInvalidNode);
+  ASSERT_NE(other, kInvalidNode);
+  EXPECT_GT(lin.Sim(same_a, same_b), lin.Sim(same_a, other));
+}
+
+TEST(WikipediaGen, ProducesRelatednessBenchmark) {
+  WikipediaOptions opt;
+  opt.num_articles = 200;
+  opt.relatedness_pairs = 60;
+  Dataset d = Unwrap(GenerateWikipedia(opt));
+  CheckContextConsistency(d);
+  EXPECT_EQ(d.relatedness.size(), 60u);
+  for (const RelatednessPair& p : d.relatedness) {
+    EXPECT_NE(p.a, p.b);
+    EXPECT_GE(p.human_score, 0.0);
+    EXPECT_LE(p.human_score, 1.0);
+  }
+  // Scores should span a nontrivial range.
+  double lo = 1, hi = 0;
+  for (const RelatednessPair& p : d.relatedness) {
+    lo = std::min(lo, p.human_score);
+    hi = std::max(hi, p.human_score);
+  }
+  EXPECT_GT(hi - lo, 0.2);
+}
+
+TEST(WordnetGen, DeepTaxonomyWithPartOf) {
+  WordnetOptions opt;
+  Dataset d = Unwrap(GenerateWordnet(opt));
+  CheckContextConsistency(d);
+  EXPECT_NE(d.graph.FindLabel("part_of"), kInvalidLabel);
+  EXPECT_NE(d.graph.FindLabel("is_a"), kInvalidLabel);
+  EXPECT_EQ(d.relatedness.size(), 342u);
+  // Random recursive tree: expected depth ~ ln(n); branching must be
+  // irregular (some concept has 3+ children).
+  uint32_t max_depth = 0;
+  size_t max_children = 0;
+  const Taxonomy& t = d.context.taxonomy();
+  for (ConceptId c = 0; c < t.num_concepts(); ++c) {
+    max_depth = std::max(max_depth, t.depth(c));
+    max_children = std::max(max_children, t.children(c).size());
+  }
+  EXPECT_GE(max_depth, 4u);
+  EXPECT_LE(max_depth, 30u);
+  EXPECT_GE(max_children, 3u);
+}
+
+TEST(GenUtil, BalancedTreeShape) {
+  TaxonomyBuilder b;
+  std::vector<ConceptId> leaves;
+  BuildBalancedTree(&b, "x", {3, 2}, &leaves);
+  Taxonomy t = Unwrap(std::move(b).Build());
+  EXPECT_EQ(leaves.size(), 6u);
+  EXPECT_EQ(t.num_concepts(), 1u + 3u + 6u);
+  for (ConceptId leaf : leaves) EXPECT_EQ(t.depth(leaf), 2u);
+}
+
+TEST(GenUtil, StructuralProximity) {
+  auto w = testutil::MakeSmallWorld();
+  Hin sym = w.graph.Symmetrized();
+  EXPECT_DOUBLE_EQ(StructuralProximity(sym, w.a0, w.a0, 4), 1.0);
+  // 1 hop: decay^1.
+  EXPECT_DOUBLE_EQ(StructuralProximity(sym, w.a0, w.a1, 4, 0.55), 0.55);
+  EXPECT_GT(StructuralProximity(sym, w.a0, w.b1, 6), 0.0);
+  // Unreachable within 0 hops.
+  EXPECT_DOUBLE_EQ(StructuralProximity(sym, w.a0, w.b1, 0), 0.0);
+}
+
+TEST(GenUtil, ShortestPathHops) {
+  auto w = testutil::MakeSmallWorld();
+  Hin sym = w.graph.Symmetrized();
+  EXPECT_EQ(ShortestPathHops(sym, w.a0, w.a0, 4), 0);
+  EXPECT_EQ(ShortestPathHops(sym, w.a0, w.a1, 4), 1);
+  EXPECT_EQ(ShortestPathHops(sym, w.a0, w.b0, 4), 2);  // via a2
+  EXPECT_EQ(ShortestPathHops(sym, w.a0, w.b1, 1), -1);
+}
+
+TEST(GenUtil, CommonNeighborScore) {
+  auto w = testutil::MakeSmallWorld();
+  Hin sym = w.graph.Symmetrized();
+  EXPECT_DOUBLE_EQ(CommonNeighborScore(sym, w.a0, w.a0), 1.0);
+  // a0 and a1 share neighbors (a2, CatA, each other? no — common
+  // neighbors only): score positive and symmetric.
+  double s = CommonNeighborScore(sym, w.a0, w.a1);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_DOUBLE_EQ(s, CommonNeighborScore(sym, w.a1, w.a0));
+  // b1's only neighbors are b0 and CatB; a0 shares none of them.
+  EXPECT_DOUBLE_EQ(CommonNeighborScore(sym, w.a0, w.b1), 0.0);
+}
+
+TEST(GenUtil, ZipfSamplerSkew) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 1.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+}  // namespace
+}  // namespace semsim

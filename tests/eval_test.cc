@@ -1,0 +1,114 @@
+#include "eval/tasks.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+TEST(EvaluateRelatedness, PerfectMeasureGetsRNearOne) {
+  std::vector<RelatednessPair> bench = {
+      {0, 1, 0.9}, {0, 2, 0.5}, {1, 2, 0.1}, {0, 3, 0.7}, {2, 3, 0.3}};
+  NamedSimilarity oracle{"oracle", [&](NodeId a, NodeId b) {
+                           for (const auto& p : bench) {
+                             if ((p.a == a && p.b == b) ||
+                                 (p.a == b && p.b == a)) {
+                               return p.human_score;
+                             }
+                           }
+                           return 0.0;
+                         }};
+  RelatednessResult r = EvaluateRelatedness(bench, oracle);
+  EXPECT_NEAR(r.pearson_r, 1.0, 1e-9);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(EvaluateRelatedness, AntiCorrelatedMeasure) {
+  std::vector<RelatednessPair> bench = {
+      {0, 1, 0.9}, {0, 2, 0.5}, {1, 2, 0.1}, {0, 3, 0.7}};
+  NamedSimilarity inverse{"inv", [&](NodeId a, NodeId b) {
+                            for (const auto& p : bench) {
+                              if (p.a == a && p.b == b) {
+                                return 1.0 - p.human_score;
+                              }
+                            }
+                            return 0.5;
+                          }};
+  RelatednessResult r = EvaluateRelatedness(bench, inverse);
+  EXPECT_NEAR(r.pearson_r, -1.0, 1e-9);
+}
+
+TEST(TopKContains, ExactRankSemantics) {
+  // Scores from node 0: node 1 -> 0.9, node 2 -> 0.8, node 3 -> 0.7.
+  NamedSimilarity m{"m", [](NodeId, NodeId v) {
+                      return v == 1 ? 0.9 : (v == 2 ? 0.8 : 0.7);
+                    }};
+  std::vector<NodeId> candidates = {1, 2, 3};
+  EXPECT_TRUE(TopKContains(m, 0, 1, candidates, 1));
+  EXPECT_FALSE(TopKContains(m, 0, 2, candidates, 1));
+  EXPECT_TRUE(TopKContains(m, 0, 2, candidates, 2));
+  EXPECT_FALSE(TopKContains(m, 0, 3, candidates, 2));
+  EXPECT_TRUE(TopKContains(m, 0, 3, candidates, 3));
+}
+
+TEST(TopKContains, TiesBrokenByNodeId) {
+  NamedSimilarity m{"m", [](NodeId, NodeId) { return 0.5; }};
+  std::vector<NodeId> candidates = {1, 2, 3};
+  // All tied: node 1 wins the tie-break, node 3 loses it.
+  EXPECT_TRUE(TopKContains(m, 0, 1, candidates, 1));
+  EXPECT_FALSE(TopKContains(m, 0, 3, candidates, 1));
+}
+
+TEST(LinkPrediction, PerfectAndUselessMeasures) {
+  std::vector<std::pair<NodeId, NodeId>> heldout = {{0, 5}, {1, 6}, {2, 7}};
+  std::vector<NodeId> candidates = {3, 4, 5, 6, 7, 8, 9};
+  // A measure that knows the answer.
+  NamedSimilarity oracle{"oracle", [&](NodeId q, NodeId v) {
+                           for (const auto& [a, b] : heldout) {
+                             if (a == q && b == v) return 1.0;
+                           }
+                           return 0.0;
+                         }};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(
+      LinkPredictionHitRate(oracle, heldout, candidates, 1, 100, rng), 1.0);
+  // A constant measure ranks by node id; target 5 is the 3rd candidate.
+  NamedSimilarity constant{"const", [](NodeId, NodeId) { return 0.5; }};
+  EXPECT_DOUBLE_EQ(
+      LinkPredictionHitRate(constant, heldout, candidates, 7, 100, rng), 1.0);
+  EXPECT_LT(LinkPredictionHitRate(constant, heldout, candidates, 1, 100, rng),
+            1.0);
+}
+
+TEST(LinkPrediction, SubsamplesQueries) {
+  std::vector<std::pair<NodeId, NodeId>> heldout;
+  for (NodeId i = 0; i < 50; ++i) heldout.push_back({i, i + 50});
+  std::vector<NodeId> candidates;
+  for (NodeId i = 50; i < 100; ++i) candidates.push_back(i);
+  NamedSimilarity oracle{"oracle", [](NodeId q, NodeId v) {
+                           return v == q + 50 ? 1.0 : 0.0;
+                         }};
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(
+      LinkPredictionHitRate(oracle, heldout, candidates, 1, 10, rng), 1.0);
+}
+
+TEST(EntityResolution, PrecisionAtK) {
+  std::vector<std::pair<NodeId, NodeId>> dups = {{0, 10}, {1, 11}};
+  std::vector<NodeId> candidates = {5, 6, 7, 10, 11};
+  NamedSimilarity half{"half", [](NodeId q, NodeId v) {
+                         // Finds 10 for query 0; misses 11 for query 1.
+                         if (q == 0 && v == 10) return 1.0;
+                         if (q == 1 && v == 5) return 1.0;
+                         return 0.1;
+                       }};
+  EXPECT_DOUBLE_EQ(EntityResolutionPrecision(half, dups, candidates, 1), 0.5);
+  // For query 1, node 11 is tied at 0.1 with {6,7,10} (which win the
+  // id tie-break) and beaten by 5, so it needs k=5 to surface.
+  EXPECT_DOUBLE_EQ(EntityResolutionPrecision(half, dups, candidates, 4), 0.5);
+  EXPECT_DOUBLE_EQ(EntityResolutionPrecision(half, dups, candidates, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace semsim

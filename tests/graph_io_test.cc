@@ -1,0 +1,105 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "semsim_io_" + name;
+  }
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesEverything) {
+  auto w = testutil::MakeSmallWorld();
+  std::string path = Path("roundtrip.hin");
+  ASSERT_TRUE(SaveHin(w.graph, path).ok());
+  Hin loaded = Unwrap(LoadHin(path));
+
+  ASSERT_EQ(loaded.num_nodes(), w.graph.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), w.graph.num_edges());
+  for (NodeId v = 0; v < loaded.num_nodes(); ++v) {
+    EXPECT_EQ(loaded.node_name(v), w.graph.node_name(v));
+    EXPECT_EQ(loaded.label_name(loaded.node_label(v)),
+              w.graph.label_name(w.graph.node_label(v)));
+    auto a = loaded.InNeighbors(v);
+    auto b = w.graph.InNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+      EXPECT_EQ(loaded.label_name(a[i].edge_label),
+                w.graph.label_name(b[i].edge_label));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadHin("/nonexistent/nowhere.hin").ok());
+}
+
+TEST_F(GraphIoTest, LoadRejectsMalformedEdge) {
+  std::string path = Path("badedge.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\nn b t\ne 0 oops\n";
+  }
+  Result<Hin> r = LoadHin(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, LoadRejectsUnknownDirective) {
+  std::string path = Path("baddir.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\nq what\n";
+  }
+  EXPECT_FALSE(LoadHin(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, LoadRejectsEdgeToMissingNode) {
+  std::string path = Path("badref.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\ne 0 7 e 1.0\n";
+  }
+  EXPECT_FALSE(LoadHin(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, SaveRejectsWhitespaceNames) {
+  HinBuilder b;
+  b.AddNode("has space", "t");
+  Hin g = Unwrap(std::move(b).Build());
+  std::string path = Path("ws.hin");
+  EXPECT_FALSE(SaveHin(g, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, CommentsAreSkipped) {
+  std::string path = Path("comments.hin");
+  {
+    std::ofstream out(path);
+    out << "# header\nn a t\n# middle\nn b t\ne 0 1 e 2.5\n";
+  }
+  Hin g = Unwrap(LoadHin(path));
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,95 @@
+#include "baselines/hetesim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mc_semsim.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(HeteSim, MidpointDistributionsOnKnownGraph) {
+  // Two authors writing the same single paper have identical midpoint
+  // distributions: HeteSim = 1. Authors with disjoint papers score 0.
+  HinBuilder b;
+  NodeId a1 = b.AddNode("a1", "author");
+  NodeId a2 = b.AddNode("a2", "author");
+  NodeId a3 = b.AddNode("a3", "author");
+  NodeId p1 = b.AddNode("p1", "paper");
+  NodeId p2 = b.AddNode("p2", "paper");
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a3, p2, "w", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  HeteSim hs = Unwrap(HeteSim::Build(g, {"w", "w"}));
+  EXPECT_DOUBLE_EQ(hs.Score(a1, a2), 1.0);
+  EXPECT_DOUBLE_EQ(hs.Score(a1, a3), 0.0);
+  EXPECT_DOUBLE_EQ(hs.Score(a1, a1), 1.0);
+}
+
+TEST(HeteSim, PartialOverlapScoresBetweenZeroAndOne) {
+  HinBuilder b;
+  NodeId a1 = b.AddNode("a1", "author");
+  NodeId a2 = b.AddNode("a2", "author");
+  NodeId p1 = b.AddNode("p1", "paper");
+  NodeId p2 = b.AddNode("p2", "paper");
+  NodeId p3 = b.AddNode("p3", "paper");
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p2, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p2, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p3, "w", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  HeteSim hs = Unwrap(HeteSim::Build(g, {"w", "w"}));
+  double s = hs.Score(a1, a2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+  // Each distribution is (1/2, 1/2) over two papers with one common:
+  // cosine = 0.25 / (sqrt(0.5)·sqrt(0.5)) = 0.5.
+  EXPECT_NEAR(s, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(hs.Score(a1, a2), hs.Score(a2, a1));
+}
+
+TEST(HeteSim, WeightsShapeTheDistributions) {
+  HinBuilder b;
+  NodeId a1 = b.AddNode("a1", "author");
+  NodeId a2 = b.AddNode("a2", "author");
+  NodeId p1 = b.AddNode("p1", "paper");
+  NodeId p2 = b.AddNode("p2", "paper");
+  // a1 mostly on p1; a2 mostly on p2; both touch both.
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p1, "w", 9).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a1, p2, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p1, "w", 1).ok());
+  ASSERT_TRUE(b.AddUndirectedEdge(a2, p2, "w", 9).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  HeteSim hs = Unwrap(HeteSim::Build(g, {"w", "w"}));
+  double s = hs.Score(a1, a2);
+  // (0.9,0.1)·(0.1,0.9) / (norm²) = 0.18/0.82.
+  EXPECT_NEAR(s, 0.18 / 0.82, 1e-12);
+}
+
+TEST(HeteSim, ValidatesMetaPath) {
+  auto w = MakeSmallWorld();
+  EXPECT_FALSE(HeteSim::Build(w.graph, {}).ok());
+  EXPECT_FALSE(HeteSim::Build(w.graph, {"rel"}).ok());  // odd length
+  EXPECT_FALSE(HeteSim::Build(w.graph, {"rel", "nope"}).ok());
+  EXPECT_TRUE(HeteSim::Build(w.graph, {"rel", "rel"}).ok());
+}
+
+TEST(RequiredWalkParameters, MatchesProposition42) {
+  WalkAccuracy acc = RequiredWalkParameters(0.1, 0.05, 1000, 0.6);
+  // t > log_0.6(0.05) = ln(0.05)/ln(0.6) ≈ 5.86 → at least 7 with margin.
+  EXPECT_GE(acc.walk_length, 6);
+  // n_w >= 14/(3·0.01)·(ln 40 + 2 ln 1000) ≈ 466.7·(3.69 + 13.8) ≈ 8170.
+  EXPECT_GE(acc.num_walks, 8000);
+  EXPECT_LE(acc.num_walks, 9000);
+  // Tighter epsilon needs quadratically more walks and longer walks.
+  WalkAccuracy tight = RequiredWalkParameters(0.05, 0.05, 1000, 0.6);
+  EXPECT_GT(tight.num_walks, 3 * acc.num_walks);
+  EXPECT_GT(tight.walk_length, acc.walk_length);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,131 @@
+#include "graph/hin.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+TEST(HinBuilder, BuildsCsrBothDirections) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t1");
+  NodeId y = b.AddNode("y", "t2");
+  NodeId z = b.AddNode("z", "t1");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(z, y, "f", 3.0).ok());
+  ASSERT_TRUE(b.AddEdge(y, x, "e", 1.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(x), 1u);
+  EXPECT_EQ(g.InDegree(y), 2u);
+  EXPECT_EQ(g.InDegree(x), 1u);
+  EXPECT_EQ(g.OutDegree(y), 1u);
+
+  auto in_y = g.InNeighbors(y);
+  ASSERT_EQ(in_y.size(), 2u);
+  EXPECT_EQ(in_y[0].node, x);  // sorted by source id
+  EXPECT_DOUBLE_EQ(in_y[0].weight, 2.0);
+  EXPECT_EQ(in_y[1].node, z);
+  EXPECT_DOUBLE_EQ(in_y[1].weight, 3.0);
+  EXPECT_DOUBLE_EQ(g.TotalInWeight(y), 5.0);
+}
+
+TEST(HinBuilder, RejectsNonPositiveWeights) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  EXPECT_FALSE(b.AddEdge(x, y, "e", 0.0).ok());
+  EXPECT_FALSE(b.AddEdge(x, y, "e", -1.0).ok());
+}
+
+TEST(HinBuilder, RejectsOutOfRangeEndpoints) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  EXPECT_FALSE(b.AddEdge(x, 5, "e", 1.0).ok());
+  EXPECT_FALSE(b.AddEdge(9, x, "e", 1.0).ok());
+}
+
+TEST(Hin, LabelsAreInterned) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "author");
+  NodeId y = b.AddNode("y", "author");
+  ASSERT_TRUE(b.AddEdge(x, y, "co", 1.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  EXPECT_EQ(g.node_label(x), g.node_label(y));
+  EXPECT_EQ(g.label_name(g.node_label(x)), "author");
+  EXPECT_NE(g.FindLabel("co"), kInvalidLabel);
+  EXPECT_EQ(g.FindLabel("nope"), kInvalidLabel);
+}
+
+TEST(Hin, FindNodeByName) {
+  auto w = testutil::MakeSmallWorld();
+  EXPECT_EQ(Unwrap(w.graph.FindNode("a0")), w.a0);
+  EXPECT_FALSE(w.graph.FindNode("ghost").ok());
+}
+
+TEST(Hin, InEdgeInfoAggregatesParallelEdges) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(x, y, "f", 3.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  Hin::EdgeInfo info = g.InEdgeInfo(y, x);
+  EXPECT_DOUBLE_EQ(info.total_weight, 5.0);
+  EXPECT_EQ(info.multiplicity, 2u);
+  Hin::EdgeInfo none = g.InEdgeInfo(x, x);
+  EXPECT_DOUBLE_EQ(none.total_weight, 0.0);
+  EXPECT_EQ(none.multiplicity, 0u);
+}
+
+TEST(Hin, ReversedSwapsAdjacency) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 2.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  Hin r = g.Reversed();
+  EXPECT_EQ(r.OutDegree(y), 1u);
+  EXPECT_EQ(r.InDegree(x), 1u);
+  EXPECT_EQ(r.OutDegree(x), 0u);
+  EXPECT_DOUBLE_EQ(r.TotalInWeight(x), 2.0);
+}
+
+TEST(Hin, SymmetrizedDoublesDirectedEdges) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 2.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  Hin s = g.Symmetrized();
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_EQ(s.OutDegree(y), 1u);
+  EXPECT_EQ(s.OutNeighbors(y)[0].node, x);
+  EXPECT_DOUBLE_EQ(s.OutNeighbors(y)[0].weight, 2.0);
+}
+
+TEST(Hin, AverageInDegree) {
+  auto w = testutil::MakeSmallWorld();
+  EXPECT_DOUBLE_EQ(
+      w.graph.AverageInDegree(),
+      static_cast<double>(w.graph.num_edges()) / w.graph.num_nodes());
+}
+
+TEST(HinBuilder, UndirectedEdgeAddsBothDirections) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddUndirectedEdge(x, y, "e", 4.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.InDegree(x), 1u);
+  EXPECT_EQ(g.InDegree(y), 1u);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,98 @@
+#include "taxonomy/ic.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+Taxonomy MakeTree() {
+  // root -> {a (3 kids), b (1 kid)}
+  TaxonomyBuilder builder;
+  ConceptId root = builder.AddConcept("root");
+  ConceptId a = builder.AddConcept("a", root);
+  ConceptId b = builder.AddConcept("b", root);
+  builder.AddConcept("a1", a);
+  builder.AddConcept("a2", a);
+  builder.AddConcept("a3", a);
+  builder.AddConcept("b1", b);
+  return Unwrap(std::move(builder).Build());
+}
+
+TEST(SecoIc, LeavesGetOne) {
+  Taxonomy t = MakeTree();
+  std::vector<double> ic = ComputeSecoIc(t);
+  for (ConceptId c = 0; c < t.num_concepts(); ++c) {
+    if (t.IsLeaf(c)) {
+      EXPECT_DOUBLE_EQ(ic[c], 1.0) << t.name(c);
+    }
+  }
+}
+
+TEST(SecoIc, RootClampsToFloor) {
+  Taxonomy t = MakeTree();
+  std::vector<double> ic = ComputeSecoIc(t, 0.01);
+  EXPECT_DOUBLE_EQ(ic[t.root()], 0.01);
+}
+
+TEST(SecoIc, MoreHyponymsMeansLowerIc) {
+  Taxonomy t = MakeTree();
+  std::vector<double> ic = ComputeSecoIc(t);
+  ConceptId a = Unwrap(t.FindConcept("a"));
+  ConceptId b = Unwrap(t.FindConcept("b"));
+  EXPECT_LT(ic[a], ic[b]);  // a has 3 descendants, b has 1
+  EXPECT_LT(ic[t.root()], ic[a]);
+}
+
+TEST(SecoIc, AllValuesInUnitInterval) {
+  Taxonomy t = MakeTree();
+  std::vector<double> ic = ComputeSecoIc(t, 1e-3);
+  for (double v : ic) {
+    EXPECT_GE(v, 1e-3);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SecoIc, SingletonTaxonomy) {
+  TaxonomyBuilder b;
+  b.AddConcept("only");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  std::vector<double> ic = ComputeSecoIc(t);
+  EXPECT_DOUBLE_EQ(ic[0], 1.0);
+}
+
+TEST(CorpusIc, PrevalentConceptsGetLowIc) {
+  Taxonomy t = MakeTree();
+  std::vector<double> counts(t.num_concepts(), 0.0);
+  counts[Unwrap(t.FindConcept("a1"))] = 100;  // very frequent
+  counts[Unwrap(t.FindConcept("a2"))] = 1;
+  counts[Unwrap(t.FindConcept("b1"))] = 1;
+  std::vector<double> ic = ComputeCorpusIc(t, counts);
+  EXPECT_LT(ic[Unwrap(t.FindConcept("a1"))],
+            ic[Unwrap(t.FindConcept("a2"))]);
+  // Parent accumulates children's counts: a is more frequent than b.
+  EXPECT_LT(ic[Unwrap(t.FindConcept("a"))], ic[Unwrap(t.FindConcept("b"))]);
+  // Root has everything → minimal IC (the floor).
+  EXPECT_DOUBLE_EQ(ic[t.root()], 1e-3);
+}
+
+TEST(CorpusIc, ZeroCountConceptsGetMaxIc) {
+  Taxonomy t = MakeTree();
+  std::vector<double> counts(t.num_concepts(), 0.0);
+  counts[Unwrap(t.FindConcept("a1"))] = 5;
+  std::vector<double> ic = ComputeCorpusIc(t, counts);
+  EXPECT_DOUBLE_EQ(ic[Unwrap(t.FindConcept("b1"))], 1.0);
+}
+
+TEST(CorpusIc, AllZeroCountsFallBackToOne) {
+  Taxonomy t = MakeTree();
+  std::vector<double> counts(t.num_concepts(), 0.0);
+  std::vector<double> ic = ComputeCorpusIc(t, counts);
+  for (double v : ic) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+}  // namespace
+}  // namespace semsim

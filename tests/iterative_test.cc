@@ -1,0 +1,186 @@
+#include "core/iterative.h"
+
+#include <gtest/gtest.h>
+
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeJehWidomWorld;
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(SimRankIterative, MatchesJehWidomExample) {
+  // Jeh & Widom report, for c=0.8 on their university example,
+  // sim(ProfA, ProfB) ≈ 0.414, sim(StudentA, StudentB) ≈ 0.331.
+  auto w = MakeJehWidomWorld();
+  ScoreMatrix s = Unwrap(ComputeSimRank(w.graph, 0.8, 50, nullptr));
+  EXPECT_NEAR(s.at(w.prof_a, w.prof_b), 0.414, 0.005);
+  EXPECT_NEAR(s.at(w.student_a, w.student_b), 0.331, 0.005);
+}
+
+TEST(SimRankIterative, SelfSimilarityIsOne) {
+  auto w = MakeSmallWorld();
+  ScoreMatrix s = Unwrap(ComputeSimRank(w.graph, 0.6, 8, nullptr));
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(s.at(v, v), 1.0);
+  }
+}
+
+TEST(SimRankIterative, NodeWithNoInNeighborsScoresZero) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  NodeId z = b.AddNode("z", "t");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 1).ok());
+  ASSERT_TRUE(b.AddEdge(x, z, "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  ScoreMatrix s = Unwrap(ComputeSimRank(g, 0.6, 5, nullptr));
+  // x has no in-neighbors: every pair involving x scores 0.
+  EXPECT_DOUBLE_EQ(s.at(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(x, z), 0.0);
+  // y and z share the single in-neighbor x: first iteration gives c.
+  EXPECT_NEAR(s.at(y, z), 0.6, 1e-12);
+}
+
+TEST(SemSimIterative, Theorem23Properties) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  size_t n = w.graph.num_nodes();
+  ScoreMatrix prev = Unwrap(ComputeSemSim(w.graph, lin, 0.6, 1, nullptr));
+  for (int k = 2; k <= 8; ++k) {
+    ScoreMatrix cur = Unwrap(ComputeSemSim(w.graph, lin, 0.6, k, nullptr));
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_DOUBLE_EQ(cur.at(u, u), 1.0);  // max self-similarity
+      for (NodeId v = 0; v < u; ++v) {
+        // Symmetry.
+        EXPECT_DOUBLE_EQ(cur.at(u, v), cur.at(v, u));
+        // Monotone, in [0,1].
+        EXPECT_GE(cur.at(u, v) + 1e-12, prev.at(u, v));
+        EXPECT_GE(cur.at(u, v), 0.0);
+        EXPECT_LE(cur.at(u, v), 1.0);
+        // Prop 2.4: bounded per-iteration growth.
+        EXPECT_LE(cur.at(u, v) - prev.at(u, v),
+                  lin.Sim(u, v) * std::pow(0.6, k) + 1e-12);
+      }
+    }
+    prev = std::move(cur);
+  }
+}
+
+TEST(SemSimIterative, BoundedBySemantics) {
+  // Prop. 2.5: sim(u,v) <= sem(u,v).
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  ScoreMatrix s = Unwrap(ComputeSemSim(w.graph, lin, 0.6, 12, nullptr));
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      EXPECT_LE(s.at(u, v), lin.Sim(u, v) + 1e-12)
+          << "pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(SemSimIterative, ConstantSemanticsUnweightedEqualsSimRank) {
+  // With sem ≡ 1 and weights ignored, Eq. 1 degenerates to SimRank.
+  auto w = MakeSmallWorld();
+  ConstantMeasure ones;
+  IterativeOptions opt;
+  opt.decay = 0.6;
+  opt.max_iterations = 10;
+  opt.use_weights = false;
+  opt.semantic = &ones;
+  ScoreMatrix sem = Unwrap(ComputeIterativeScores(w.graph, opt, nullptr));
+  ScoreMatrix sr = Unwrap(ComputeSimRank(w.graph, 0.6, 10, nullptr));
+  EXPECT_LT(sem.MaxAbsDifference(sr), 1e-12);
+}
+
+TEST(SemSimIterative, ConvergenceTraceShrinksGeometrically) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  std::vector<IterationDelta> trace;
+  Unwrap(ComputeSemSim(w.graph, lin, 0.6, 8, &trace));
+  ASSERT_EQ(trace.size(), 8u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i].max_abs_diff, trace[i - 1].max_abs_diff + 1e-12);
+  }
+  EXPECT_LT(trace.back().max_abs_diff, 1e-2);
+}
+
+TEST(SemSimIterative, RejectsBadDecay) {
+  auto w = MakeSmallWorld();
+  IterativeOptions opt;
+  opt.decay = 1.0;
+  EXPECT_FALSE(ComputeIterativeScores(w.graph, opt, nullptr).ok());
+  opt.decay = 0.0;
+  EXPECT_FALSE(ComputeIterativeScores(w.graph, opt, nullptr).ok());
+  opt.decay = -0.3;
+  EXPECT_FALSE(ComputeIterativeScores(w.graph, opt, nullptr).ok());
+}
+
+TEST(SemSimIterative, PartialSumsMatchesNaiveSweep) {
+  // The Lizorkin-style factorization must reproduce the naive O(n²·d²)
+  // sweep up to floating-point summation order.
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  for (bool use_weights : {true, false}) {
+    for (const SemanticMeasure* sem :
+         std::initializer_list<const SemanticMeasure*>{&lin, nullptr}) {
+      IterativeOptions opt;
+      opt.decay = 0.6;
+      opt.max_iterations = 7;
+      opt.use_weights = use_weights;
+      opt.semantic = sem;
+      opt.use_partial_sums = false;
+      ScoreMatrix naive = Unwrap(ComputeIterativeScores(w.graph, opt));
+      opt.use_partial_sums = true;
+      ScoreMatrix fast = Unwrap(ComputeIterativeScores(w.graph, opt));
+      EXPECT_LT(fast.MaxAbsDifference(naive), 1e-12)
+          << "weights=" << use_weights << " sem=" << (sem != nullptr);
+    }
+  }
+}
+
+TEST(SemSimIterative, PartialSumsHandlesIsolatedNodes) {
+  HinBuilder b;
+  NodeId iso = b.AddNode("iso", "t");
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(iso, x, "e", 1).ok());
+  ASSERT_TRUE(b.AddEdge(iso, y, "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  IterativeOptions opt;
+  opt.decay = 0.6;
+  opt.max_iterations = 4;
+  opt.use_partial_sums = true;
+  ScoreMatrix s = Unwrap(ComputeIterativeScores(g, opt));
+  EXPECT_DOUBLE_EQ(s.at(iso, x), 0.0);  // iso has no in-neighbors
+  EXPECT_NEAR(s.at(x, y), 0.6, 1e-12);
+}
+
+TEST(DecayUpperBound, PositiveAndAtMostOne) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  double bound = ComputeDecayUpperBound(w.graph, lin);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, 1.0);
+}
+
+TEST(DecayUpperBound, ConstantSemanticsGivesWeightProduct) {
+  // Two nodes, each with a single in-edge of weight 0.5: N = 0.25 is the
+  // minimum over pairs.
+  HinBuilder b;
+  NodeId s = b.AddNode("s", "t");
+  NodeId u = b.AddNode("u", "t");
+  NodeId v = b.AddNode("v", "t");
+  ASSERT_TRUE(b.AddEdge(s, u, "e", 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(s, v, "e", 0.5).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  ConstantMeasure ones;
+  EXPECT_NEAR(ComputeDecayUpperBound(g, ones), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace semsim

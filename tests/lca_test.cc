@@ -1,0 +1,81 @@
+#include "taxonomy/lca.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+Taxonomy RandomTree(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TaxonomyBuilder b;
+  b.AddConcept("c0");
+  for (size_t i = 1; i < n; ++i) {
+    // Parent uniformly among earlier concepts: random recursive tree.
+    ConceptId parent = static_cast<ConceptId>(rng.NextIndex(i));
+    b.AddConcept("c" + std::to_string(i), parent);
+  }
+  return Unwrap(std::move(b).Build());
+}
+
+TEST(LcaIndex, MatchesSlowLcaOnRandomTrees) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Taxonomy t = RandomTree(200, seed);
+    LcaIndex index(t);
+    Rng rng(seed + 100);
+    for (int q = 0; q < 2000; ++q) {
+      ConceptId a = static_cast<ConceptId>(rng.NextIndex(t.num_concepts()));
+      ConceptId b = static_cast<ConceptId>(rng.NextIndex(t.num_concepts()));
+      ASSERT_EQ(index.Lca(a, b), t.LcaSlow(a, b))
+          << "seed=" << seed << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(LcaIndex, SelfAndAncestorQueries) {
+  TaxonomyBuilder b;
+  ConceptId root = b.AddConcept("root");
+  ConceptId mid = b.AddConcept("mid", root);
+  ConceptId leaf = b.AddConcept("leaf", mid);
+  Taxonomy t = Unwrap(std::move(b).Build());
+  LcaIndex index(t);
+  EXPECT_EQ(index.Lca(leaf, leaf), leaf);
+  EXPECT_EQ(index.Lca(leaf, mid), mid);
+  EXPECT_EQ(index.Lca(mid, leaf), mid);
+  EXPECT_EQ(index.Lca(leaf, root), root);
+}
+
+TEST(LcaIndex, SingleNodeTree) {
+  TaxonomyBuilder b;
+  b.AddConcept("only");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  LcaIndex index(t);
+  EXPECT_EQ(index.Lca(0, 0), 0u);
+}
+
+TEST(LcaIndex, ReportsMemory) {
+  Taxonomy t = RandomTree(500, 9);
+  LcaIndex index(t);
+  EXPECT_GT(index.MemoryBytes(), 500u * sizeof(ConceptId));
+}
+
+TEST(LcaIndex, DeepChainTree) {
+  TaxonomyBuilder b;
+  ConceptId prev = b.AddConcept("c0");
+  std::vector<ConceptId> chain = {prev};
+  for (int i = 1; i < 300; ++i) {
+    prev = b.AddConcept("c" + std::to_string(i), prev);
+    chain.push_back(prev);
+  }
+  Taxonomy t = Unwrap(std::move(b).Build());
+  LcaIndex index(t);
+  EXPECT_EQ(index.Lca(chain[299], chain[150]), chain[150]);
+  EXPECT_EQ(index.Lca(chain[10], chain[299]), chain[10]);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/iterative.h"
+#include "core/walk_index.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(ParallelRunner, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ParallelRunner runner(threads);
+    std::vector<std::atomic<int>> hits(100);
+    runner.ParallelFor(0, 100, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelRunner, EmptyRangeIsNoOp) {
+  ParallelRunner runner(4);
+  bool called = false;
+  runner.ParallelFor(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelRunner, MoreThreadsThanWork) {
+  ParallelRunner runner(16);
+  std::vector<std::atomic<int>> hits(3);
+  runner.ParallelFor(0, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, AutoThreadCountIsPositive) {
+  ParallelRunner runner(0);
+  EXPECT_GE(runner.num_threads(), 1);
+}
+
+TEST(ParallelIterative, ResultsBitwiseIdenticalAcrossThreadCounts) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  IterativeOptions opt;
+  opt.decay = 0.6;
+  opt.max_iterations = 6;
+  opt.semantic = &lin;
+  opt.num_threads = 1;
+  ScoreMatrix serial = Unwrap(ComputeIterativeScores(w.graph, opt));
+  for (int threads : {2, 4}) {
+    opt.num_threads = threads;
+    ScoreMatrix parallel = Unwrap(ComputeIterativeScores(w.graph, opt));
+    EXPECT_EQ(parallel.MaxAbsDifference(serial), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelWalkIndex, WalksIdenticalAcrossThreadCounts) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 40;
+  opt.walk_length = 10;
+  opt.seed = 5;
+  opt.num_threads = 1;
+  WalkIndex serial = WalkIndex::Build(w.graph, opt);
+  for (int threads : {2, 4}) {
+    opt.num_threads = threads;
+    WalkIndex parallel = WalkIndex::Build(w.graph, opt);
+    for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+      for (int k = 0; k < opt.num_walks; ++k) {
+        auto a = serial.Walk(v, k);
+        auto b = parallel.Walk(v, k);
+        for (int s = 0; s < opt.walk_length; ++s) {
+          ASSERT_EQ(a[s], b[s]) << "threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semsim

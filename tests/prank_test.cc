@@ -1,0 +1,73 @@
+#include "baselines/prank.h"
+
+#include <gtest/gtest.h>
+
+#include "core/iterative.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeJehWidomWorld;
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(PRank, LambdaOneEqualsSimRank) {
+  auto w = MakeJehWidomWorld();
+  PRankOptions opt;
+  opt.decay = 0.8;
+  opt.lambda = 1.0;
+  opt.iterations = 20;
+  ScoreMatrix prank = Unwrap(ComputePRank(w.graph, opt));
+  ScoreMatrix simrank = Unwrap(ComputeSimRank(w.graph, 0.8, 20, nullptr));
+  EXPECT_LT(prank.MaxAbsDifference(simrank), 1e-12);
+}
+
+TEST(PRank, BasicProperties) {
+  auto w = MakeSmallWorld();
+  PRankOptions opt;
+  ScoreMatrix s = Unwrap(ComputePRank(w.graph, opt));
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(s.at(u, u), 1.0);
+    for (NodeId v = 0; v < u; ++v) {
+      EXPECT_DOUBLE_EQ(s.at(u, v), s.at(v, u));
+      EXPECT_GE(s.at(u, v), 0.0);
+      EXPECT_LE(s.at(u, v), 1.0);
+    }
+  }
+}
+
+TEST(PRank, OutNeighborsContributeWhenInSideIsEmpty) {
+  // x,y have no in-neighbors but share the out-neighbor z: SimRank gives
+  // 0; P-Rank with lambda < 1 must score them > 0.
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");
+  NodeId y = b.AddNode("y", "t");
+  NodeId z = b.AddNode("z", "t");
+  ASSERT_TRUE(b.AddEdge(x, z, "e", 1).ok());
+  ASSERT_TRUE(b.AddEdge(y, z, "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  ScoreMatrix simrank = Unwrap(ComputeSimRank(g, 0.6, 5, nullptr));
+  EXPECT_DOUBLE_EQ(simrank.at(x, y), 0.0);
+  PRankOptions opt;
+  opt.lambda = 0.5;
+  ScoreMatrix prank = Unwrap(ComputePRank(g, opt));
+  // First iteration: (1-λ)·c·s(z,z) = 0.5·0.6 = 0.3.
+  EXPECT_NEAR(prank.at(x, y), 0.3, 1e-12);
+}
+
+TEST(PRank, ValidatesOptions) {
+  auto w = MakeSmallWorld();
+  PRankOptions opt;
+  opt.decay = 1.0;
+  EXPECT_FALSE(ComputePRank(w.graph, opt).ok());
+  opt.decay = 0.6;
+  opt.lambda = 1.5;
+  EXPECT_FALSE(ComputePRank(w.graph, opt).ok());
+  opt.lambda = 0.5;
+  opt.iterations = -1;
+  EXPECT_FALSE(ComputePRank(w.graph, opt).ok());
+}
+
+}  // namespace
+}  // namespace semsim

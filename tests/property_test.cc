@@ -1,0 +1,197 @@
+// Parameterized property sweeps: the paper's theorems checked across
+// decay factors, measures, and random graph families — beyond the single
+// fixture graphs of the per-module suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/iterative.h"
+#include "core/pair_graph.h"
+#include "core/reduced_pair_graph.h"
+#include "datasets/aminer_gen.h"
+#include "datasets/wordnet_gen.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+// Small random HIN family with an embedded two-level taxonomy.
+struct RandomWorld {
+  Hin graph;
+  SemanticContext context;
+};
+
+RandomWorld MakeRandomWorld(uint64_t seed, int num_entities,
+                            int num_categories) {
+  Rng rng(seed);
+  TaxonomyBuilder tax;
+  ConceptId root = tax.AddConcept("root");
+  std::vector<ConceptId> cats;
+  for (int c = 0; c < num_categories; ++c) {
+    cats.push_back(tax.AddConcept("cat" + std::to_string(c), root));
+  }
+  std::vector<ConceptId> entity_concepts;
+  std::vector<int> entity_cat;
+  for (int e = 0; e < num_entities; ++e) {
+    int cat = static_cast<int>(rng.NextIndex(cats.size()));
+    entity_cat.push_back(cat);
+    entity_concepts.push_back(
+        tax.AddConcept("e" + std::to_string(e), cats[cat]));
+  }
+  Taxonomy taxonomy = Unwrap(std::move(tax).Build());
+
+  HinBuilder hin;
+  std::vector<ConceptId> node_concept;
+  std::vector<NodeId> concept_node(taxonomy.num_concepts());
+  for (ConceptId c = 0; c < taxonomy.num_concepts(); ++c) {
+    concept_node[c] = hin.AddNode(std::string(taxonomy.name(c)), "n");
+    node_concept.push_back(c);
+  }
+  for (ConceptId c = 0; c < taxonomy.num_concepts(); ++c) {
+    if (c != taxonomy.root()) {
+      SEMSIM_CHECK(hin.AddUndirectedEdge(concept_node[c],
+                                         concept_node[taxonomy.parent(c)],
+                                         "is_a", 1.0)
+                       .ok());
+    }
+  }
+  // Random weighted relations between entities, denser within category.
+  for (int e = 0; e < num_entities; ++e) {
+    int links = 1 + static_cast<int>(rng.NextIndex(3));
+    for (int l = 0; l < links; ++l) {
+      int other = static_cast<int>(rng.NextIndex(num_entities));
+      if (other == e) continue;
+      double w = 0.5 + rng.NextDouble() * 3.0;
+      SEMSIM_CHECK(hin.AddUndirectedEdge(
+                          concept_node[entity_concepts[e]],
+                          concept_node[entity_concepts[other]], "rel", w)
+                       .ok());
+    }
+  }
+  RandomWorld world;
+  world.graph = Unwrap(std::move(hin).Build());
+  world.context = Unwrap(SemanticContext::FromTaxonomy(
+      std::move(taxonomy), std::move(node_concept)));
+  return world;
+}
+
+struct SweepCase {
+  uint64_t seed;
+  double decay;
+};
+
+class TheoremSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TheoremSweep, Theorem23HoldsOnRandomGraphs) {
+  SweepCase param = GetParam();
+  RandomWorld w = MakeRandomWorld(param.seed, 40, 5);
+  LinMeasure lin(&w.context);
+  size_t n = w.graph.num_nodes();
+  ScoreMatrix prev =
+      Unwrap(ComputeSemSim(w.graph, lin, param.decay, 1, nullptr));
+  for (int k = 2; k <= 6; ++k) {
+    ScoreMatrix cur =
+        Unwrap(ComputeSemSim(w.graph, lin, param.decay, k, nullptr));
+    for (NodeId u = 0; u < n; ++u) {
+      ASSERT_DOUBLE_EQ(cur.at(u, u), 1.0);
+      for (NodeId v = 0; v < u; ++v) {
+        ASSERT_DOUBLE_EQ(cur.at(u, v), cur.at(v, u));
+        ASSERT_GE(cur.at(u, v) + 1e-12, prev.at(u, v));  // monotone
+        ASSERT_LE(cur.at(u, v), 1.0);
+        ASSERT_LE(cur.at(u, v), lin.Sim(u, v) + 1e-12);  // Prop 2.5
+        ASSERT_LE(cur.at(u, v) - prev.at(u, v),
+                  lin.Sim(u, v) * std::pow(param.decay, k) + 1e-12);  // 2.4
+      }
+    }
+    prev = std::move(cur);
+  }
+}
+
+TEST_P(TheoremSweep, SurferModelMatchesIterative) {
+  SweepCase param = GetParam();
+  RandomWorld w = MakeRandomWorld(param.seed, 25, 4);
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ScoreMatrix surfer = pg.ExactScores(param.decay, 80);
+  ScoreMatrix iterative =
+      Unwrap(ComputeSemSim(w.graph, lin, param.decay, 80, nullptr));
+  ASSERT_LT(surfer.MaxAbsDifference(iterative), 1e-8);
+}
+
+TEST_P(TheoremSweep, ReducedGraphPreservesKeptScores) {
+  SweepCase param = GetParam();
+  RandomWorld w = MakeRandomWorld(param.seed, 18, 3);
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ScoreMatrix full = pg.ExactScores(param.decay, 80);
+  ReducedPairGraphOptions opt;
+  opt.theta = 0.5;
+  opt.decay = param.decay;
+  opt.max_detour = 40;
+  opt.mass_cutoff = 1e-14;
+  ReducedPairGraph reduced = Unwrap(ReducedPairGraph::Build(pg, opt));
+  reduced.ComputeScores(80);
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+      if (reduced.IsKept(u, v)) {
+        ASSERT_NEAR(reduced.Score(u, v), full.at(u, v), 1e-6)
+            << "(" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDecays, TheoremSweep,
+    ::testing::Values(SweepCase{1, 0.4}, SweepCase{1, 0.6},
+                      SweepCase{1, 0.8}, SweepCase{2, 0.6},
+                      SweepCase{3, 0.6}, SweepCase{4, 0.8},
+                      SweepCase{5, 0.3}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_c" +
+             std::to_string(static_cast<int>(info.param.decay * 10));
+    });
+
+// Measures beyond Lin injected into the full pipeline: Theorem 2.3 is
+// measure-agnostic given the three constraints.
+class MeasureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeasureSweep, IterativeInvariantsHoldForEveryMeasure) {
+  RandomWorld w = MakeRandomWorld(11, 30, 4);
+  std::unique_ptr<SemanticMeasure> measure;
+  switch (GetParam()) {
+    case 0:
+      measure = std::make_unique<LinMeasure>(&w.context);
+      break;
+    case 1:
+      measure = std::make_unique<ResnikMeasure>(&w.context);
+      break;
+    case 2:
+      measure = std::make_unique<WuPalmerMeasure>(&w.context);
+      break;
+    case 3:
+      measure = std::make_unique<PathMeasure>(&w.context);
+      break;
+    default:
+      measure = std::make_unique<JiangConrathMeasure>(&w.context);
+      break;
+  }
+  ScoreMatrix s = Unwrap(ComputeSemSim(w.graph, *measure, 0.6, 6, nullptr));
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    ASSERT_DOUBLE_EQ(s.at(u, u), 1.0);
+    for (NodeId v = 0; v < u; ++v) {
+      ASSERT_GE(s.at(u, v), 0.0);
+      ASSERT_LE(s.at(u, v), measure->Sim(u, v) + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasureSweep,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,73 @@
+// Statistical validation of Prop. 4.3: the probability that the MC
+// estimator interchanges two nodes in u's similarity ranking decays
+// exponentially in n_w. We measure interchange frequencies over repeated
+// index builds and check they shrink with n_w and stay under the bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/iterative.h"
+#include "core/mc_semsim.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+// Fraction of runs in which sim(u,v) > sim(u,v') ground-truth order is
+// inverted by the estimates.
+double InterchangeRate(const Hin& graph, const LinMeasure& lin, NodeId u,
+                       NodeId v, NodeId v_prime, int num_walks, int runs) {
+  int inverted = 0;
+  for (int r = 0; r < runs; ++r) {
+    WalkIndexOptions opt;
+    opt.num_walks = num_walks;
+    opt.walk_length = 12;
+    opt.seed = 9000 + static_cast<uint64_t>(r);
+    WalkIndex index = WalkIndex::Build(graph, opt);
+    SemSimMcEstimator est(&graph, &lin, &index);
+    SemSimMcOptions mc{0.6, 0.0};
+    if (est.Query(u, v, mc) < est.Query(u, v_prime, mc)) ++inverted;
+  }
+  return static_cast<double>(inverted) / static_cast<double>(runs);
+}
+
+TEST(RankingStability, InterchangeProbabilityShrinksWithWalks) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  ScoreMatrix exact = Unwrap(ComputeSemSim(w.graph, lin, 0.6, 20, nullptr));
+
+  // Pick a pair of candidates with a clear ground-truth gap from a0.
+  NodeId v = w.a1, v_prime = w.b0;
+  double delta = exact.at(w.a0, v) - exact.at(w.a0, v_prime);
+  ASSERT_GT(delta, 0.01) << "fixture must provide a separated pair";
+
+  constexpr int kRuns = 40;
+  double rate_small =
+      InterchangeRate(w.graph, lin, w.a0, v, v_prime, 20, kRuns);
+  double rate_large =
+      InterchangeRate(w.graph, lin, w.a0, v, v_prime, 400, kRuns);
+  // More walks → no more interchanges than with few walks (allow one run
+  // of slack for MC noise), and large-n_w rate must satisfy the
+  // Prop. 4.3 bound 2·exp(-n_w δ²/(2+2δ/3)).
+  EXPECT_LE(rate_large, rate_small + 1.0 / kRuns);
+  double bound =
+      2.0 * std::exp(-400.0 * delta * delta / (2.0 + 2.0 * delta / 3.0));
+  EXPECT_LE(rate_large, std::max(bound, 1.0 / kRuns) + 1.0 / kRuns);
+}
+
+TEST(RankingStability, WellSeparatedPairsNeverInterchangeAtPaperSettings) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  // a0 vs (a1, b1): same-category direct neighbor against cross-category
+  // distant node — a large gap. At the paper's n_w=150 the ranking must
+  // be stable across rebuilds.
+  double rate = InterchangeRate(w.graph, lin, w.a0, w.a1, w.b1, 150, 30);
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+}
+
+}  // namespace
+}  // namespace semsim

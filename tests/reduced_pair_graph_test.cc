@@ -1,0 +1,119 @@
+#include "core/reduced_pair_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/iterative.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+ReducedPairGraphOptions DeepOptions(double theta) {
+  ReducedPairGraphOptions opt;
+  opt.theta = theta;
+  opt.decay = 0.6;
+  opt.max_detour = 40;     // deep expansion: truncation error negligible
+  opt.mass_cutoff = 1e-14;
+  return opt;
+}
+
+TEST(ReducedPairGraph, Theorem35KeptScoresMatchFullG2) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ScoreMatrix full = pg.ExactScores(0.6, 80);
+
+  for (double theta : {0.2, 0.5, 0.8}) {
+    ReducedPairGraph reduced =
+        Unwrap(ReducedPairGraph::Build(pg, DeepOptions(theta)));
+    reduced.ComputeScores(80);
+    size_t checked = 0;
+    for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+      for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+        if (!reduced.IsKept(u, v)) continue;
+        EXPECT_NEAR(reduced.Score(u, v), full.at(u, v), 1e-6)
+            << "theta=" << theta << " pair (" << u << "," << v << ")";
+        ++checked;
+      }
+    }
+    EXPECT_GT(checked, 0u) << "theta=" << theta;
+  }
+}
+
+TEST(ReducedPairGraph, DroppedPairsScoreZero) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ReducedPairGraph reduced =
+      Unwrap(ReducedPairGraph::Build(pg, DeepOptions(0.8)));
+  reduced.ComputeScores(50);
+  bool found_dropped = false;
+  for (NodeId u = 0; u < w.graph.num_nodes() && !found_dropped; ++u) {
+    for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+      if (!reduced.IsKept(u, v)) {
+        EXPECT_DOUBLE_EQ(reduced.Score(u, v), 0.0);
+        found_dropped = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_dropped);
+}
+
+TEST(ReducedPairGraph, SingletonsAlwaysKeptAndScoreSemTimesOne) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ReducedPairGraph reduced =
+      Unwrap(ReducedPairGraph::Build(pg, DeepOptions(0.9)));
+  reduced.ComputeScores(10);
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(reduced.IsKept(v, v));
+    EXPECT_DOUBLE_EQ(reduced.Score(v, v), 1.0);
+  }
+}
+
+TEST(ReducedPairGraph, HigherThetaKeepsFewerPairs) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ReducedPairGraph loose = Unwrap(ReducedPairGraph::Build(pg, DeepOptions(0.2)));
+  ReducedPairGraph tight = Unwrap(ReducedPairGraph::Build(pg, DeepOptions(0.9)));
+  EXPECT_LT(tight.num_kept_pairs(), loose.num_kept_pairs());
+  EXPECT_LT(loose.num_kept_pairs(), pg.num_pair_nodes());
+}
+
+TEST(ReducedPairGraph, RejectsInvalidOptions) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ReducedPairGraphOptions opt;
+  opt.theta = 0.0;
+  EXPECT_FALSE(ReducedPairGraph::Build(pg, opt).ok());
+  opt.theta = 1.0;
+  EXPECT_FALSE(ReducedPairGraph::Build(pg, opt).ok());
+  opt.theta = 0.5;
+  opt.decay = 1.5;
+  EXPECT_FALSE(ReducedPairGraph::Build(pg, opt).ok());
+
+  PairGraph no_sem(&w.graph, nullptr);
+  EXPECT_FALSE(ReducedPairGraph::Build(no_sem, DeepOptions(0.5)).ok());
+}
+
+TEST(ReducedPairGraph, DrainMassBoundsTruncationError) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  PairGraph pg(&w.graph, &lin);
+  ReducedPairGraph reduced =
+      Unwrap(ReducedPairGraph::Build(pg, DeepOptions(0.5)));
+  // With max_detour=40 and c=0.6, residual mass is at most ~0.6^40.
+  EXPECT_LT(reduced.max_drain_mass(), 1.0);
+  EXPECT_GE(reduced.max_drain_mass(), 0.0);
+}
+
+}  // namespace
+}  // namespace semsim

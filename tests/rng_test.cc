@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace semsim {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedRespectsBound) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t x = rng.NextBounded(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  // Roughly uniform: each bucket should be within 10% of 10000.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, NextWeightedFollowsWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_NEAR(counts[0], 6000, 600);
+  EXPECT_NEAR(counts[1], 18000, 1200);
+  EXPECT_NEAR(counts[2], 36000, 1500);
+}
+
+TEST(Rng, PoissonHasCorrectMean) {
+  Rng rng(13);
+  double total = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) total += rng.NextPoisson(2.5);
+  EXPECT_NEAR(total / kSamples, 2.5, 0.05);
+}
+
+TEST(Rng, GaussianMeanAndVariance) {
+  Rng rng(15);
+  double sum = 0, sum2 = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kSamples, 1.0, 0.03);
+}
+
+TEST(AliasTable, MatchesTargetDistribution) {
+  Rng rng(17);
+  std::vector<double> weights = {0.5, 0.0, 2.0, 1.5};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[table.Sample(rng)];
+  double total_w = 4.0;
+  EXPECT_NEAR(counts[0], kSamples * 0.5 / total_w, 800);
+  EXPECT_EQ(counts[1], 0);  // zero-weight bucket never sampled
+  EXPECT_NEAR(counts[2], kSamples * 2.0 / total_w, 1200);
+  EXPECT_NEAR(counts[3], kSamples * 1.5 / total_w, 1200);
+}
+
+TEST(AliasTable, SingleElement) {
+  Rng rng(19);
+  AliasTable table(std::vector<double>{3.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace semsim

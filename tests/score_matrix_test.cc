@@ -1,0 +1,65 @@
+#include "core/score_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace semsim {
+namespace {
+
+TEST(ScoreMatrix, SetIsSymmetric) {
+  ScoreMatrix m(3);
+  m.set(0, 2, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(ScoreMatrix, InitValueFillsEverything) {
+  ScoreMatrix m(2, 0.25);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.25);
+}
+
+TEST(ScoreMatrix, SetLowerThenSymmetrize) {
+  ScoreMatrix m(3);
+  m.set_lower(1, 0, 0.3);
+  m.set_lower(2, 0, 0.6);
+  m.set_lower(2, 1, 0.9);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);  // mirror not yet written
+  m.SymmetrizeFromLower();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.6);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.9);
+}
+
+TEST(ScoreMatrix, RowAccess) {
+  ScoreMatrix m(3);
+  m.set(1, 0, 0.4);
+  m.set(1, 2, 0.7);
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 0.4);
+  EXPECT_DOUBLE_EQ(row[2], 0.7);
+}
+
+TEST(ScoreMatrix, Differences) {
+  ScoreMatrix a(2), b(2);
+  a.set(0, 1, 0.5);
+  b.set(0, 1, 0.75);
+  b.set(0, 0, 1.0);
+  a.set(0, 0, 1.0);
+  // Abs diff over 4 ordered entries: (0, .25, .25, 0)/4.
+  EXPECT_DOUBLE_EQ(a.MeanAbsDifference(b), 0.125);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 0.25);
+  // Rel diff counts entries with positive max: (1,1) is 0/… skipped?
+  // entries: (0,0): |1-1|/1=0; (0,1)&(1,0): .25/.75; (1,1): max 0 skipped.
+  EXPECT_NEAR(a.MeanRelDifference(b), (0.0 + 2 * (0.25 / 0.75)) / 3, 1e-12);
+}
+
+TEST(ScoreMatrix, EmptyMatrix) {
+  ScoreMatrix m;
+  EXPECT_EQ(m.size(), 0u);
+  ScoreMatrix other;
+  EXPECT_DOUBLE_EQ(m.MeanAbsDifference(other), 0.0);
+}
+
+}  // namespace
+}  // namespace semsim

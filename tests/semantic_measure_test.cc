@@ -1,0 +1,203 @@
+#include "taxonomy/semantic_measure.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+// Shared fixture world for the parameterized constraint suite. The
+// SemanticContext must outlive the measures.
+struct MeasureCase {
+  const char* name;
+  std::function<std::unique_ptr<SemanticMeasure>(const SemanticContext*)>
+      make;
+};
+
+class MeasureConstraintTest : public ::testing::TestWithParam<MeasureCase> {
+ protected:
+  static void SetUpTestSuite() { world_ = new testutil::SmallWorld(MakeSmallWorld()); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static testutil::SmallWorld* world_;
+};
+
+testutil::SmallWorld* MeasureConstraintTest::world_ = nullptr;
+
+TEST_P(MeasureConstraintTest, SatisfiesPaperConstraints) {
+  auto measure = GetParam().make(&world_->context);
+  Rng rng(123);
+  Status s = ValidateSemanticMeasure(*measure, world_->graph.num_nodes(), rng,
+                                     2000);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_P(MeasureConstraintTest, SameCategorySimilarThanCrossCategory) {
+  auto measure = GetParam().make(&world_->context);
+  if (measure->name() == "Constant") GTEST_SKIP();
+  // a0,a1 share CatA; a0,b0 cross categories.
+  EXPECT_GT(measure->Sim(world_->a0, world_->a1),
+            measure->Sim(world_->a0, world_->b0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, MeasureConstraintTest,
+    ::testing::Values(
+        MeasureCase{"Lin",
+                    [](const SemanticContext* c) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<LinMeasure>(c));
+                    }},
+        MeasureCase{"Resnik",
+                    [](const SemanticContext* c) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<ResnikMeasure>(c));
+                    }},
+        MeasureCase{"WuPalmer",
+                    [](const SemanticContext* c) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<WuPalmerMeasure>(c));
+                    }},
+        MeasureCase{"Path",
+                    [](const SemanticContext* c) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<PathMeasure>(c));
+                    }},
+        MeasureCase{"JiangConrath",
+                    [](const SemanticContext* c) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<JiangConrathMeasure>(c));
+                    }},
+        MeasureCase{"Constant",
+                    [](const SemanticContext*) {
+                      return std::unique_ptr<SemanticMeasure>(
+                          std::make_unique<ConstantMeasure>());
+                    }}),
+    [](const ::testing::TestParamInfo<MeasureCase>& info) {
+      return info.param.name;
+    });
+
+TEST(LinMeasure, ExactValueOnKnownTree) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  // a0, a1 are leaves (IC=1) under CatA. Seco IC of CatA in an 8-concept
+  // taxonomy with 3 descendants: 1 - ln(4)/ln(8).
+  double ic_cat_a = 1.0 - std::log(4.0) / std::log(8.0);
+  EXPECT_NEAR(lin.Sim(w.a0, w.a1), 2.0 * ic_cat_a / 2.0, 1e-12);
+}
+
+TEST(LinMeasure, AncestorDescendantPair) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  // LCA(CatA, a0) = CatA: Lin = 2·IC(CatA)/(IC(CatA) + 1).
+  double ic_cat_a = 1.0 - std::log(4.0) / std::log(8.0);
+  EXPECT_NEAR(lin.Sim(w.cat_a, w.a0), 2.0 * ic_cat_a / (ic_cat_a + 1.0),
+              1e-12);
+}
+
+TEST(ValidateSemanticMeasure, CatchesViolations) {
+  // A measure violating max self-similarity.
+  class Broken : public SemanticMeasure {
+   public:
+    double Sim(NodeId u, NodeId v) const override {
+      return u == v ? 0.5 : 0.3;
+    }
+    std::string_view name() const override { return "Broken"; }
+  };
+  Broken broken;
+  Rng rng(5);
+  Status s = ValidateSemanticMeasure(broken, 10, rng, 100);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  // A measure violating the value range (returns 0).
+  class Zero : public SemanticMeasure {
+   public:
+    double Sim(NodeId u, NodeId v) const override { return u == v ? 1.0 : 0.0; }
+    std::string_view name() const override { return "Zero"; }
+  };
+  Zero zero;
+  Status s2 = ValidateSemanticMeasure(zero, 10, rng, 200);
+  EXPECT_FALSE(s2.ok());
+
+  // An asymmetric measure.
+  class Asym : public SemanticMeasure {
+   public:
+    double Sim(NodeId u, NodeId v) const override {
+      if (u == v) return 1.0;
+      return u < v ? 0.4 : 0.6;
+    }
+    std::string_view name() const override { return "Asym"; }
+  };
+  Asym asym;
+  Status s3 = ValidateSemanticMeasure(asym, 10, rng, 200);
+  EXPECT_FALSE(s3.ok());
+}
+
+TEST(SemanticContext, FromHinDerivesTaxonomyFromIsAEdges) {
+  // Directed is-a chain: leaf -> mid -> top.
+  HinBuilder b;
+  NodeId top = b.AddNode("top", "concept");
+  NodeId mid = b.AddNode("mid", "concept");
+  NodeId leaf1 = b.AddNode("leaf1", "entity");
+  NodeId leaf2 = b.AddNode("leaf2", "entity");
+  ASSERT_TRUE(b.AddEdge(mid, top, "is_a", 1).ok());
+  ASSERT_TRUE(b.AddEdge(leaf1, mid, "is_a", 1).ok());
+  ASSERT_TRUE(b.AddEdge(leaf2, mid, "is_a", 1).ok());
+  ASSERT_TRUE(b.AddEdge(leaf1, leaf2, "rel", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  SemanticContext ctx = Unwrap(SemanticContext::FromHin(g, "is_a"));
+
+  EXPECT_EQ(ctx.taxonomy().parent(ctx.concept_of(leaf1)),
+            ctx.concept_of(mid));
+  LinMeasure lin(&ctx);
+  EXPECT_GT(lin.Sim(leaf1, leaf2), lin.Sim(leaf1, top));
+  EXPECT_DOUBLE_EQ(lin.Sim(leaf1, leaf1), 1.0);
+}
+
+TEST(SemanticContext, FromHinRejectsMissingLabel) {
+  HinBuilder b;
+  b.AddNode("x", "t");
+  Hin g = Unwrap(std::move(b).Build());
+  EXPECT_FALSE(SemanticContext::FromHin(g, "is_a").ok());
+}
+
+TEST(SemanticContext, SetIcValidatesRange) {
+  auto w = MakeSmallWorld();
+  EXPECT_TRUE(w.context.SetIc("CatA", 0.5).ok());
+  EXPECT_FALSE(w.context.SetIc("CatA", 0.0).ok());
+  EXPECT_FALSE(w.context.SetIc("CatA", 1.5).ok());
+  EXPECT_FALSE(w.context.SetIc("ghost", 0.5).ok());
+}
+
+TEST(SemanticContext, FromTaxonomyWithIcValidates) {
+  TaxonomyBuilder b;
+  b.AddConcept("root");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  // Wrong IC vector length.
+  EXPECT_FALSE(SemanticContext::FromTaxonomyWithIc(
+                   Unwrap([&] {
+                     TaxonomyBuilder bb;
+                     bb.AddConcept("r");
+                     return std::move(bb).Build();
+                   }()),
+                   {0}, {0.5, 0.5})
+                   .ok());
+  // Out-of-range concept mapping.
+  TaxonomyBuilder b2;
+  b2.AddConcept("r");
+  EXPECT_FALSE(SemanticContext::FromTaxonomy(Unwrap(std::move(b2).Build()),
+                                             {5})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,121 @@
+#include "core/single_source.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mc_simrank.h"
+#include "datasets/amazon_gen.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+class SingleSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallWorld();
+    WalkIndexOptions opt;
+    opt.num_walks = 200;
+    opt.walk_length = 12;
+    opt.seed = 9;
+    index_ = WalkIndex::Build(world_.graph, opt);
+    inverted_ = SingleSourceIndex::Build(index_, world_.graph.num_nodes());
+  }
+
+  testutil::SmallWorld world_;
+  WalkIndex index_;
+  SingleSourceIndex inverted_;
+};
+
+TEST_F(SingleSourceTest, FirstMeetingsMatchPairwiseScan) {
+  for (NodeId u = 0; u < world_.graph.num_nodes(); ++u) {
+    // Collect per-(v, walk) meetings from the inverted index.
+    std::vector<std::vector<int>> inverted_meet(
+        world_.graph.num_nodes(),
+        std::vector<int>(index_.num_walks(), -1));
+    for (const auto& m : inverted_.FirstMeetings(u)) {
+      inverted_meet[m.node][m.walk] = m.step;
+    }
+    for (NodeId v = 0; v < world_.graph.num_nodes(); ++v) {
+      if (v == u) continue;
+      for (int w = 0; w < index_.num_walks(); ++w) {
+        ASSERT_EQ(inverted_meet[v][w], FirstMeetingStep(index_, u, v, w))
+            << "u=" << u << " v=" << v << " walk=" << w;
+      }
+    }
+  }
+}
+
+TEST_F(SingleSourceTest, SimRankFromMatchesPairQueries) {
+  for (NodeId u = 0; u < world_.graph.num_nodes(); ++u) {
+    std::vector<double> scores = inverted_.SimRankFrom(u, 0.6);
+    ASSERT_EQ(scores.size(), world_.graph.num_nodes());
+    for (NodeId v = 0; v < world_.graph.num_nodes(); ++v) {
+      EXPECT_NEAR(scores[v], McSimRankQuery(index_, u, v, 0.6), 1e-12)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST_F(SingleSourceTest, SemSimFromMatchesPairQueries) {
+  LinMeasure lin(&world_.context);
+  SemSimMcEstimator estimator(&world_.graph, &lin, &index_);
+  for (double theta : {0.0, 0.05}) {
+    SemSimMcOptions opt{0.6, theta};
+    for (NodeId u = 0; u < world_.graph.num_nodes(); ++u) {
+      std::vector<double> scores = inverted_.SemSimFrom(u, estimator, opt);
+      for (NodeId v = 0; v < world_.graph.num_nodes(); ++v) {
+        EXPECT_NEAR(scores[v], estimator.Query(u, v, opt), 1e-10)
+            << "theta=" << theta << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_F(SingleSourceTest, TopKMatchesMcTopK) {
+  LinMeasure lin(&world_.context);
+  SemSimMcEstimator estimator(&world_.graph, &lin, &index_);
+  SemSimMcOptions opt{0.6, 0.0};
+  auto fast = inverted_.TopKFrom(world_.a0, 4, estimator, opt);
+  auto slow = McTopK(estimator, world_.a0, 4, opt);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].node, slow[i].node) << "rank " << i;
+    EXPECT_NEAR(fast[i].score, slow[i].score, 1e-10);
+  }
+}
+
+TEST_F(SingleSourceTest, MemoryIsReported) {
+  EXPECT_GT(inverted_.MemoryBytes(), 0u);
+}
+
+TEST(SingleSourceGenerated, ConsistentOnLargerGraph) {
+  AmazonOptions gen;
+  gen.num_items = 150;
+  gen.seed = 77;
+  Dataset d = Unwrap(GenerateAmazon(gen));
+  WalkIndexOptions wopt;
+  wopt.num_walks = 80;
+  wopt.walk_length = 10;
+  WalkIndex index = WalkIndex::Build(d.graph, wopt);
+  SingleSourceIndex inverted =
+      SingleSourceIndex::Build(index, d.graph.num_nodes());
+  LinMeasure lin(&d.context);
+  SemSimMcEstimator est(&d.graph, &lin, &index);
+  SemSimMcOptions opt{0.6, 0.05};
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(d.graph.num_nodes()));
+    std::vector<double> scores = inverted.SemSimFrom(u, est, opt);
+    for (int c = 0; c < 30; ++c) {
+      NodeId v = static_cast<NodeId>(rng.NextIndex(d.graph.num_nodes()));
+      ASSERT_NEAR(scores[v], est.Query(u, v, opt), 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace semsim {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(PearsonR, PerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonR(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonR(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonR, KnownValue) {
+  // Hand-computed: r of (1,2,3,4,5) vs (1,3,2,5,4) is 0.8.
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 3, 2, 5, 4};
+  EXPECT_NEAR(PearsonR(x, y), 0.8, 1e-12);
+}
+
+TEST(PearsonR, ZeroVarianceGivesZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonR(x, y), 0.0);
+}
+
+TEST(RegularizedIncompleteBeta, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  double a = 2.5, b = 1.7, x = 0.3;
+  EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+              1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10);
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.42), 0.42, 1e-10);
+}
+
+TEST(PearsonPValue, MatchesKnownTDistribution) {
+  // r=0.8, n=5 → t = 0.8·sqrt(3/0.36) = 2.3094, df=3; two-sided p ≈ 0.1041.
+  EXPECT_NEAR(PearsonPValue(0.8, 5), 0.1041, 5e-4);
+  // r=0.5, n=102 → t = 5.7735, df=100 → p ≈ 8.9e-8 (tiny).
+  EXPECT_LT(PearsonPValue(0.5, 102), 1e-6);
+  // No correlation → p = 1.
+  EXPECT_NEAR(PearsonPValue(0.0, 30), 1.0, 1e-9);
+}
+
+TEST(PearsonPValue, SmallSamplesReturnOne) {
+  EXPECT_DOUBLE_EQ(PearsonPValue(0.9, 2), 1.0);
+}
+
+TEST(SpearmanRho, RankCorrelation) {
+  // Monotone but non-linear relationship: Spearman = 1.
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanRho, HandlesTies) {
+  std::vector<double> x = {1, 2, 2, 4};
+  std::vector<double> y = {1, 3, 3, 4};
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace semsim {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad weight");
+}
+
+TEST(Status, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    SEMSIM_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  Status s = outer();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto source = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Internal("boom");
+  };
+  auto chain = [&](bool ok) -> Result<int> {
+    SEMSIM_ASSIGN_OR_RETURN(int x, source(ok));
+    return x * 2;
+  };
+  EXPECT_EQ(chain(true).value(), 10);
+  EXPECT_EQ(chain(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 3);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,106 @@
+#include "taxonomy/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+TEST(TaxonomyBuilder, SimpleTree) {
+  TaxonomyBuilder b;
+  ConceptId root = b.AddConcept("root");
+  ConceptId a = b.AddConcept("a", root);
+  ConceptId b1 = b.AddConcept("b", root);
+  ConceptId a1 = b.AddConcept("a1", a);
+  ConceptId a2 = b.AddConcept("a2", a);
+  Taxonomy t = Unwrap(std::move(b).Build());
+
+  EXPECT_EQ(t.num_concepts(), 5u);
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.parent(a1), a);
+  EXPECT_EQ(t.depth(root), 0u);
+  EXPECT_EQ(t.depth(a), 1u);
+  EXPECT_EQ(t.depth(a2), 2u);
+  EXPECT_TRUE(t.IsLeaf(a1));
+  EXPECT_FALSE(t.IsLeaf(a));
+  EXPECT_EQ(t.SubtreeSize(a), 3u);
+  EXPECT_EQ(t.SubtreeSize(root), 5u);
+  EXPECT_EQ(t.children(a).size(), 2u);
+  EXPECT_EQ(t.children(b1).size(), 0u);
+}
+
+TEST(TaxonomyBuilder, MultipleRootsGetSyntheticRoot) {
+  TaxonomyBuilder b;
+  ConceptId x = b.AddConcept("x");
+  ConceptId y = b.AddConcept("y");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  EXPECT_EQ(t.num_concepts(), 3u);
+  EXPECT_EQ(t.name(t.root()), "<ROOT>");
+  EXPECT_EQ(t.parent(x), t.root());
+  EXPECT_EQ(t.parent(y), t.root());
+}
+
+TEST(TaxonomyBuilder, DetectsCycle) {
+  TaxonomyBuilder b;
+  ConceptId r = b.AddConcept("r");
+  ConceptId x = b.AddConcept("x", r);
+  ConceptId y = b.AddConcept("y", x);
+  ASSERT_TRUE(b.SetParent(x, y).ok());  // creates x -> y -> x
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TaxonomyBuilder, RejectsEmpty) {
+  TaxonomyBuilder b;
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TaxonomyBuilder, SetParentValidation) {
+  TaxonomyBuilder b;
+  ConceptId x = b.AddConcept("x");
+  EXPECT_FALSE(b.SetParent(x, x).ok());
+  EXPECT_FALSE(b.SetParent(7, x).ok());
+  EXPECT_FALSE(b.SetParent(x, 7).ok());
+}
+
+TEST(Taxonomy, FindConceptByName) {
+  TaxonomyBuilder b;
+  b.AddConcept("root");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  EXPECT_EQ(Unwrap(t.FindConcept("root")), 0u);
+  EXPECT_FALSE(t.FindConcept("ghost").ok());
+}
+
+TEST(Taxonomy, LcaSlowAndDistance) {
+  TaxonomyBuilder b;
+  ConceptId root = b.AddConcept("root");
+  ConceptId a = b.AddConcept("a", root);
+  ConceptId bb = b.AddConcept("b", root);
+  ConceptId a1 = b.AddConcept("a1", a);
+  ConceptId a2 = b.AddConcept("a2", a);
+  ConceptId a11 = b.AddConcept("a11", a1);
+  Taxonomy t = Unwrap(std::move(b).Build());
+
+  EXPECT_EQ(t.LcaSlow(a1, a2), a);
+  EXPECT_EQ(t.LcaSlow(a11, a2), a);
+  EXPECT_EQ(t.LcaSlow(a11, bb), root);
+  EXPECT_EQ(t.LcaSlow(a, a11), a);
+  EXPECT_EQ(t.LcaSlow(a, a), a);
+  EXPECT_EQ(t.TreeDistance(a1, a2), 2u);
+  EXPECT_EQ(t.TreeDistance(a11, bb), 4u);
+  EXPECT_EQ(t.TreeDistance(a, a), 0u);
+}
+
+TEST(Taxonomy, SingleConcept) {
+  TaxonomyBuilder b;
+  b.AddConcept("only");
+  Taxonomy t = Unwrap(std::move(b).Build());
+  EXPECT_EQ(t.num_concepts(), 1u);
+  EXPECT_EQ(t.SubtreeSize(t.root()), 1u);
+  EXPECT_TRUE(t.IsLeaf(t.root()));
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,177 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/iterative.h"
+#include "core/semsim_engine.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(MatrixTopK, OrdersByScoreThenId) {
+  ScoreMatrix m(4);
+  m.set(0, 1, 0.9);
+  m.set(0, 2, 0.9);
+  m.set(0, 3, 0.5);
+  auto top = MatrixTopK(m, 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].node, 1u);  // tie with 2, lower id wins
+  EXPECT_EQ(top[1].node, 2u);
+  EXPECT_EQ(top[2].node, 3u);
+}
+
+TEST(MatrixTopK, ExcludesQueryAndHonorsCandidates) {
+  ScoreMatrix m(5);
+  m.set(0, 1, 0.1);
+  m.set(0, 2, 0.9);
+  m.set(0, 3, 0.8);
+  std::vector<NodeId> candidates = {0, 1, 3};
+  auto top = MatrixTopK(m, 0, 10, &candidates);
+  ASSERT_EQ(top.size(), 2u);  // query itself excluded
+  EXPECT_EQ(top[0].node, 3u);
+  EXPECT_EQ(top[1].node, 1u);
+}
+
+TEST(MatrixTopK, KLargerThanCandidates) {
+  ScoreMatrix m(3);
+  m.set(0, 1, 0.4);
+  m.set(0, 2, 0.6);
+  auto top = MatrixTopK(m, 0, 99);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 2u);
+}
+
+TEST(McTopK, AgreesWithExhaustiveEstimatorRanking) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  WalkIndexOptions wopt;
+  wopt.num_walks = 400;
+  wopt.walk_length = 12;
+  WalkIndex index = WalkIndex::Build(w.graph, wopt);
+  SemSimMcEstimator est(&w.graph, &lin, &index);
+  SemSimMcOptions opt;
+  opt.decay = 0.6;
+
+  auto top = McTopK(est, w.a0, 3, opt);
+  ASSERT_EQ(top.size(), 3u);
+  // Verify against brute force.
+  std::vector<Scored> all;
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    if (v == w.a0) continue;
+    all.push_back({v, est.Query(w.a0, v, opt)});
+  }
+  std::sort(all.begin(), all.end(), [](const Scored& a, const Scored& b) {
+    return a.score != b.score ? a.score > b.score : a.node < b.node;
+  });
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top[i].node, all[i].node);
+    EXPECT_DOUBLE_EQ(top[i].score, all[i].score);
+  }
+}
+
+TEST(SemSimEngine, EndToEndQueries) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  SemSimEngineOptions opt;
+  opt.walks.num_walks = 300;
+  opt.walks.walk_length = 12;
+  opt.query.decay = 0.6;
+  opt.query.theta = 0.05;
+  SemSimEngine engine = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+
+  EXPECT_DOUBLE_EQ(engine.Similarity(w.a0, w.a0), 1.0);
+  double by_id = engine.Similarity(w.a0, w.a1);
+  double by_name = Unwrap(engine.SimilarityByName("a0", "a1"));
+  EXPECT_DOUBLE_EQ(by_id, by_name);
+  EXPECT_FALSE(engine.SimilarityByName("a0", "ghost").ok());
+
+  auto top = engine.TopK(w.a0, 2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_GT(engine.MemoryBytes(), 0u);
+}
+
+TEST(SemSimEngine, ValidatesOptions) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  SemSimEngineOptions opt;
+  opt.query.decay = 0.6;
+  opt.query.theta = 0.5;  // violates θ <= 1-c (Lemma 4.7)
+  EXPECT_FALSE(SemSimEngine::Create(&w.graph, &lin, opt).ok());
+  opt.query.theta = 0.05;
+  EXPECT_FALSE(SemSimEngine::Create(nullptr, &lin, opt).ok());
+  EXPECT_FALSE(SemSimEngine::Create(&w.graph, nullptr, opt).ok());
+  opt.query.decay = 1.2;
+  EXPECT_FALSE(SemSimEngine::Create(&w.graph, &lin, opt).ok());
+}
+
+TEST(SemSimEngine, SingleSourceEngineMatchesPairwiseTopK) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  SemSimEngineOptions opt;
+  opt.walks.num_walks = 150;
+  opt.walks.walk_length = 10;
+  opt.query = {0.6, 0.0};
+  SemSimEngine plain = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+  opt.single_source = true;
+  SemSimEngine fast = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    auto a = plain.TopK(u, 4);
+    auto b = fast.TopK(u, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node) << "u=" << u << " rank " << i;
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-10);
+    }
+  }
+  // AllScores is only available on the single-source engine.
+  EXPECT_FALSE(plain.AllScores(w.a0).ok());
+  auto scores = Unwrap(fast.AllScores(w.a0));
+  EXPECT_EQ(scores.size(), w.graph.num_nodes());
+  EXPECT_DOUBLE_EQ(scores[w.a0], 1.0);
+  EXPECT_GT(fast.MemoryBytes(), plain.MemoryBytes());
+}
+
+TEST(SemSimEngine, SingleSourceRespectsCandidateFilter) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  SemSimEngineOptions opt;
+  opt.walks.num_walks = 100;
+  opt.walks.walk_length = 8;
+  opt.query = {0.6, 0.0};
+  opt.single_source = true;
+  SemSimEngine engine = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+  std::vector<NodeId> candidates = {w.a1, w.b0};
+  auto top = engine.TopK(w.a0, 10, &candidates);
+  ASSERT_EQ(top.size(), 2u);
+  for (const Scored& s : top) {
+    EXPECT_TRUE(s.node == w.a1 || s.node == w.b0);
+  }
+}
+
+TEST(SemSimEngine, CacheBackedEngineMatchesPlain) {
+  auto w = MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  SemSimEngineOptions opt;
+  opt.walks.num_walks = 200;
+  opt.walks.walk_length = 10;
+  SemSimEngine plain = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+  opt.cache_min_sem = 0.0;
+  SemSimEngine cached = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
+  for (NodeId u = 0; u < w.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      double a = plain.Similarity(u, v);
+      double b = cached.Similarity(u, v);
+      EXPECT_NEAR(a, b, 1e-12 + 1e-9 * std::abs(a));
+    }
+  }
+  EXPECT_GT(cached.MemoryBytes(), plain.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace semsim

@@ -1,0 +1,116 @@
+#include "core/walk_index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+TEST(WalkIndex, DeterministicForSeed) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 10;
+  opt.walk_length = 8;
+  opt.seed = 99;
+  WalkIndex a = WalkIndex::Build(w.graph, opt);
+  WalkIndex b = WalkIndex::Build(w.graph, opt);
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    for (int k = 0; k < opt.num_walks; ++k) {
+      auto wa = a.Walk(v, k);
+      auto wb = b.Walk(v, k);
+      for (int s = 0; s < opt.walk_length; ++s) ASSERT_EQ(wa[s], wb[s]);
+    }
+  }
+}
+
+TEST(WalkIndex, StepsAreValidInNeighbors) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 20;
+  opt.walk_length = 10;
+  WalkIndex index = WalkIndex::Build(w.graph, opt);
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    for (int k = 0; k < opt.num_walks; ++k) {
+      auto walk = index.Walk(v, k);
+      NodeId cur = v;
+      for (int s = 0; s < opt.walk_length; ++s) {
+        if (walk[s] == kInvalidNode) {
+          // Once dead, stays dead.
+          for (int r = s; r < opt.walk_length; ++r) {
+            ASSERT_EQ(walk[r], kInvalidNode);
+          }
+          break;
+        }
+        bool found = false;
+        for (const Neighbor& nb : w.graph.InNeighbors(cur)) {
+          if (nb.node == walk[s]) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found) << "step to non-in-neighbor";
+        cur = walk[s];
+      }
+    }
+  }
+}
+
+TEST(WalkIndex, DeadEndsPadWithInvalid) {
+  HinBuilder b;
+  NodeId x = b.AddNode("x", "t");  // no in-neighbors
+  NodeId y = b.AddNode("y", "t");
+  ASSERT_TRUE(b.AddEdge(x, y, "e", 1).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  WalkIndexOptions opt;
+  opt.num_walks = 3;
+  opt.walk_length = 4;
+  WalkIndex index = WalkIndex::Build(g, opt);
+  for (int k = 0; k < 3; ++k) {
+    auto wx = index.Walk(x, k);
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(wx[s], kInvalidNode);
+    auto wy = index.Walk(y, k);
+    EXPECT_EQ(wy[0], x);  // only in-neighbor
+    EXPECT_EQ(wy[1], kInvalidNode);
+  }
+}
+
+TEST(WalkIndex, MemoryAccounting) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 5;
+  opt.walk_length = 7;
+  WalkIndex index = WalkIndex::Build(w.graph, opt);
+  EXPECT_EQ(index.MemoryBytes(),
+            w.graph.num_nodes() * 5 * 7 * sizeof(NodeId));
+  EXPECT_GE(index.build_seconds(), 0.0);
+}
+
+TEST(WalkIndex, UniformProposalProbability) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  WalkIndex index = WalkIndex::Build(w.graph, opt);
+  size_t deg = w.graph.InDegree(w.a0);
+  ASSERT_GT(deg, 0u);
+  EXPECT_DOUBLE_EQ(index.ProposalProb(w.graph, w.a0, 0),
+                   1.0 / static_cast<double>(deg));
+}
+
+TEST(WalkIndex, WeightedProposalProbability) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.weighted = true;
+  WalkIndex index = WalkIndex::Build(w.graph, opt);
+  auto in = w.graph.InNeighbors(w.a0);
+  double total = w.graph.TotalInWeight(w.a0);
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_DOUBLE_EQ(index.ProposalProb(w.graph, w.a0, i),
+                     in[i].weight / total);
+  }
+}
+
+}  // namespace
+}  // namespace semsim
