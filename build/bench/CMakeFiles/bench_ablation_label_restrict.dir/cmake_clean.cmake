@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_label_restrict.dir/bench_ablation_label_restrict.cc.o"
+  "CMakeFiles/bench_ablation_label_restrict.dir/bench_ablation_label_restrict.cc.o.d"
+  "bench_ablation_label_restrict"
+  "bench_ablation_label_restrict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_label_restrict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_label_restrict.
+# This may be replaced when dependencies are built.

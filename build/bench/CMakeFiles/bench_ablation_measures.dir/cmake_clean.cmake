@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_measures.dir/bench_ablation_measures.cc.o"
+  "CMakeFiles/bench_ablation_measures.dir/bench_ablation_measures.cc.o.d"
+  "bench_ablation_measures"
+  "bench_ablation_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

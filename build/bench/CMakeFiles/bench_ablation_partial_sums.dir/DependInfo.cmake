@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_partial_sums.cc" "bench/CMakeFiles/bench_ablation_partial_sums.dir/bench_ablation_partial_sums.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_partial_sums.dir/bench_ablation_partial_sums.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/semsim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/semsim_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semsim_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/semsim_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/semsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/semsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

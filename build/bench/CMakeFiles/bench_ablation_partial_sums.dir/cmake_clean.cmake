@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial_sums.dir/bench_ablation_partial_sums.cc.o"
+  "CMakeFiles/bench_ablation_partial_sums.dir/bench_ablation_partial_sums.cc.o.d"
+  "bench_ablation_partial_sums"
+  "bench_ablation_partial_sums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial_sums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proposal.dir/bench_ablation_proposal.cc.o"
+  "CMakeFiles/bench_ablation_proposal.dir/bench_ablation_proposal.cc.o.d"
+  "bench_ablation_proposal"
+  "bench_ablation_proposal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proposal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

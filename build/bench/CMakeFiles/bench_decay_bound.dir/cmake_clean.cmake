@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decay_bound.dir/bench_decay_bound.cc.o"
+  "CMakeFiles/bench_decay_bound.dir/bench_decay_bound.cc.o.d"
+  "bench_decay_bound"
+  "bench_decay_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decay_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_query_times.dir/bench_fig4_query_times.cc.o"
+  "CMakeFiles/bench_fig4_query_times.dir/bench_fig4_query_times.cc.o.d"
+  "bench_fig4_query_times"
+  "bench_fig4_query_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_query_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

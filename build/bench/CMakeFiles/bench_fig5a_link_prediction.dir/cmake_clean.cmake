@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_link_prediction.dir/bench_fig5a_link_prediction.cc.o"
+  "CMakeFiles/bench_fig5a_link_prediction.dir/bench_fig5a_link_prediction.cc.o.d"
+  "bench_fig5a_link_prediction"
+  "bench_fig5a_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

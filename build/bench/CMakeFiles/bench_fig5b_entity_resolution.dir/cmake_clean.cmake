@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_entity_resolution.dir/bench_fig5b_entity_resolution.cc.o"
+  "CMakeFiles/bench_fig5b_entity_resolution.dir/bench_fig5b_entity_resolution.cc.o.d"
+  "bench_fig5b_entity_resolution"
+  "bench_fig5b_entity_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_entity_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_source.dir/bench_single_source.cc.o"
+  "CMakeFiles/bench_single_source.dir/bench_single_source.cc.o.d"
+  "bench_single_source"
+  "bench_single_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

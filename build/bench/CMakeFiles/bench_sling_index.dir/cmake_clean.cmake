@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sling_index.dir/bench_sling_index.cc.o"
+  "CMakeFiles/bench_sling_index.dir/bench_sling_index.cc.o.d"
+  "bench_sling_index"
+  "bench_sling_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sling_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_g2_reduction.dir/bench_table3_g2_reduction.cc.o"
+  "CMakeFiles/bench_table3_g2_reduction.dir/bench_table3_g2_reduction.cc.o.d"
+  "bench_table3_g2_reduction"
+  "bench_table3_g2_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_g2_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_relatedness.dir/bench_table5_relatedness.cc.o"
+  "CMakeFiles/bench_table5_relatedness.dir/bench_table5_relatedness.cc.o.d"
+  "bench_table5_relatedness"
+  "bench_table5_relatedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_relatedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topk_strategies.dir/bench_topk_strategies.cc.o"
+  "CMakeFiles/bench_topk_strategies.dir/bench_topk_strategies.cc.o.d"
+  "bench_topk_strategies"
+  "bench_topk_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topk_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_search.dir/author_search.cpp.o"
+  "CMakeFiles/author_search.dir/author_search.cpp.o.d"
+  "author_search"
+  "author_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_clustering.dir/community_clustering.cpp.o"
+  "CMakeFiles/community_clustering.dir/community_clustering.cpp.o.d"
+  "community_clustering"
+  "community_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

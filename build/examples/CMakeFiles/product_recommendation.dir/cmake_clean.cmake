@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_recommendation.dir/product_recommendation.cpp.o"
+  "CMakeFiles/product_recommendation.dir/product_recommendation.cpp.o.d"
+  "product_recommendation"
+  "product_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_cli.dir/semsim_cli.cpp.o"
+  "CMakeFiles/semsim_cli.dir/semsim_cli.cpp.o.d"
+  "semsim_cli"
+  "semsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

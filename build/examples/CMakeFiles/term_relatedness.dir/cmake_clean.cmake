@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_relatedness.dir/term_relatedness.cpp.o"
+  "CMakeFiles/term_relatedness.dir/term_relatedness.cpp.o.d"
+  "term_relatedness"
+  "term_relatedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_relatedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for term_relatedness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hetesim.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/hetesim.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/hetesim.cc.o.d"
+  "/root/repo/src/baselines/line.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/line.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/line.cc.o.d"
+  "/root/repo/src/baselines/panther.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/panther.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/panther.cc.o.d"
+  "/root/repo/src/baselines/pathsim.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/pathsim.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/pathsim.cc.o.d"
+  "/root/repo/src/baselines/prank.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/prank.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/prank.cc.o.d"
+  "/root/repo/src/baselines/relatedness.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/relatedness.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/relatedness.cc.o.d"
+  "/root/repo/src/baselines/simrankpp.cc" "src/baselines/CMakeFiles/semsim_baselines.dir/simrankpp.cc.o" "gcc" "src/baselines/CMakeFiles/semsim_baselines.dir/simrankpp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/semsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/semsim_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_baselines.dir/hetesim.cc.o"
+  "CMakeFiles/semsim_baselines.dir/hetesim.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/line.cc.o"
+  "CMakeFiles/semsim_baselines.dir/line.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/panther.cc.o"
+  "CMakeFiles/semsim_baselines.dir/panther.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/pathsim.cc.o"
+  "CMakeFiles/semsim_baselines.dir/pathsim.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/prank.cc.o"
+  "CMakeFiles/semsim_baselines.dir/prank.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/relatedness.cc.o"
+  "CMakeFiles/semsim_baselines.dir/relatedness.cc.o.d"
+  "CMakeFiles/semsim_baselines.dir/simrankpp.cc.o"
+  "CMakeFiles/semsim_baselines.dir/simrankpp.cc.o.d"
+  "libsemsim_baselines.a"
+  "libsemsim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

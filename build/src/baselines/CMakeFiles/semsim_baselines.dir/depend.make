@@ -1,0 +1,2 @@
+# Empty dependencies file for semsim_baselines.
+# This may be replaced when dependencies are built.

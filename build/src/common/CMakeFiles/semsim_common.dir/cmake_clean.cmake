@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_common.dir/stats.cc.o"
+  "CMakeFiles/semsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/semsim_common.dir/status.cc.o"
+  "CMakeFiles/semsim_common.dir/status.cc.o.d"
+  "CMakeFiles/semsim_common.dir/table_printer.cc.o"
+  "CMakeFiles/semsim_common.dir/table_printer.cc.o.d"
+  "libsemsim_common.a"
+  "libsemsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_walk_index.cc" "src/core/CMakeFiles/semsim_core.dir/dynamic_walk_index.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/dynamic_walk_index.cc.o.d"
+  "/root/repo/src/core/iterative.cc" "src/core/CMakeFiles/semsim_core.dir/iterative.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/iterative.cc.o.d"
+  "/root/repo/src/core/mc_semsim.cc" "src/core/CMakeFiles/semsim_core.dir/mc_semsim.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/mc_semsim.cc.o.d"
+  "/root/repo/src/core/mc_simrank.cc" "src/core/CMakeFiles/semsim_core.dir/mc_simrank.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/mc_simrank.cc.o.d"
+  "/root/repo/src/core/pair_graph.cc" "src/core/CMakeFiles/semsim_core.dir/pair_graph.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/pair_graph.cc.o.d"
+  "/root/repo/src/core/reduced_pair_graph.cc" "src/core/CMakeFiles/semsim_core.dir/reduced_pair_graph.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/reduced_pair_graph.cc.o.d"
+  "/root/repo/src/core/score_matrix.cc" "src/core/CMakeFiles/semsim_core.dir/score_matrix.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/score_matrix.cc.o.d"
+  "/root/repo/src/core/semsim_engine.cc" "src/core/CMakeFiles/semsim_core.dir/semsim_engine.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/semsim_engine.cc.o.d"
+  "/root/repo/src/core/single_source.cc" "src/core/CMakeFiles/semsim_core.dir/single_source.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/single_source.cc.o.d"
+  "/root/repo/src/core/sling_cache.cc" "src/core/CMakeFiles/semsim_core.dir/sling_cache.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/sling_cache.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/semsim_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/topk.cc.o.d"
+  "/root/repo/src/core/walk_index.cc" "src/core/CMakeFiles/semsim_core.dir/walk_index.cc.o" "gcc" "src/core/CMakeFiles/semsim_core.dir/walk_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/semsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/semsim_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

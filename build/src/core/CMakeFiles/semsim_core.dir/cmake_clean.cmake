@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_core.dir/dynamic_walk_index.cc.o"
+  "CMakeFiles/semsim_core.dir/dynamic_walk_index.cc.o.d"
+  "CMakeFiles/semsim_core.dir/iterative.cc.o"
+  "CMakeFiles/semsim_core.dir/iterative.cc.o.d"
+  "CMakeFiles/semsim_core.dir/mc_semsim.cc.o"
+  "CMakeFiles/semsim_core.dir/mc_semsim.cc.o.d"
+  "CMakeFiles/semsim_core.dir/mc_simrank.cc.o"
+  "CMakeFiles/semsim_core.dir/mc_simrank.cc.o.d"
+  "CMakeFiles/semsim_core.dir/pair_graph.cc.o"
+  "CMakeFiles/semsim_core.dir/pair_graph.cc.o.d"
+  "CMakeFiles/semsim_core.dir/reduced_pair_graph.cc.o"
+  "CMakeFiles/semsim_core.dir/reduced_pair_graph.cc.o.d"
+  "CMakeFiles/semsim_core.dir/score_matrix.cc.o"
+  "CMakeFiles/semsim_core.dir/score_matrix.cc.o.d"
+  "CMakeFiles/semsim_core.dir/semsim_engine.cc.o"
+  "CMakeFiles/semsim_core.dir/semsim_engine.cc.o.d"
+  "CMakeFiles/semsim_core.dir/single_source.cc.o"
+  "CMakeFiles/semsim_core.dir/single_source.cc.o.d"
+  "CMakeFiles/semsim_core.dir/sling_cache.cc.o"
+  "CMakeFiles/semsim_core.dir/sling_cache.cc.o.d"
+  "CMakeFiles/semsim_core.dir/topk.cc.o"
+  "CMakeFiles/semsim_core.dir/topk.cc.o.d"
+  "CMakeFiles/semsim_core.dir/walk_index.cc.o"
+  "CMakeFiles/semsim_core.dir/walk_index.cc.o.d"
+  "libsemsim_core.a"
+  "libsemsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

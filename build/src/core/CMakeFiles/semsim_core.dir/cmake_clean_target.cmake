@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemsim_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/amazon_gen.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/amazon_gen.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/amazon_gen.cc.o.d"
+  "/root/repo/src/datasets/aminer_gen.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/aminer_gen.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/aminer_gen.cc.o.d"
+  "/root/repo/src/datasets/dataset_io.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/dataset_io.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/dataset_io.cc.o.d"
+  "/root/repo/src/datasets/figure1.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/figure1.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/figure1.cc.o.d"
+  "/root/repo/src/datasets/gen_util.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/gen_util.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/gen_util.cc.o.d"
+  "/root/repo/src/datasets/wikipedia_gen.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/wikipedia_gen.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/wikipedia_gen.cc.o.d"
+  "/root/repo/src/datasets/wordnet_gen.cc" "src/datasets/CMakeFiles/semsim_datasets.dir/wordnet_gen.cc.o" "gcc" "src/datasets/CMakeFiles/semsim_datasets.dir/wordnet_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/semsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/semsim_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/semsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_datasets.dir/amazon_gen.cc.o"
+  "CMakeFiles/semsim_datasets.dir/amazon_gen.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/aminer_gen.cc.o"
+  "CMakeFiles/semsim_datasets.dir/aminer_gen.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/dataset_io.cc.o"
+  "CMakeFiles/semsim_datasets.dir/dataset_io.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/figure1.cc.o"
+  "CMakeFiles/semsim_datasets.dir/figure1.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/gen_util.cc.o"
+  "CMakeFiles/semsim_datasets.dir/gen_util.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/wikipedia_gen.cc.o"
+  "CMakeFiles/semsim_datasets.dir/wikipedia_gen.cc.o.d"
+  "CMakeFiles/semsim_datasets.dir/wordnet_gen.cc.o"
+  "CMakeFiles/semsim_datasets.dir/wordnet_gen.cc.o.d"
+  "libsemsim_datasets.a"
+  "libsemsim_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_eval.dir/baseline_suite.cc.o"
+  "CMakeFiles/semsim_eval.dir/baseline_suite.cc.o.d"
+  "CMakeFiles/semsim_eval.dir/clustering.cc.o"
+  "CMakeFiles/semsim_eval.dir/clustering.cc.o.d"
+  "CMakeFiles/semsim_eval.dir/tasks.cc.o"
+  "CMakeFiles/semsim_eval.dir/tasks.cc.o.d"
+  "libsemsim_eval.a"
+  "libsemsim_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_graph.dir/graph_io.cc.o"
+  "CMakeFiles/semsim_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/semsim_graph.dir/hin.cc.o"
+  "CMakeFiles/semsim_graph.dir/hin.cc.o.d"
+  "libsemsim_graph.a"
+  "libsemsim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/ic.cc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/ic.cc.o" "gcc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/ic.cc.o.d"
+  "/root/repo/src/taxonomy/lca.cc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/lca.cc.o" "gcc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/lca.cc.o.d"
+  "/root/repo/src/taxonomy/semantic_context.cc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/semantic_context.cc.o" "gcc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/semantic_context.cc.o.d"
+  "/root/repo/src/taxonomy/semantic_measure.cc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/semantic_measure.cc.o" "gcc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/semantic_measure.cc.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/taxonomy.cc.o" "gcc" "src/taxonomy/CMakeFiles/semsim_taxonomy.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/semsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/semsim_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semsim_taxonomy.dir/ic.cc.o"
+  "CMakeFiles/semsim_taxonomy.dir/ic.cc.o.d"
+  "CMakeFiles/semsim_taxonomy.dir/lca.cc.o"
+  "CMakeFiles/semsim_taxonomy.dir/lca.cc.o.d"
+  "CMakeFiles/semsim_taxonomy.dir/semantic_context.cc.o"
+  "CMakeFiles/semsim_taxonomy.dir/semantic_context.cc.o.d"
+  "CMakeFiles/semsim_taxonomy.dir/semantic_measure.cc.o"
+  "CMakeFiles/semsim_taxonomy.dir/semantic_measure.cc.o.d"
+  "CMakeFiles/semsim_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/semsim_taxonomy.dir/taxonomy.cc.o.d"
+  "libsemsim_taxonomy.a"
+  "libsemsim_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semsim_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

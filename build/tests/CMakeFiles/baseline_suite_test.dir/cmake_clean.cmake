@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_suite_test.dir/baseline_suite_test.cc.o"
+  "CMakeFiles/baseline_suite_test.dir/baseline_suite_test.cc.o.d"
+  "baseline_suite_test"
+  "baseline_suite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

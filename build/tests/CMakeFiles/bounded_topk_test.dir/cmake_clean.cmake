@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_topk_test.dir/bounded_topk_test.cc.o"
+  "CMakeFiles/bounded_topk_test.dir/bounded_topk_test.cc.o.d"
+  "bounded_topk_test"
+  "bounded_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

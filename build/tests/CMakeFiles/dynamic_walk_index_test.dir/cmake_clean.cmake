@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_walk_index_test.dir/dynamic_walk_index_test.cc.o"
+  "CMakeFiles/dynamic_walk_index_test.dir/dynamic_walk_index_test.cc.o.d"
+  "dynamic_walk_index_test"
+  "dynamic_walk_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_walk_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

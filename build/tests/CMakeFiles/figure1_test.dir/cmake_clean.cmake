@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_test.dir/figure1_test.cc.o"
+  "CMakeFiles/figure1_test.dir/figure1_test.cc.o.d"
+  "figure1_test"
+  "figure1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

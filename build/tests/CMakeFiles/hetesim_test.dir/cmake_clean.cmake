@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetesim_test.dir/hetesim_test.cc.o"
+  "CMakeFiles/hetesim_test.dir/hetesim_test.cc.o.d"
+  "hetesim_test"
+  "hetesim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

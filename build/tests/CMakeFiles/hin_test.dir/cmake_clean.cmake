@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hin_test.dir/hin_test.cc.o"
+  "CMakeFiles/hin_test.dir/hin_test.cc.o.d"
+  "hin_test"
+  "hin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ic_test.dir/ic_test.cc.o"
+  "CMakeFiles/ic_test.dir/ic_test.cc.o.d"
+  "ic_test"
+  "ic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_test.dir/iterative_test.cc.o"
+  "CMakeFiles/iterative_test.dir/iterative_test.cc.o.d"
+  "iterative_test"
+  "iterative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

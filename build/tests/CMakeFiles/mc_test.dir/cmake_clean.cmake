@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test.dir/mc_test.cc.o"
+  "CMakeFiles/mc_test.dir/mc_test.cc.o.d"
+  "mc_test"
+  "mc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_graph_test.dir/pair_graph_test.cc.o"
+  "CMakeFiles/pair_graph_test.dir/pair_graph_test.cc.o.d"
+  "pair_graph_test"
+  "pair_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

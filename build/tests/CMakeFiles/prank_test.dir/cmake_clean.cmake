@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prank_test.dir/prank_test.cc.o"
+  "CMakeFiles/prank_test.dir/prank_test.cc.o.d"
+  "prank_test"
+  "prank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduced_pair_graph_test.dir/reduced_pair_graph_test.cc.o"
+  "CMakeFiles/reduced_pair_graph_test.dir/reduced_pair_graph_test.cc.o.d"
+  "reduced_pair_graph_test"
+  "reduced_pair_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduced_pair_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

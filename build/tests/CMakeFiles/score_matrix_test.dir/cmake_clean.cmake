@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_matrix_test.dir/score_matrix_test.cc.o"
+  "CMakeFiles/score_matrix_test.dir/score_matrix_test.cc.o.d"
+  "score_matrix_test"
+  "score_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_measure_test.dir/semantic_measure_test.cc.o"
+  "CMakeFiles/semantic_measure_test.dir/semantic_measure_test.cc.o.d"
+  "semantic_measure_test"
+  "semantic_measure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_source_test.dir/single_source_test.cc.o"
+  "CMakeFiles/single_source_test.dir/single_source_test.cc.o.d"
+  "single_source_test"
+  "single_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

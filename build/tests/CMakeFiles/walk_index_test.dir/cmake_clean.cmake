@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_index_test.dir/walk_index_test.cc.o"
+  "CMakeFiles/walk_index_test.dir/walk_index_test.cc.o.d"
+  "walk_index_test"
+  "walk_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
