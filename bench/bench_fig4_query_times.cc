@@ -5,13 +5,22 @@
 // pruning, and with pruning (θ=0.05). The paper's shape: SemSim without
 // pruning is ~1-2 orders of magnitude slower (the d² normalizer loop);
 // pruning brings it to within a small factor of SimRank.
+//
+// Extension: --threads=N drives the same workload through the parallel
+// batch query engine (QueryBatch over the persistent pool with the
+// cross-query caches) at 1 and N threads, verifies the results are
+// bit-identical, and writes BENCH_queries.json with throughput and
+// cache hit rates for cross-PR tracking.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/batch_engine.h"
 #include "core/mc_semsim.h"
 #include "core/mc_simrank.h"
 #include "taxonomy/semantic_measure.h"
@@ -20,6 +29,7 @@ namespace semsim {
 namespace {
 
 constexpr int kQueryPairs = 300;
+constexpr int kBatchPairs = 2000;
 
 struct QueryTimes {
   double simrank_us;
@@ -78,7 +88,96 @@ QueryTimes Measure(const Dataset& dataset, const LinMeasure& lin, int num_walks,
   return times;
 }
 
-void Run() {
+// Batch-engine section: the paper-default workload (n_w=150, t=15) as a
+// query batch, at 1 thread and at the requested count.
+void RunBatch(const Dataset& dataset, const LinMeasure& lin,
+              int requested_threads) {
+  WalkIndexOptions wopt;
+  wopt.num_walks = 150;
+  wopt.walk_length = 15;
+  wopt.seed = 7;
+  WalkIndex index = WalkIndex::Build(dataset.graph, wopt);
+
+  Rng rng(23);
+  std::vector<NodePair> pairs;
+  size_t n = dataset.graph.num_nodes();
+  for (int i = 0; i < kBatchPairs; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    pairs.push_back({u, v});
+  }
+
+  int resolved = ThreadPool::ResolveThreadCount(requested_threads);
+  std::vector<int> counts = {1};
+  if (resolved != 1) counts.push_back(resolved);
+
+  bench::JsonBenchDoc doc("fig4_query_times");
+  doc.Add("dataset", dataset.name)
+      .Add("num_nodes", n)
+      .Add("num_pairs", kBatchPairs)
+      .Add("num_walks", 150)
+      .Add("walk_length", 15)
+      .Add("theta", 0.05)
+      .Add("requested_threads", requested_threads)
+      .Add("resolved_threads", resolved);
+
+  std::printf("\nbatch engine (n_w=150, t=15, theta=0.05, %d pairs), "
+              "requested --threads=%d -> resolved %d\n",
+              kBatchPairs, requested_threads, resolved);
+  TablePrinter table({"threads", "pass", "wall ms", "queries/s",
+                      "norm cache hit%", "sem cache hit%"});
+  std::vector<double> reference;
+  double base_ms = 0;
+  for (int threads : counts) {
+    BatchQueryEngineOptions opt;
+    opt.num_threads = threads;
+    opt.query = SemSimMcOptions{0.6, 0.05};
+    BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    for (const char* pass : {"cold", "warm"}) {
+      McQueryStats stats;
+      Timer t;
+      std::vector<double> results = engine.QueryBatch(pairs, &stats);
+      double wall_ms = t.ElapsedMillis();
+      double qps = kBatchPairs / (wall_ms / 1e3);
+      double norm_rate = engine.normalizer_cache()->hit_rate();
+      double sem_rate = engine.cached_semantic()->cache().hit_rate();
+      table.AddRow({std::to_string(threads), pass,
+                    TablePrinter::Num(wall_ms, 2), TablePrinter::Num(qps, 0),
+                    TablePrinter::Num(100 * norm_rate, 1),
+                    TablePrinter::Num(100 * sem_rate, 1)});
+      doc.BeginRecord()
+          .Field("threads", threads)
+          .Field("pass", pass)
+          .Field("wall_ms", wall_ms)
+          .Field("queries_per_sec", qps)
+          .Field("normalizer_cache_hit_rate", norm_rate)
+          .Field("semantic_cache_hit_rate", sem_rate)
+          .Field("shared_cache_hits", stats.shared_cache_hits)
+          .Field("normalizers_computed", stats.normalizers_computed)
+          .Field("met_walks", static_cast<int64_t>(stats.met_walks))
+          .Field("pruned_walks", static_cast<int64_t>(stats.pruned_walks));
+      if (std::string(pass) == "warm") {
+        if (threads == 1) {
+          base_ms = wall_ms;
+          reference = results;
+        } else {
+          bool identical = results == reference;
+          std::printf("batch results identical across 1 and %d threads: %s\n",
+                      threads, identical ? "yes" : "NO — DETERMINISM BUG");
+          std::printf("warm throughput speedup at %d threads: %.2fx\n",
+                      threads, base_ms / wall_ms);
+          doc.Add("results_identical_across_thread_counts", identical ? 1 : 0)
+              .Add("warm_speedup", base_ms / wall_ms);
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+  doc.WriteFile("BENCH_queries.json");
+}
+
+void Run(int requested_threads) {
   Dataset dataset = bench::AmazonMedium();
   bench::Banner("Fig4 / Amazon", dataset, 2);
   LinMeasure lin(&dataset.context);
@@ -111,12 +210,15 @@ void Run() {
       "(%.1fx), SemSim+pruning %.2f us (%.1fx)\n",
       def.simrank_us, def.semsim_us, def.semsim_us / def.simrank_us,
       def.semsim_pruned_us, def.semsim_pruned_us / def.simrank_us);
+
+  RunBatch(dataset, lin, requested_threads);
 }
 
 }  // namespace
 }  // namespace semsim
 
-int main() {
-  semsim::Run();
+int main(int argc, char** argv) {
+  int threads = semsim::bench::ParseIntFlag(argc, argv, "--threads", 0);
+  semsim::Run(threads);
   return 0;
 }

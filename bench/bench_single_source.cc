@@ -3,6 +3,11 @@
 // answers sim(u, ·) for every node. Compares the naive loop of n pair
 // queries against SingleSourceIndex for SimRank and SemSim, and verifies
 // both produce identical scores.
+// Extension: --threads=N additionally partitions the single-source
+// sweeps across the batch engine's persistent pool (one source per work
+// item, cross-query normalizer cache shared by all sweeps), verifies
+// batch output equals the serial sweeps, and writes
+// BENCH_single_source.json.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -10,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/batch_engine.h"
 #include "core/mc_simrank.h"
 #include "core/single_source.h"
 #include "taxonomy/semantic_measure.h"
@@ -19,7 +25,7 @@ namespace {
 
 constexpr int kQueries = 20;
 
-void Run() {
+void Run(int requested_threads) {
   Dataset dataset = bench::AmazonMedium();
   bench::Banner("Single-source queries / Amazon", dataset, 2);
   LinMeasure lin(&dataset.context);
@@ -107,12 +113,69 @@ void Run() {
   }
   std::printf("consistency: max |single-source - pairwise| = %.2e\n",
               max_diff);
+
+  // Parallel batch section: the same sweeps through the batch engine.
+  int resolved = ThreadPool::ResolveThreadCount(requested_threads);
+  std::printf("\nbatch engine, requested --threads=%d -> resolved %d\n",
+              requested_threads, resolved);
+  bench::JsonBenchDoc doc("single_source");
+  doc.Add("dataset", dataset.name)
+      .Add("num_nodes", dataset.graph.num_nodes())
+      .Add("num_sources", kQueries)
+      .Add("requested_threads", requested_threads)
+      .Add("resolved_threads", resolved)
+      .Add("serial_inverted_ms_per_source", inverted_semsim_ms);
+  TablePrinter batch_table({"threads", "pass", "ms/source", "sources/s",
+                            "norm cache hit%", "shared hits"});
+  bool all_identical = true;
+  for (int threads : resolved == 1 ? std::vector<int>{1}
+                                   : std::vector<int>{1, resolved}) {
+    BatchQueryEngineOptions opt;
+    opt.num_threads = threads;
+    opt.query = mc;
+    BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    for (const char* pass : {"cold", "warm"}) {
+      McQueryStats stats;
+      Timer t;
+      auto batch = engine.SingleSourceBatch(queries, &stats);
+      double wall_ms = t.ElapsedMillis();
+      for (size_t q = 0; q < queries.size(); ++q) {
+        if (batch[q] != inverted.SemSimFrom(queries[q], estimator, mc)) {
+          all_identical = false;
+        }
+      }
+      double per_source = wall_ms / kQueries;
+      batch_table.AddRow(
+          {std::to_string(threads), pass, TablePrinter::Num(per_source, 2),
+           TablePrinter::Num(kQueries / (wall_ms / 1e3), 1),
+           TablePrinter::Num(100 * engine.normalizer_cache()->hit_rate(), 1),
+           TablePrinter::Int(static_cast<long long>(stats.shared_cache_hits))});
+      doc.BeginRecord()
+          .Field("threads", threads)
+          .Field("pass", pass)
+          .Field("wall_ms", wall_ms)
+          .Field("ms_per_source", per_source)
+          .Field("sources_per_sec", kQueries / (wall_ms / 1e3))
+          .Field("normalizer_cache_hit_rate",
+                 engine.normalizer_cache()->hit_rate())
+          .Field("semantic_cache_hit_rate",
+                 engine.cached_semantic()->cache().hit_rate())
+          .Field("shared_cache_hits", stats.shared_cache_hits)
+          .Field("normalizers_computed", stats.normalizers_computed);
+    }
+  }
+  batch_table.Print(std::cout);
+  std::printf("batch sweeps identical to serial sweeps: %s\n",
+              all_identical ? "yes" : "NO — DETERMINISM BUG");
+  doc.Add("results_identical", all_identical ? 1 : 0);
+  doc.WriteFile("BENCH_single_source.json");
 }
 
 }  // namespace
 }  // namespace semsim
 
-int main() {
-  semsim::Run();
+int main(int argc, char** argv) {
+  int threads = semsim::bench::ParseIntFlag(argc, argv, "--threads", 0);
+  semsim::Run(threads);
   return 0;
 }

@@ -2,12 +2,16 @@
 // the Prop. 2.5 bound-driven scan (candidates in descending sem order,
 // early termination), and the inverted single-source sweep, all returning
 // the same answer. The future-work direction of Sec. 7 quantified.
+// Extension: --threads=N adds a parallel batch strategy (TopKBatch over
+// the persistent pool + cross-query caches), checks it returns exactly
+// the inverted single-source answer, and writes BENCH_topk.json.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/batch_engine.h"
 #include "core/single_source.h"
 #include "core/topk.h"
 #include "taxonomy/semantic_measure.h"
@@ -18,7 +22,7 @@ namespace {
 constexpr int kQueries = 15;
 constexpr size_t kK = 10;
 
-void Run() {
+void Run(int requested_threads) {
   Dataset dataset = bench::AmazonMedium();
   bench::Banner("Top-k strategies / Amazon", dataset, 2);
   LinMeasure lin(&dataset.context);
@@ -101,12 +105,69 @@ void Run() {
   std::printf("\nbounded scan agreement with naive scan: %zu / %zu top-%zu "
               "entries\n",
               agree, total, kK);
+
+  // Parallel batch strategy through the engine.
+  int resolved = ThreadPool::ResolveThreadCount(requested_threads);
+  std::printf("\nbatch engine, requested --threads=%d -> resolved %d\n",
+              requested_threads, resolved);
+  bench::JsonBenchDoc doc("topk_strategies");
+  doc.Add("dataset", dataset.name)
+      .Add("num_nodes", dataset.graph.num_nodes())
+      .Add("num_sources", kQueries)
+      .Add("k", kK)
+      .Add("requested_threads", requested_threads)
+      .Add("resolved_threads", resolved)
+      .Add("serial_naive_ms", naive_ms)
+      .Add("serial_bounded_ms", bounded_ms)
+      .Add("serial_inverted_ms", inverted_ms);
+  bool batch_matches = true;
+  for (int threads : resolved == 1 ? std::vector<int>{1}
+                                   : std::vector<int>{1, resolved}) {
+    BatchQueryEngineOptions opt;
+    opt.num_threads = threads;
+    opt.query = mc;
+    BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    for (const char* pass : {"cold", "warm"}) {
+      McQueryStats stats;
+      Timer t;
+      auto batch = engine.TopKBatch(queries, kK, &stats);
+      double wall_ms = t.ElapsedMillis();
+      for (size_t q = 0; q < queries.size(); ++q) {
+        auto serial = inverted.TopKFrom(queries[q], kK, estimator, mc);
+        if (batch[q].size() != serial.size()) batch_matches = false;
+        for (size_t i = 0; i < serial.size() && batch_matches; ++i) {
+          if (batch[q][i].node != serial[i].node ||
+              batch[q][i].score != serial[i].score) {
+            batch_matches = false;
+          }
+        }
+      }
+      doc.BeginRecord()
+          .Field("threads", threads)
+          .Field("pass", pass)
+          .Field("wall_ms", wall_ms)
+          .Field("ms_per_query", wall_ms / kQueries)
+          .Field("normalizer_cache_hit_rate",
+                 engine.normalizer_cache()->hit_rate())
+          .Field("semantic_cache_hit_rate",
+                 engine.cached_semantic()->cache().hit_rate())
+          .Field("shared_cache_hits", stats.shared_cache_hits);
+      std::printf("threads=%d %s: %.2f ms/query (norm cache hit %.1f%%)\n",
+                  threads, pass, wall_ms / kQueries,
+                  100 * engine.normalizer_cache()->hit_rate());
+    }
+  }
+  std::printf("batch top-k identical to inverted single-source: %s\n",
+              batch_matches ? "yes" : "NO — DETERMINISM BUG");
+  doc.Add("results_identical", batch_matches ? 1 : 0);
+  doc.WriteFile("BENCH_topk.json");
 }
 
 }  // namespace
 }  // namespace semsim
 
-int main() {
-  semsim::Run();
+int main(int argc, char** argv) {
+  int threads = semsim::bench::ParseIntFlag(argc, argv, "--threads", 0);
+  semsim::Run(threads);
   return 0;
 }

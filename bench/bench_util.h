@@ -1,8 +1,15 @@
 #ifndef SEMSIM_BENCH_BENCH_UTIL_H_
 #define SEMSIM_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/result.h"
@@ -13,6 +20,133 @@
 
 namespace semsim {
 namespace bench {
+
+/// Parses an integer `--name=value` flag from argv; returns fallback when
+/// absent. Used by the query benches for --threads.
+inline int ParseIntFlag(int argc, char** argv, const char* name,
+                        int fallback) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Machine-readable bench output: a flat header of scalar fields plus an
+/// array of per-measurement records, serialized as one JSON object so the
+/// perf trajectory (wall time, queries/sec, cache hit rates) is tracked
+/// across PRs. Numbers render with round-trip precision; non-finite
+/// doubles render as null.
+class JsonBenchDoc {
+ public:
+  explicit JsonBenchDoc(std::string bench_name) {
+    Add("bench", std::move(bench_name));
+  }
+
+  JsonBenchDoc& Add(const std::string& key, const std::string& value) {
+    header_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonBenchDoc& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonBenchDoc& Add(const std::string& key, double value) {
+    header_.emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBenchDoc& Add(const std::string& key, int64_t value) {
+    header_.emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBenchDoc& Add(const std::string& key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+  JsonBenchDoc& Add(const std::string& key, size_t value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+
+  /// Starts a new record in the "records" array; subsequent Field calls
+  /// attach to it.
+  JsonBenchDoc& BeginRecord() {
+    records_.emplace_back();
+    return *this;
+  }
+  JsonBenchDoc& Field(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonBenchDoc& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonBenchDoc& Field(const std::string& key, double value) {
+    records_.back().emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBenchDoc& Field(const std::string& key, int64_t value) {
+    records_.back().emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonBenchDoc& Field(const std::string& key, int value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+  JsonBenchDoc& Field(const std::string& key, size_t value) {
+    return Field(key, static_cast<int64_t>(value));
+  }
+
+  std::string Render() const {
+    std::string out = "{\n";
+    for (const auto& [key, rendered] : header_) {
+      out += "  " + Quote(key) + ": " + rendered + ",\n";
+    }
+    out += "  \"records\": [\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out += "    {";
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += Quote(records_[r][f].first) + ": " + records_[r][f].second;
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the document and tells the operator where it went.
+  void WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    SEMSIM_CHECK(out.good()) << "cannot write " << path;
+    out << Render();
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string Number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+  static std::string Number(int64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    return buf;
+  }
+
+  std::vector<std::pair<std::string, std::string>> header_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 /// Unwraps a Result in a bench harness, aborting with the status.
 template <typename T>

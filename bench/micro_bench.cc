@@ -4,6 +4,10 @@
 // query, and one iteration of the exact fixed-point sweep.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/iterative.h"
 #include "core/mc_semsim.h"
@@ -166,4 +170,29 @@ BENCHMARK(BM_PairGraphTransitions);
 }  // namespace
 }  // namespace semsim
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, except machine-readable output is on by default: unless
+// the caller passed their own --benchmark_out, results also land in
+// BENCH_micro.json (google-benchmark's JSON schema) so the perf
+// trajectory of the core primitives is tracked across PRs.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  static std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("wrote BENCH_micro.json\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build-and-test pass, then a
+# ThreadSanitizer build of the concurrency surface (pool, concurrent
+# caches, batch query engine) with its tests run under TSan.
+#
+# Usage: ci/check.sh [--tier1-only|--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+tier1() {
+  echo "=== tier-1: configure + build + ctest ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+tsan() {
+  echo "=== tsan: concurrency tests under ThreadSanitizer ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSEMSIM_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" \
+    --target parallel_test batch_query_test concurrent_cache_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'parallel_test|batch_query_test|concurrent_cache_test'
+}
+
+case "${MODE}" in
+  --tier1-only) tier1 ;;
+  --tsan-only) tsan ;;
+  all|*) tier1; tsan ;;
+esac
+
+echo "=== all checks passed ==="

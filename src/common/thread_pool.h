@@ -1,7 +1,10 @@
 #ifndef SEMSIM_COMMON_THREAD_POOL_H_
 #define SEMSIM_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -9,56 +12,165 @@
 
 namespace semsim {
 
-/// Minimal data-parallel helper for the library's embarrassingly
-/// parallel sweeps (fixed-point iterations over node pairs, walk
-/// sampling). The paper notes the random-walk approach "can be trivially
-/// parallelized" (Sec. 6); this is that triviality made explicit.
-/// Threads are spawned per call — the sweeps are coarse (milliseconds to
-/// seconds per call), so pool persistence would buy nothing.
-class ParallelRunner {
+/// Persistent worker pool for the library's data-parallel sweeps (fixed
+/// point iterations, walk sampling) and the batch query engine. The paper
+/// notes the random-walk approach "can be trivially parallelized"
+/// (Sec. 6); this pool makes the triviality cheap to invoke: workers are
+/// spawned once and parked on a condition variable between calls, so a
+/// ParallelFor costs a wakeup instead of N thread spawns — which matters
+/// once the unit of work is a single query (tens of microseconds) rather
+/// than a whole index build.
+///
+/// Scheduling is dynamic: the range is split into ~8 chunks per thread
+/// and threads claim chunks from a shared atomic cursor, so skewed
+/// per-item cost (a high-degree query next to a sem-pruned one) cannot
+/// idle the pool the way the old static partition did. Chunks are
+/// contiguous and processed left to right within each claimant, so
+/// callers that write disjoint per-item slots stay deterministic
+/// regardless of the thread count.
+///
+/// Thread-count resolution contract: `num_threads <= 0` resolves to
+/// std::thread::hardware_concurrency() (or 1 when the runtime reports 0);
+/// positive values are taken as-is, never truncated. The resolved count
+/// is exposed through num_threads() so harnesses can report it.
+class ThreadPool {
  public:
-  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
-  explicit ParallelRunner(int num_threads = 1) {
-    if (num_threads <= 0) {
-      unsigned hw = std::thread::hardware_concurrency();
-      num_threads = hw == 0 ? 1 : static_cast<int>(hw);
-    }
-    num_threads_ = num_threads;
+  /// Resolution rule above, usable without constructing a pool.
+  static int ResolveThreadCount(int requested) {
+    if (requested > 0) return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
+  explicit ThreadPool(int num_threads = 1)
+      : num_threads_(ResolveThreadCount(num_threads)) {
+    workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+    for (int t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// The resolved worker count (calling thread included).
   int num_threads() const { return num_threads_; }
 
-  /// Runs chunk_fn(begin, end) over a static partition of [begin, end).
-  /// Chunks are contiguous, non-overlapping, and cover the range; the
-  /// calling thread processes the first chunk. Blocks until every chunk
-  /// finished. chunk_fn must not touch state shared across chunks
-  /// without its own synchronization.
+  /// Runs chunk_fn(lo, hi) over contiguous, non-overlapping chunks
+  /// covering [begin, end). The calling thread participates; the call
+  /// blocks until every chunk finished. chunk_fn must not touch state
+  /// shared across chunks without its own synchronization. Concurrent
+  /// ParallelFor calls from distinct threads serialize; a nested call
+  /// from inside a chunk runs inline on the calling thread (no
+  /// deadlock, no extra parallelism).
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& chunk_fn) const {
     SEMSIM_CHECK(begin <= end);
     size_t total = end - begin;
     if (total == 0) return;
-    size_t threads = std::min<size_t>(static_cast<size_t>(num_threads_), total);
-    if (threads <= 1) {
+    if (num_threads_ == 1 || total == 1 || InPoolRegion()) {
       chunk_fn(begin, end);
       return;
     }
-    size_t chunk = (total + threads - 1) / threads;
-    std::vector<std::thread> workers;
-    workers.reserve(threads - 1);
-    for (size_t t = 1; t < threads; ++t) {
-      size_t lo = begin + t * chunk;
-      size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) break;
-      workers.emplace_back([&chunk_fn, lo, hi] { chunk_fn(lo, hi); });
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    size_t num_chunks =
+        std::min(total, static_cast<size_t>(num_threads_) * 8);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_begin_ = begin;
+      job_end_ = end;
+      job_chunk_size_ = (total + num_chunks - 1) / num_chunks;
+      job_num_chunks_ = num_chunks;
+      job_fn_ = &chunk_fn;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      completed_chunks_.store(0, std::memory_order_relaxed);
+      ++epoch_;
     }
-    chunk_fn(begin, std::min(end, begin + chunk));
-    for (std::thread& w : workers) w.join();
+    job_cv_.notify_all();
+    RunChunks();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this, num_chunks] {
+      return active_workers_ == 0 &&
+             completed_chunks_.load(std::memory_order_acquire) == num_chunks;
+    });
+    job_fn_ = nullptr;
   }
 
  private:
+  static bool& InPoolRegionFlag() {
+    thread_local bool in_region = false;
+    return in_region;
+  }
+  static bool InPoolRegion() { return InPoolRegionFlag(); }
+
+  // Claims and executes chunks of the current job until the cursor is
+  // exhausted. Called by the submitting thread and by woken workers;
+  // both read the job fields only after synchronizing on mu_.
+  void RunChunks() const {
+    InPoolRegionFlag() = true;
+    while (true) {
+      size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_num_chunks_) break;
+      size_t lo = job_begin_ + c * job_chunk_size_;
+      size_t hi = std::min(job_end_, lo + job_chunk_size_);
+      (*job_fn_)(lo, hi);
+      completed_chunks_.fetch_add(1, std::memory_order_release);
+    }
+    InPoolRegionFlag() = false;
+  }
+
+  void WorkerLoop() const {
+    uint64_t seen_epoch = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      job_cv_.wait(lock,
+                   [this, seen_epoch] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++active_workers_;
+      lock.unlock();
+      RunChunks();
+      lock.lock();
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+
   int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Serializes ParallelFor submissions from distinct caller threads.
+  mutable std::mutex run_mu_;
+
+  // Job state. Written under mu_ by the submitter before the epoch bump;
+  // workers read it only after observing the bump under mu_.
+  mutable std::mutex mu_;
+  mutable std::condition_variable job_cv_;
+  mutable std::condition_variable done_cv_;
+  mutable uint64_t epoch_ = 0;
+  mutable int active_workers_ = 0;
+  mutable bool stop_ = false;
+  mutable size_t job_begin_ = 0;
+  mutable size_t job_end_ = 0;
+  mutable size_t job_chunk_size_ = 0;
+  mutable size_t job_num_chunks_ = 0;
+  mutable const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  mutable std::atomic<size_t> next_chunk_{0};
+  mutable std::atomic<size_t> completed_chunks_{0};
 };
+
+/// Historical name: the spawn-per-call runner this pool replaced. Existing
+/// call sites (walk-index build, iterative sweeps) keep compiling; they
+/// now get a persistent pool scoped to the enclosing computation.
+using ParallelRunner = ThreadPool;
 
 }  // namespace semsim
 

@@ -1,0 +1,118 @@
+#include "core/batch_engine.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+BatchQueryEngine::BatchQueryEngine(const Hin* graph,
+                                   const SemanticMeasure* semantic,
+                                   const WalkIndex* index,
+                                   const BatchQueryEngineOptions& options,
+                                   const PairNormalizerCache* static_cache)
+    : graph_(graph),
+      semantic_(semantic),
+      index_(index),
+      options_(options),
+      pool_(options.num_threads) {
+  SEMSIM_CHECK(graph != nullptr && semantic != nullptr && index != nullptr);
+  const SemanticMeasure* measure = semantic_;
+  if (options_.semantic_cache_capacity > 0) {
+    cached_semantic_ = std::make_unique<CachedSemanticMeasure>(
+        semantic_, options_.semantic_cache_capacity);
+    measure = cached_semantic_.get();
+  }
+  estimator_ = std::make_unique<SemSimMcEstimator>(graph_, measure, index_,
+                                                   static_cache);
+  if (options_.normalizer_cache_capacity > 0) {
+    normalizer_cache_ = std::make_unique<ConcurrentPairCache>(
+        options_.normalizer_cache_capacity);
+    estimator_->set_shared_cache(normalizer_cache_.get());
+  }
+}
+
+std::vector<double> BatchQueryEngine::QueryBatch(
+    std::span<const NodePair> pairs, McQueryStats* stats) const {
+  return estimator_->QueryBatch(pairs, options_.query, pool_, stats);
+}
+
+const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
+  std::lock_guard<std::mutex> lock(inverted_mu_);
+  if (!inverted_) {
+    inverted_ = std::make_unique<SingleSourceIndex>(
+        SingleSourceIndex::Build(*index_, graph_->num_nodes()));
+  }
+  return *inverted_;
+}
+
+std::vector<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
+    std::span<const NodeId> sources, McQueryStats* stats) const {
+  return ParallelSemSimFrom(InvertedIndex(), sources, *estimator_,
+                            options_.query, pool_, stats);
+}
+
+std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
+    std::span<const NodeId> sources, size_t k, McQueryStats* stats) const {
+  return ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_,
+                          options_.query, pool_, stats);
+}
+
+size_t BatchQueryEngine::MemoryBytes() const {
+  size_t total = 0;
+  if (normalizer_cache_) total += normalizer_cache_->MemoryBytes();
+  if (cached_semantic_) total += cached_semantic_->cache().MemoryBytes();
+  std::lock_guard<std::mutex> lock(inverted_mu_);
+  if (inverted_) total += inverted_->MemoryBytes();
+  return total;
+}
+
+namespace {
+
+// Shared shape of the two drivers: each source is one work item, chunks
+// are claimed dynamically (source cost is skewed by degree and semantic
+// pruning), per-thread stats partials merge commutatively.
+template <typename Result, typename PerSource>
+std::vector<Result> PerSourceParallel(std::span<const NodeId> sources,
+                                      const ThreadPool& pool,
+                                      McQueryStats* stats,
+                                      const PerSource& per_source) {
+  std::vector<Result> results(sources.size());
+  std::mutex stats_mu;
+  pool.ParallelFor(0, sources.size(), [&](size_t begin, size_t end) {
+    McQueryStats local;
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = per_source(sources[i], stats ? &local : nullptr);
+    }
+    if (stats) {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats->Merge(local);
+    }
+  });
+  return results;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> ParallelSemSimFrom(
+    const SingleSourceIndex& inverted, std::span<const NodeId> sources,
+    const SemSimMcEstimator& estimator, const SemSimMcOptions& options,
+    const ThreadPool& pool, McQueryStats* stats) {
+  return PerSourceParallel<std::vector<double>>(
+      sources, pool, stats, [&](NodeId u, McQueryStats* local) {
+        return inverted.SemSimFrom(u, estimator, options, local);
+      });
+}
+
+std::vector<std::vector<Scored>> ParallelTopKFrom(
+    const SingleSourceIndex& inverted, std::span<const NodeId> sources,
+    size_t k, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options, const ThreadPool& pool,
+    McQueryStats* stats) {
+  return PerSourceParallel<std::vector<Scored>>(
+      sources, pool, stats, [&](NodeId u, McQueryStats* local) {
+        return inverted.TopKFrom(u, k, estimator, options, local);
+      });
+}
+
+}  // namespace semsim

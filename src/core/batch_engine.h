@@ -1,0 +1,126 @@
+#ifndef SEMSIM_CORE_BATCH_ENGINE_H_
+#define SEMSIM_CORE_BATCH_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/concurrent_cache.h"
+#include "core/mc_semsim.h"
+#include "core/single_source.h"
+#include "core/topk.h"
+#include "core/walk_index.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Configuration of the parallel batch query engine.
+struct BatchQueryEngineOptions {
+  /// Worker count; <= 0 resolves to hardware concurrency (the resolved
+  /// value is reported by BatchQueryEngine::num_threads()).
+  int num_threads = 0;
+  /// Slot budget of the cross-query SO-normalizer cache. 0 disables it.
+  size_t normalizer_cache_capacity = 1 << 20;
+  /// Slot budget of the memoizing sem(·,·) cache wrapped around the
+  /// semantic measure. 0 disables memoization.
+  size_t semantic_cache_capacity = 1 << 20;
+  /// Query-time parameters applied to every batch item.
+  SemSimMcOptions query{0.6, 0.05};
+};
+
+/// The parallel batch query engine: owns a persistent ThreadPool and the
+/// two cross-query concurrent caches, and drives single-pair, full
+/// single-source, and top-k SemSim workloads over them. This is the
+/// serving substrate the ROADMAP's scaling PRs (sharding, async) build
+/// on: queries arrive as batches, the pool partitions them with dynamic
+/// chunking, and per-pair state (SO normalizers, sem values) is reused
+/// across queries and threads instead of dying with each QueryContext.
+///
+/// Determinism contract: for a fixed graph/measure/walk index and fixed
+/// batch, every result vector is bit-identical for every thread count
+/// and regardless of prior cache contents. This holds because (a) each
+/// item is computed in isolation and written to its own slot, (b) the
+/// estimator draws no randomness at query time (all sampling happened
+/// at walk-index build, seeded per node), and (c) both caches store
+/// values that are bit-exact functions of their canonical pair key.
+class BatchQueryEngine {
+ public:
+  /// `graph`, `semantic`, and `index` must outlive the engine. The
+  /// optional SLING-style `static_cache` is consulted before the
+  /// concurrent caches, exactly as in SemSimMcEstimator.
+  BatchQueryEngine(const Hin* graph, const SemanticMeasure* semantic,
+                   const WalkIndex* index,
+                   const BatchQueryEngineOptions& options = {},
+                   const PairNormalizerCache* static_cache = nullptr);
+
+  /// results[i] == estimator().Query(pairs[i], ...) for every i.
+  std::vector<double> QueryBatch(std::span<const NodePair> pairs,
+                                 McQueryStats* stats = nullptr) const;
+
+  /// Full single-source sweeps, one per requested source, partitioned
+  /// across the pool (each source is one work item; the inverted index
+  /// is built lazily on first use). results[i][v] == sim(sources[i], v).
+  std::vector<std::vector<double>> SingleSourceBatch(
+      std::span<const NodeId> sources, McQueryStats* stats = nullptr) const;
+
+  /// Top-k per requested source through the inverted single-source
+  /// sweep. Ties broken by node id, as everywhere in the library.
+  std::vector<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
+                                             size_t k,
+                                             McQueryStats* stats =
+                                                 nullptr) const;
+
+  const SemSimMcEstimator& estimator() const { return *estimator_; }
+  const ThreadPool& pool() const { return pool_; }
+  /// Resolved worker count (satellite of the num_threads <= 0 contract).
+  int num_threads() const { return pool_.num_threads(); }
+  const SemSimMcOptions& query_options() const { return options_.query; }
+
+  /// Cross-query cache instrumentation for bench JSON output. The
+  /// normalizer cache also counts per-query-context misses it could not
+  /// see; rates below are lifetime shard-level hit fractions.
+  const ConcurrentPairCache* normalizer_cache() const {
+    return normalizer_cache_.get();
+  }
+  const CachedSemanticMeasure* cached_semantic() const {
+    return cached_semantic_.get();
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  const SingleSourceIndex& InvertedIndex() const;
+
+  const Hin* graph_;
+  const SemanticMeasure* semantic_;
+  const WalkIndex* index_;
+  BatchQueryEngineOptions options_;
+  ThreadPool pool_;
+  std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
+  std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
+  std::unique_ptr<SemSimMcEstimator> estimator_;
+  // Lazily built inverted index (guarded; build is idempotent).
+  mutable std::mutex inverted_mu_;
+  mutable std::unique_ptr<SingleSourceIndex> inverted_;
+};
+
+/// Free-standing parallel single-source driver: one SemSimFrom sweep per
+/// source, partitioned across `pool`. Usable without a BatchQueryEngine
+/// when the caller already owns an inverted index and estimator.
+std::vector<std::vector<double>> ParallelSemSimFrom(
+    const SingleSourceIndex& inverted, std::span<const NodeId> sources,
+    const SemSimMcEstimator& estimator, const SemSimMcOptions& options,
+    const ThreadPool& pool, McQueryStats* stats = nullptr);
+
+/// Free-standing parallel top-k driver over the inverted index.
+std::vector<std::vector<Scored>> ParallelTopKFrom(
+    const SingleSourceIndex& inverted, std::span<const NodeId> sources,
+    size_t k, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options, const ThreadPool& pool,
+    McQueryStats* stats = nullptr);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_BATCH_ENGINE_H_

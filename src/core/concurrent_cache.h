@@ -1,0 +1,218 @@
+#ifndef SEMSIM_CORE_CONCURRENT_CACHE_H_
+#define SEMSIM_CORE_CONCURRENT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/types.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+/// Thread-safe, sharded, capacity-bounded cache from unordered node
+/// pairs to doubles — the cross-query state behind the batch engine.
+/// SLING and ProbeSim both show that single-source/top-k SimRank
+/// throughput comes from shared, reusable per-pair state; this is that
+/// state for SemSim's two expensive pair functions (SO normalizers and
+/// sem(·,·) values).
+///
+/// Layout: keys are canonicalized (min, max) and packed into one
+/// uint64; shards are selected by key hash, each shard an
+/// open-addressing table (linear probing, bounded probe window) under
+/// its own mutex, so contention is striped and no rehash ever happens.
+/// Capacity is fixed at construction: when every slot of a probe
+/// window is taken, the insert displaces the window's first entry
+/// (cheap clock-less eviction). Values must be deterministic functions
+/// of the key — a displaced entry is recomputed bit-identically later,
+/// which is what keeps batch results independent of thread count and
+/// cache history.
+class ConcurrentPairCache {
+ public:
+  /// `capacity` is rounded up per shard to a power of two; total slot
+  /// count ends up >= capacity. `num_shards` is rounded to a power of
+  /// two and bounded by the slot count.
+  explicit ConcurrentPairCache(size_t capacity = 1 << 20,
+                               size_t num_shards = 64) {
+    if (capacity == 0) capacity = 1;
+    if (num_shards == 0) num_shards = 1;
+    while (num_shards * kProbeWindow > RoundUpPow2(capacity) &&
+           num_shards > 1) {
+      num_shards /= 2;
+    }
+    num_shards = RoundUpPow2(num_shards);
+    size_t per_shard = RoundUpPow2((capacity + num_shards - 1) / num_shards);
+    if (per_shard < kProbeWindow) per_shard = kProbeWindow;
+    shards_ = std::vector<Shard>(num_shards);
+    for (Shard& s : shards_) {
+      s.slots.assign(per_shard, Slot{kEmptyKey, 0.0});
+    }
+    shard_mask_ = num_shards - 1;
+    slot_mask_ = per_shard - 1;
+  }
+
+  /// Returns true and sets *value when the pair is cached.
+  bool Lookup(NodeId u, NodeId v, double* value) const {
+    uint64_t key = PackKey(u, v);
+    uint64_t h = Mix(key);
+    const Shard& shard = shards_[h & shard_mask_];
+    size_t base = (h >> kShardBits) & slot_mask_;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      const Slot& slot = shard.slots[(base + i) & slot_mask_];
+      if (slot.key == key) {
+        *value = slot.value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (slot.key == kEmptyKey) break;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Inserts (or refreshes) the pair. When the probe window is full the
+  /// first probed slot is displaced, keeping the table bounded.
+  void Insert(NodeId u, NodeId v, double value) {
+    uint64_t key = PackKey(u, v);
+    uint64_t h = Mix(key);
+    Shard& shard = shards_[h & shard_mask_];
+    size_t base = (h >> kShardBits) & slot_mask_;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t victim = base & slot_mask_;
+    for (size_t i = 0; i < kProbeWindow; ++i) {
+      Slot& slot = shard.slots[(base + i) & slot_mask_];
+      if (slot.key == key) {
+        slot.value = value;
+        return;
+      }
+      if (slot.key == kEmptyKey) {
+        victim = (base + i) & slot_mask_;
+        ++shard.used;
+        break;
+      }
+    }
+    shard.slots[victim] = Slot{key, value};
+  }
+
+  void Clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (Slot& slot : s.slots) slot = Slot{kEmptyKey, 0.0};
+      s.used = 0;
+    }
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Occupied slots (exact; takes every shard lock).
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total += s.used;
+    }
+    return total;
+  }
+
+  size_t capacity() const { return shards_.size() * (slot_mask_ + 1); }
+  size_t num_shards() const { return shards_.size(); }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double hit_rate() const {
+    uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / (h + m);
+  }
+  void ResetCounters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t MemoryBytes() const { return capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    double value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+    size_t used = 0;
+
+    Shard() = default;
+    // vector<Shard> construction only; never copied while live.
+    Shard(const Shard& o) : slots(o.slots), used(o.used) {}
+  };
+
+  // (kInvalidNode, kInvalidNode) cannot name a real pair.
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+  static constexpr size_t kProbeWindow = 8;
+  static constexpr int kShardBits = 16;  // hash bits consumed by sharding
+
+  static size_t RoundUpPow2(size_t x) {
+    size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  static uint64_t PackKey(NodeId u, NodeId v) {
+    NodeId lo = u <= v ? u : v;
+    NodeId hi = u <= v ? v : u;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  // SplitMix64 finalizer (same mix as NodePairHash).
+  static uint64_t Mix(uint64_t k) {
+    k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    k = (k ^ (k >> 27)) * 0x94D049BB133111EBULL;
+    return k ^ (k >> 31);
+  }
+
+  std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
+  size_t slot_mask_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// Memoizing decorator over any SemanticMeasure: serves sem(u,v) from a
+/// ConcurrentPairCache, computing through the wrapped measure on miss.
+/// Normalizer's d² loop asks for the same (in-neighbor, in-neighbor)
+/// pairs across every query that walks near them — across queries those
+/// repeats are where the Lin/LCA time goes. Self-pairs short-circuit to
+/// 1 (constraint (2)) without touching the cache. Because the wrapped
+/// measure is deterministic, memoized answers are bit-identical to
+/// direct ones, preserving the batch engine's determinism contract.
+class CachedSemanticMeasure : public SemanticMeasure {
+ public:
+  /// `base` must outlive the decorator.
+  explicit CachedSemanticMeasure(const SemanticMeasure* base,
+                                 size_t capacity = 1 << 20)
+      : base_(base), cache_(capacity) {}
+
+  double Sim(NodeId u, NodeId v) const override {
+    if (u == v) return 1.0;
+    double value;
+    if (cache_.Lookup(u, v, &value)) return value;
+    value = base_->Sim(u, v);
+    cache_.Insert(u, v, value);
+    return value;
+  }
+
+  std::string_view name() const override { return base_->name(); }
+
+  const ConcurrentPairCache& cache() const { return cache_; }
+  ConcurrentPairCache& cache() { return cache_; }
+  const SemanticMeasure& base() const { return *base_; }
+
+ private:
+  const SemanticMeasure* base_;
+  mutable ConcurrentPairCache cache_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_CONCURRENT_CACHE_H_

@@ -1,5 +1,6 @@
 #include "core/mc_semsim.h"
 
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -19,16 +20,34 @@ double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
   }
   auto it = context->normalizers.find(NodePair{u, v});
   if (it != context->normalizers.end()) return it->second;
+  if (shared_cache_ != nullptr) {
+    // Cross-query state: another query (possibly on another thread) may
+    // already have paid the d² loop for this pair. A hit is copied into
+    // the lock-free per-query memo so repeats stay off the shard locks.
+    double cached;
+    if (shared_cache_->Lookup(u, v, &cached)) {
+      if (stats) ++stats->shared_cache_hits;
+      context->normalizers.emplace(NodePair{u, v}, cached);
+      return cached;
+    }
+  }
   if (stats) ++stats->normalizers_computed;
-  auto in_u = graph_->InNeighbors(u);
-  auto in_v = graph_->InNeighbors(v);
+  // SO is symmetric; summing in canonical (lo, hi) orientation makes the
+  // value a bit-exact function of the unordered pair, so the shared
+  // cache may canonicalize its key without results depending on which
+  // orientation reached the pair first.
+  NodeId lo = u <= v ? u : v;
+  NodeId hi = u <= v ? v : u;
+  auto in_lo = graph_->InNeighbors(lo);
+  auto in_hi = graph_->InNeighbors(hi);
   double norm = 0;
-  for (const Neighbor& a : in_u) {
-    for (const Neighbor& b : in_v) {
+  for (const Neighbor& a : in_lo) {
+    for (const Neighbor& b : in_hi) {
       norm += a.weight * b.weight * semantic_->Sim(a.node, b.node);
     }
   }
   context->normalizers.emplace(NodePair{u, v}, norm);
+  if (shared_cache_ != nullptr) shared_cache_->Insert(u, v, norm);
   return norm;
 }
 
@@ -101,6 +120,25 @@ double SemSimMcEstimator::Query(NodeId u, NodeId v,
     total += CoupledWalkScore(u, v, w, meet, options, &context, stats);
   }
   return sem_uv * total / static_cast<double>(index_->num_walks());
+}
+
+std::vector<double> SemSimMcEstimator::QueryBatch(
+    std::span<const NodePair> pairs, const SemSimMcOptions& options,
+    const ThreadPool& pool, McQueryStats* stats) const {
+  std::vector<double> results(pairs.size());
+  std::mutex stats_mu;
+  pool.ParallelFor(0, pairs.size(), [&](size_t begin, size_t end) {
+    McQueryStats local;
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = Query(pairs[i].first, pairs[i].second, options,
+                         stats ? &local : nullptr);
+    }
+    if (stats) {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats->Merge(local);
+    }
+  });
+  return results;
 }
 
 WalkAccuracy RequiredWalkParameters(double epsilon, double delta,

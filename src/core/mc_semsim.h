@@ -2,9 +2,13 @@
 #define SEMSIM_CORE_MC_SEMSIM_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/concurrent_cache.h"
 #include "core/sling_cache.h"
 #include "core/walk_index.h"
 #include "graph/hin.h"
@@ -35,6 +39,20 @@ struct McQueryStats {
   int64_t normalizers_computed = 0;
   /// Normalizer lookups answered by the SLING-style cache.
   int64_t normalizer_cache_hits = 0;
+  /// Normalizer lookups answered by the cross-query concurrent cache.
+  int64_t shared_cache_hits = 0;
+
+  /// Accumulates `other` into this record (counter sums; sem_pruned
+  /// becomes a count-like OR). Sums commute, so merging per-thread
+  /// partials yields the same totals for every thread count.
+  void Merge(const McQueryStats& other) {
+    met_walks += other.met_walks;
+    pruned_walks += other.pruned_walks;
+    sem_pruned = sem_pruned || other.sem_pruned;
+    normalizers_computed += other.normalizers_computed;
+    normalizer_cache_hits += other.normalizer_cache_hits;
+    shared_cache_hits += other.shared_cache_hits;
+  }
 };
 
 /// Single-pair SemSim estimator implementing the paper's Algorithm 1:
@@ -52,10 +70,31 @@ class SemSimMcEstimator {
                     const PairNormalizerCache* cache = nullptr)
       : graph_(graph), semantic_(semantic), index_(index), cache_(cache) {}
 
+  /// Installs a cross-query normalizer cache shared by every thread and
+  /// every subsequent query. Consulted after the static SLING cache and
+  /// the per-query context; computed normalizers are published to it.
+  /// Values are deterministic functions of the pair, so cache history
+  /// never changes results. Pass nullptr to detach. The cache must
+  /// outlive the estimator (or the detach).
+  void set_shared_cache(ConcurrentPairCache* cache) { shared_cache_ = cache; }
+  const ConcurrentPairCache* shared_cache() const { return shared_cache_; }
+
   /// Estimates sim(u, v). Unbiased for θ = 0 (Prop. 4.4); with θ > 0 the
   /// additional one-sided error is bounded by θ (Prop. 4.6).
   double Query(NodeId u, NodeId v, const SemSimMcOptions& options,
                McQueryStats* stats = nullptr) const;
+
+  /// Batch form of Query: results[i] == Query(pairs[i].first,
+  /// pairs[i].second, options) for every i, with the items partitioned
+  /// dynamically across `pool`. Deterministic and thread-count
+  /// independent: each item is estimated in isolation (per-item
+  /// accumulation order is fixed by the walk index, queries draw no
+  /// randomness) and written to its own slot; per-thread stats partials
+  /// are merged by commutative sums into *stats.
+  std::vector<double> QueryBatch(std::span<const NodePair> pairs,
+                                 const SemSimMcOptions& options,
+                                 const ThreadPool& pool,
+                                 McQueryStats* stats = nullptr) const;
 
   /// Reusable per-source scratch state: SO normalizers computed along
   /// coupled-walk prefixes. Sharing one context across many queries with
@@ -90,6 +129,7 @@ class SemSimMcEstimator {
   const SemanticMeasure* semantic_;
   const WalkIndex* index_;
   const PairNormalizerCache* cache_;
+  ConcurrentPairCache* shared_cache_ = nullptr;
 };
 
 /// Sampling parameters guaranteeing a target accuracy (Prop. 4.2): with

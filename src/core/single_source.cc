@@ -106,7 +106,7 @@ std::vector<double> SingleSourceIndex::SimRankFrom(NodeId u,
 
 std::vector<double> SingleSourceIndex::SemSimFrom(
     NodeId u, const SemSimMcEstimator& estimator,
-    const SemSimMcOptions& options) const {
+    const SemSimMcOptions& options, McQueryStats* stats) const {
   SEMSIM_DCHECK(&estimator.index() == index_)
       << "estimator wraps a different walk index";
   std::vector<double> scores(num_nodes_, 0.0);
@@ -124,8 +124,9 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
           (options.theta > 0 && sem.Sim(u, v) <= options.theta) ? 0 : 1;
     }
     if (!sem_ok[v]) continue;
-    scores[v] +=
-        estimator.CoupledWalkScore(u, v, m.walk, m.step, options, &context);
+    if (stats) ++stats->met_walks;
+    scores[v] += estimator.CoupledWalkScore(u, v, m.walk, m.step, options,
+                                            &context, stats);
   }
   double inv = 1.0 / static_cast<double>(num_walks_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
@@ -137,8 +138,8 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
 
 std::vector<Scored> SingleSourceIndex::TopKFrom(
     NodeId u, size_t k, const SemSimMcEstimator& estimator,
-    const SemSimMcOptions& options) const {
-  std::vector<double> scores = SemSimFrom(u, estimator, options);
+    const SemSimMcOptions& options, McQueryStats* stats) const {
+  std::vector<double> scores = SemSimFrom(u, estimator, options, stats);
   return CallbackTopK(num_nodes_, u, k, nullptr,
                       [&](NodeId v) { return scores[v]; });
 }

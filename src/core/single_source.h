@@ -51,14 +51,17 @@ class SingleSourceIndex {
   /// estimator.Query(u, v, options) for every v, but meeting detection is
   /// shared through this index and SO normalizers are shared through one
   /// QueryContext across all candidates. `estimator` must wrap the same
-  /// WalkIndex this index was built from.
+  /// WalkIndex this index was built from. Instrumentation for the whole
+  /// sweep accumulates into *stats when given.
   std::vector<double> SemSimFrom(NodeId u, const SemSimMcEstimator& estimator,
-                                 const SemSimMcOptions& options) const;
+                                 const SemSimMcOptions& options,
+                                 McQueryStats* stats = nullptr) const;
 
   /// Top-k via SemSimFrom. Ties broken by node id.
   std::vector<Scored> TopKFrom(NodeId u, size_t k,
                                const SemSimMcEstimator& estimator,
-                               const SemSimMcOptions& options) const;
+                               const SemSimMcOptions& options,
+                               McQueryStats* stats = nullptr) const;
 
   size_t MemoryBytes() const {
     return entries_.size() * sizeof(Entry) +

@@ -1,0 +1,188 @@
+#include "core/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mc_semsim.h"
+#include "core/single_source.h"
+#include "core/walk_index.h"
+#include "datasets/aminer_gen.h"
+#include "datasets/figure1.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+// Deterministic random-ish query pairs covering every node at least once.
+std::vector<NodePair> MakePairs(size_t num_nodes, size_t count) {
+  std::vector<NodePair> pairs;
+  Rng rng(91);
+  for (size_t i = 0; i < count; ++i) {
+    NodeId u = static_cast<NodeId>(i % num_nodes);
+    NodeId v = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    pairs.push_back(NodePair{u, v});
+  }
+  return pairs;
+}
+
+struct Fixture {
+  Dataset dataset;
+  LinMeasure lin;
+  WalkIndex index;
+
+  explicit Fixture(Dataset d, int num_walks = 60, int walk_length = 10)
+      : dataset(std::move(d)),
+        lin(&dataset.context),
+        index(WalkIndex::Build(dataset.graph,
+                               WalkIndexOptions{num_walks, walk_length, 11,
+                                                false})) {}
+};
+
+Fixture Figure1Fixture() { return Fixture(Unwrap(MakeFigure1Dataset())); }
+
+Fixture AminerFixture() {
+  AminerOptions opt;
+  opt.num_authors = 220;
+  opt.seed = 3;
+  return Fixture(Unwrap(GenerateAminer(opt)));
+}
+
+void ExpectBatchDeterministic(const Fixture& f, const SemSimMcOptions& mc) {
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 200);
+
+  // Engine results must be bit-identical for 1, 2, and 8 threads — and
+  // identical to the cacheless serial estimator, so neither the pool
+  // partitioning nor cross-query cache history may perturb a single ulp.
+  SemSimMcEstimator plain(&f.dataset.graph, &f.lin, &f.index);
+  std::vector<double> expected;
+  for (const NodePair& p : pairs) {
+    expected.push_back(plain.Query(p.first, p.second, mc));
+  }
+  for (int threads : {1, 2, 8}) {
+    BatchQueryEngineOptions opt;
+    opt.num_threads = threads;
+    opt.query = mc;
+    BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+    // Two rounds: the second runs against a warm cross-query cache.
+    for (int round = 0; round < 2; ++round) {
+      std::vector<double> got = engine.QueryBatch(pairs);
+      ASSERT_EQ(got.size(), expected.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], expected[i])
+            << "threads=" << threads << " round=" << round << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchQuery, BitIdenticalAcrossThreadCountsOnFigure1) {
+  ExpectBatchDeterministic(Figure1Fixture(), SemSimMcOptions{0.6, 0.0});
+}
+
+TEST(BatchQuery, BitIdenticalAcrossThreadCountsOnGeneratedAminer) {
+  ExpectBatchDeterministic(AminerFixture(), SemSimMcOptions{0.6, 0.05});
+}
+
+TEST(BatchQuery, EstimatorQueryBatchMatchesSerialWithoutEngine) {
+  Fixture f = AminerFixture();
+  SemSimMcOptions mc{0.6, 0.05};
+  SemSimMcEstimator estimator(&f.dataset.graph, &f.lin, &f.index);
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 150);
+  ThreadPool pool(4);
+  McQueryStats stats;
+  std::vector<double> got = estimator.QueryBatch(pairs, mc, pool, &stats);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(got[i], estimator.Query(pairs[i].first, pairs[i].second, mc));
+  }
+  EXPECT_GT(stats.met_walks, 0);
+}
+
+TEST(BatchQuery, SingleSourceBatchMatchesSerialSweeps) {
+  Fixture f = AminerFixture();
+  SemSimMcOptions mc{0.6, 0.05};
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 4;
+  opt.query = mc;
+  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+
+  SemSimMcEstimator plain(&f.dataset.graph, &f.lin, &f.index);
+  SingleSourceIndex inverted =
+      SingleSourceIndex::Build(f.index, f.dataset.graph.num_nodes());
+
+  std::vector<NodeId> sources = {0, 3, 7, 11, 0, 3};
+  auto batch = engine.SingleSourceBatch(sources);
+  ASSERT_EQ(batch.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<double> serial = inverted.SemSimFrom(sources[i], plain, mc);
+    ASSERT_EQ(batch[i].size(), serial.size());
+    for (size_t v = 0; v < serial.size(); ++v) {
+      ASSERT_EQ(batch[i][v], serial[v]) << "source=" << sources[i];
+    }
+  }
+}
+
+TEST(BatchQuery, TopKBatchMatchesSerialTopK) {
+  Fixture f = Figure1Fixture();
+  SemSimMcOptions mc{0.6, 0.0};
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 8;
+  opt.query = mc;
+  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+
+  SemSimMcEstimator plain(&f.dataset.graph, &f.lin, &f.index);
+  SingleSourceIndex inverted =
+      SingleSourceIndex::Build(f.index, f.dataset.graph.num_nodes());
+
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < f.dataset.graph.num_nodes(); ++v) {
+    sources.push_back(v);
+  }
+  auto batch = engine.TopKBatch(sources, 3);
+  ASSERT_EQ(batch.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<Scored> serial = inverted.TopKFrom(sources[i], 3, plain, mc);
+    ASSERT_EQ(batch[i].size(), serial.size());
+    for (size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(batch[i][j].node, serial[j].node);
+      EXPECT_EQ(batch[i][j].score, serial[j].score);
+    }
+  }
+}
+
+TEST(BatchQuery, SharedCacheHitsAccumulateAcrossRepeatedSingleSource) {
+  Fixture f = AminerFixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 2;
+  opt.query = SemSimMcOptions{0.6, 0.05};
+  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+
+  std::vector<NodeId> sources = {1, 2, 5};
+  McQueryStats first;
+  engine.SingleSourceBatch(sources, &first);
+  // Repeating the same sources must be answered largely from the
+  // cross-query normalizer cache: nonzero hits, and strictly fewer d²
+  // computations than a cold engine performed.
+  McQueryStats second;
+  engine.SingleSourceBatch(sources, &second);
+  EXPECT_GT(second.shared_cache_hits, 0);
+  EXPECT_LT(second.normalizers_computed, first.normalizers_computed);
+  EXPECT_GT(engine.normalizer_cache()->hits(), 0u);
+}
+
+TEST(BatchQuery, EngineReportsResolvedThreadCount) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 0;  // auto
+  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  EXPECT_EQ(engine.num_threads(), ThreadPool::ResolveThreadCount(0));
+  opt.num_threads = 3;
+  BatchQueryEngine fixed(&f.dataset.graph, &f.lin, &f.index, opt);
+  EXPECT_EQ(fixed.num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace semsim

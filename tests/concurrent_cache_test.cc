@@ -1,0 +1,167 @@
+#include "core/concurrent_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+// The deterministic "expensive function" the cache is assumed to front.
+double PairValue(NodeId u, NodeId v) {
+  NodeId lo = u <= v ? u : v;
+  NodeId hi = u <= v ? v : u;
+  return static_cast<double>(lo) * 1000.0 + hi + 0.25;
+}
+
+TEST(ConcurrentPairCache, InsertLookupRoundTrip) {
+  ConcurrentPairCache cache(1024);
+  double value = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &value));
+  cache.Insert(1, 2, 3.5);
+  ASSERT_TRUE(cache.Lookup(1, 2, &value));
+  EXPECT_EQ(value, 3.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ConcurrentPairCache, KeyIsUnordered) {
+  ConcurrentPairCache cache(1024);
+  cache.Insert(7, 3, 1.25);
+  double value = 0;
+  ASSERT_TRUE(cache.Lookup(3, 7, &value));
+  EXPECT_EQ(value, 1.25);
+  // Refreshing through the reversed orientation hits the same slot.
+  cache.Insert(3, 7, 2.5);
+  ASSERT_TRUE(cache.Lookup(7, 3, &value));
+  EXPECT_EQ(value, 2.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ConcurrentPairCache, CapacityStaysBounded) {
+  ConcurrentPairCache cache(/*capacity=*/256, /*num_shards=*/4);
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v = u; v < 200; ++v) cache.Insert(u, v, PairValue(u, v));
+  }
+  // Far more inserts than slots: displacement keeps occupancy within the
+  // fixed allocation and every surviving entry still holds its value.
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.capacity(), 256u);
+  size_t survivors = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v = u; v < 200; ++v) {
+      double value = 0;
+      if (cache.Lookup(u, v, &value)) {
+        ++survivors;
+        ASSERT_EQ(value, PairValue(u, v));
+      }
+    }
+  }
+  EXPECT_GT(survivors, 0u);
+  EXPECT_LE(survivors, cache.capacity());
+}
+
+TEST(ConcurrentPairCache, CountersTrackHitsAndMisses) {
+  ConcurrentPairCache cache(1024);
+  double value = 0;
+  cache.Lookup(1, 2, &value);
+  cache.Insert(1, 2, 1.0);
+  cache.Lookup(1, 2, &value);
+  cache.Lookup(1, 2, &value);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_NEAR(cache.hit_rate(), 2.0 / 3.0, 1e-12);
+  cache.ResetCounters();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ConcurrentPairCache, ClearEmptiesTheTable) {
+  ConcurrentPairCache cache(1024);
+  cache.Insert(1, 2, 1.0);
+  cache.Insert(3, 4, 2.0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  double value = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &value));
+}
+
+// Many threads hammering overlapping pairs: every successful lookup must
+// return exactly the deterministic value for its pair (a torn or
+// misfiled entry would surface as a wrong value). Run under TSan in the
+// sanitizer CI job.
+TEST(ConcurrentPairCache, ConcurrentOverlappingStress) {
+  ConcurrentPairCache cache(1 << 14);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  constexpr NodeId kUniverse = 64;  // small → heavy overlap across threads
+  std::vector<std::thread> threads;
+  std::vector<int> wrong(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (NodeId u = 0; u < kUniverse; ++u) {
+          for (NodeId v = 0; v < kUniverse; ++v) {
+            double value = 0;
+            if (cache.Lookup(u, v, &value)) {
+              if (value != PairValue(u, v)) ++wrong[t];
+            } else {
+              cache.Insert(u, v, PairValue(u, v));
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(wrong[t], 0) << "thread " << t;
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(CachedSemanticMeasure, MatchesWrappedMeasureBitwise) {
+  auto w = testutil::MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  CachedSemanticMeasure cached(&lin, 1 << 12);
+  size_t n = w.graph.num_nodes();
+  // Two passes: cold (fills) and warm (serves) — both must equal the
+  // wrapped measure exactly, and the name must pass through.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(cached.Sim(u, v), lin.Sim(u, v))
+            << "pass=" << pass << " u=" << u << " v=" << v;
+      }
+    }
+  }
+  EXPECT_EQ(cached.name(), lin.name());
+  EXPECT_GT(cached.cache().hits(), 0u);
+}
+
+TEST(CachedSemanticMeasure, ConcurrentReadersAgree) {
+  auto w = testutil::MakeSmallWorld();
+  LinMeasure lin(&w.context);
+  CachedSemanticMeasure cached(&lin, 1 << 12);
+  size_t n = w.graph.num_nodes();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> wrong(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        for (NodeId u = 0; u < n; ++u) {
+          for (NodeId v = 0; v < n; ++v) {
+            if (cached.Sim(u, v) != lin.Sim(u, v)) ++wrong[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(wrong[t], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace semsim

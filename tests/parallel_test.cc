@@ -48,6 +48,92 @@ TEST(ParallelRunner, AutoThreadCountIsPositive) {
   EXPECT_GE(runner.num_threads(), 1);
 }
 
+TEST(ThreadPool, ThreadCountResolutionContract) {
+  // num_threads <= 0 resolves to hardware concurrency (or 1 when the
+  // runtime reports 0); positive requests are taken as-is, never
+  // silently truncated.
+  unsigned hw = std::thread::hardware_concurrency();
+  int expected_auto = hw == 0 ? 1 : static_cast<int>(hw);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), expected_auto);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), expected_auto);
+  EXPECT_EQ(ThreadPool(0).num_threads(), expected_auto);
+  EXPECT_EQ(ThreadPool(-1).num_threads(), expected_auto);
+  for (int requested : {1, 2, 5, 16, 64}) {
+    EXPECT_EQ(ThreadPool::ResolveThreadCount(requested), requested);
+    EXPECT_EQ(ThreadPool(requested).num_threads(), requested);
+  }
+}
+
+TEST(ThreadPool, ReusedAcrossManyCalls) {
+  // The pool is persistent: many ParallelFor calls over one instance
+  // must each cover their range exactly once.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    pool.ParallelFor(0, hits.size(), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SkewedWorkStillCoversRangeExactlyOnce) {
+  // Dynamic chunk claiming: wildly uneven per-item cost must not lose
+  // or duplicate items.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  std::atomic<long> sink{0};
+  pool.ParallelFor(0, hits.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      long burn = 0;
+      for (size_t j = 0; j < (i % 7 == 0 ? 200000u : 10u); ++j) burn += j;
+      sink.fetch_add(burn);
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A chunk that re-enters the pool must not deadlock; the inner call
+  // degrades to inline execution.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> outer(16);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, outer.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      outer[i].fetch_add(1);
+      pool.ParallelFor(0, 4, [&](size_t ilo, size_t ihi) {
+        inner_total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  for (const auto& h : outer) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(inner_total.load(), static_cast<int>(outer.size()) * 4);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize) {
+  // ParallelFor from several external threads at once: submissions
+  // serialize internally and every range is covered exactly once.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 4;
+  constexpr size_t kItems = 128;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kItems);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      pool.ParallelFor(0, kItems, [&, s](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) hits[s][i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (const auto& per : hits) {
+    for (const auto& h : per) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ParallelIterative, ResultsBitwiseIdenticalAcrossThreadCounts) {
   auto w = MakeSmallWorld();
   LinMeasure lin(&w.context);
