@@ -6,14 +6,26 @@
 // pruning is ~1-2 orders of magnitude slower (the d² normalizer loop);
 // pruning brings it to within a small factor of SimRank.
 //
-// Extension: --threads=N drives the same workload through the parallel
-// batch query engine (QueryBatch over the persistent pool with the
-// cross-query caches) at 1 and N threads, verifies the results are
-// bit-identical, and writes BENCH_queries.json with throughput and
-// cache hit rates for cross-PR tracking.
+// Extensions:
+//   --threads=N        drive the batch workload at 1 and N threads.
+//   --kernel=both|flat|generic
+//                      which query kernel(s) to measure (DESIGN.md §7).
+//                      "both" runs each, verifies the result vectors are
+//                      bit-identical, and reports the flat/generic
+//                      speedup.
+//   --dataset=medium|small
+//                      "small" is the CI smoke configuration: skips the
+//                      (a)/(b) single-pair sweeps and uses a smaller
+//                      graph and batch.
+//
+// Each measured kernel writes BENCH_queries_<kernel>.json; with both
+// kernels a combined BENCH_queries.json adds the flat_speedup headline
+// (cold-pass single-thread queries/sec ratio, the devirtualization win
+// before cache effects).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -29,7 +41,6 @@ namespace semsim {
 namespace {
 
 constexpr int kQueryPairs = 300;
-constexpr int kBatchPairs = 2000;
 
 struct QueryTimes {
   double simrank_us;
@@ -88,43 +99,42 @@ QueryTimes Measure(const Dataset& dataset, const LinMeasure& lin, int num_walks,
   return times;
 }
 
+// Result of one kernel's batch-engine run, for the cross-kernel summary.
+struct KernelRun {
+  std::string name;              // "flat" or "generic"
+  double cold_qps_1t = 0;        // cold pass, 1 thread — the headline
+  double warm_qps_1t = 0;
+  std::vector<double> results;   // warm 1-thread result vector
+};
+
 // Batch-engine section: the paper-default workload (n_w=150, t=15) as a
-// query batch, at 1 thread and at the requested count.
-void RunBatch(const Dataset& dataset, const LinMeasure& lin,
-              int requested_threads) {
-  WalkIndexOptions wopt;
-  wopt.num_walks = 150;
-  wopt.walk_length = 15;
-  wopt.seed = 7;
-  WalkIndex index = WalkIndex::Build(dataset.graph, wopt);
-
-  Rng rng(23);
-  std::vector<NodePair> pairs;
-  size_t n = dataset.graph.num_nodes();
-  for (int i = 0; i < kBatchPairs; ++i) {
-    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
-    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
-    if (u == v) v = static_cast<NodeId>((v + 1) % n);
-    pairs.push_back({u, v});
-  }
-
+// query batch through one kernel, at 1 thread and at the requested count.
+KernelRun RunBatchKernel(const Dataset& dataset, const LinMeasure& lin,
+                         const WalkIndex& index,
+                         std::span<const NodePair> pairs, QueryKernel kernel,
+                         int requested_threads) {
   int resolved = ThreadPool::ResolveThreadCount(requested_threads);
   std::vector<int> counts = {1};
   if (resolved != 1) counts.push_back(resolved);
 
+  KernelRun run;
+  run.name = kernel == QueryKernel::kFlat ? "flat" : "generic";
+
   bench::JsonBenchDoc doc("fig4_query_times");
   doc.Add("dataset", dataset.name)
-      .Add("num_nodes", n)
-      .Add("num_pairs", kBatchPairs)
-      .Add("num_walks", 150)
-      .Add("walk_length", 15)
+      .Add("kernel", run.name)
+      .Add("num_nodes", dataset.graph.num_nodes())
+      .Add("num_pairs", pairs.size())
+      .Add("num_walks", index.num_walks())
+      .Add("walk_length", index.walk_length())
       .Add("theta", 0.05)
       .Add("requested_threads", requested_threads)
       .Add("resolved_threads", resolved);
 
-  std::printf("\nbatch engine (n_w=150, t=15, theta=0.05, %d pairs), "
-              "requested --threads=%d -> resolved %d\n",
-              kBatchPairs, requested_threads, resolved);
+  std::printf("\nbatch engine kernel=%s (n_w=%d, t=%d, theta=0.05, %zu "
+              "pairs), requested --threads=%d -> resolved %d\n",
+              run.name.c_str(), index.num_walks(), index.walk_length(),
+              pairs.size(), requested_threads, resolved);
   TablePrinter table({"threads", "pass", "wall ms", "queries/s",
                       "norm cache hit%", "sem cache hit%"});
   std::vector<double> reference;
@@ -132,20 +142,31 @@ void RunBatch(const Dataset& dataset, const LinMeasure& lin,
   for (int threads : counts) {
     BatchQueryEngineOptions opt;
     opt.num_threads = threads;
+    opt.kernel = kernel;
     opt.query = SemSimMcOptions{0.6, 0.05};
     BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    if (threads == counts.front()) {
+      doc.Add("engine_kernel_name", engine.kernel_name())
+          .Add("engine_memory_bytes", engine.MemoryBytes());
+    }
     for (const char* pass : {"cold", "warm"}) {
       McQueryStats stats;
       Timer t;
       std::vector<double> results = engine.QueryBatch(pairs, &stats);
       double wall_ms = t.ElapsedMillis();
-      double qps = kBatchPairs / (wall_ms / 1e3);
+      double qps = static_cast<double>(pairs.size()) / (wall_ms / 1e3);
       double norm_rate = engine.normalizer_cache()->hit_rate();
-      double sem_rate = engine.cached_semantic()->cache().hit_rate();
+      // The flat kernel devirtualizes sem(·,·), so there is no semantic
+      // cache to report on that path.
+      double sem_rate = engine.cached_semantic() != nullptr
+                            ? engine.cached_semantic()->cache().hit_rate()
+                            : 0.0;
       table.AddRow({std::to_string(threads), pass,
                     TablePrinter::Num(wall_ms, 2), TablePrinter::Num(qps, 0),
                     TablePrinter::Num(100 * norm_rate, 1),
-                    TablePrinter::Num(100 * sem_rate, 1)});
+                    engine.cached_semantic() != nullptr
+                        ? TablePrinter::Num(100 * sem_rate, 1)
+                        : std::string("n/a")});
       doc.BeginRecord()
           .Field("threads", threads)
           .Field("pass", pass)
@@ -157,61 +178,134 @@ void RunBatch(const Dataset& dataset, const LinMeasure& lin,
           .Field("normalizers_computed", stats.normalizers_computed)
           .Field("met_walks", static_cast<int64_t>(stats.met_walks))
           .Field("pruned_walks", static_cast<int64_t>(stats.pruned_walks));
-      if (std::string(pass) == "warm") {
-        if (threads == 1) {
+      if (threads == 1) {
+        if (std::string(pass) == "cold") {
+          run.cold_qps_1t = qps;
+        } else {
+          run.warm_qps_1t = qps;
           base_ms = wall_ms;
           reference = results;
-        } else {
-          bool identical = results == reference;
-          std::printf("batch results identical across 1 and %d threads: %s\n",
-                      threads, identical ? "yes" : "NO — DETERMINISM BUG");
-          std::printf("warm throughput speedup at %d threads: %.2fx\n",
-                      threads, base_ms / wall_ms);
-          doc.Add("results_identical_across_thread_counts", identical ? 1 : 0)
-              .Add("warm_speedup", base_ms / wall_ms);
+          run.results = std::move(results);
         }
+      } else if (std::string(pass) == "warm") {
+        bool identical = results == reference;
+        std::printf("batch results identical across 1 and %d threads: %s\n",
+                    threads, identical ? "yes" : "NO — DETERMINISM BUG");
+        std::printf("warm throughput speedup at %d threads: %.2fx\n",
+                    threads, base_ms / wall_ms);
+        doc.Add("results_identical_across_thread_counts", identical ? 1 : 0)
+            .Add("warm_speedup", base_ms / wall_ms);
       }
     }
   }
+  doc.Add("cold_queries_per_sec_1thread", run.cold_qps_1t)
+      .Add("warm_queries_per_sec_1thread", run.warm_qps_1t);
   table.Print(std::cout);
-  doc.WriteFile("BENCH_queries.json");
+  doc.WriteFile("BENCH_queries_" + run.name + ".json");
+  return run;
 }
 
-void Run(int requested_threads) {
-  Dataset dataset = bench::AmazonMedium();
+void RunBatch(const Dataset& dataset, const LinMeasure& lin,
+              const std::string& kernel_flag, int requested_threads,
+              int batch_pairs) {
+  WalkIndexOptions wopt;
+  wopt.num_walks = 150;
+  wopt.walk_length = 15;
+  wopt.seed = 7;
+  WalkIndex index = WalkIndex::Build(dataset.graph, wopt);
+
+  Rng rng(23);
+  std::vector<NodePair> pairs;
+  size_t n = dataset.graph.num_nodes();
+  for (int i = 0; i < batch_pairs; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId v = static_cast<NodeId>(rng.NextIndex(n));
+    if (u == v) v = static_cast<NodeId>((v + 1) % n);
+    pairs.push_back({u, v});
+  }
+
+  std::vector<KernelRun> runs;
+  if (kernel_flag == "both" || kernel_flag == "generic") {
+    runs.push_back(RunBatchKernel(dataset, lin, index, pairs,
+                                  QueryKernel::kGeneric, requested_threads));
+  }
+  if (kernel_flag == "both" || kernel_flag == "flat") {
+    runs.push_back(RunBatchKernel(dataset, lin, index, pairs,
+                                  QueryKernel::kFlat, requested_threads));
+  }
+  SEMSIM_CHECK(!runs.empty()) << "unknown --kernel value: " << kernel_flag;
+
+  if (runs.size() == 2) {
+    const KernelRun& generic = runs[0];
+    const KernelRun& flat = runs[1];
+    bool identical = flat.results == generic.results;
+    double cold_speedup = flat.cold_qps_1t / generic.cold_qps_1t;
+    double warm_speedup = flat.warm_qps_1t / generic.warm_qps_1t;
+    std::printf("\nflat vs generic: results bit-identical: %s\n",
+                identical ? "yes" : "NO — KERNEL EQUIVALENCE BUG");
+    std::printf("flat speedup (1 thread): cold %.2fx, warm %.2fx\n",
+                cold_speedup, warm_speedup);
+
+    bench::JsonBenchDoc doc("fig4_query_times");
+    doc.Add("dataset", dataset.name)
+        .Add("num_nodes", dataset.graph.num_nodes())
+        .Add("num_pairs", pairs.size())
+        .Add("num_walks", 150)
+        .Add("walk_length", 15)
+        .Add("theta", 0.05)
+        .Add("kernels_bit_identical", identical ? 1 : 0)
+        .Add("generic_cold_queries_per_sec", generic.cold_qps_1t)
+        .Add("flat_cold_queries_per_sec", flat.cold_qps_1t)
+        .Add("generic_warm_queries_per_sec", generic.warm_qps_1t)
+        .Add("flat_warm_queries_per_sec", flat.warm_qps_1t)
+        .Add("flat_speedup", cold_speedup)
+        .Add("flat_speedup_warm", warm_speedup);
+    doc.WriteFile("BENCH_queries.json");
+  }
+}
+
+void Run(const std::string& dataset_flag, const std::string& kernel_flag,
+         int requested_threads) {
+  bool small = dataset_flag == "small";
+  Dataset dataset = small ? bench::AmazonSmall() : bench::AmazonMedium();
   bench::Banner("Fig4 / Amazon", dataset, 2);
   LinMeasure lin(&dataset.context);
-  std::printf("average single-pair query time over %d random pairs (us)\n\n",
-              kQueryPairs);
 
-  std::printf("(a) varying n_w, t = 15\n");
-  TablePrinter ta({"n_w", "SimRank us", "SemSim us", "SemSim+prune us"});
-  for (int nw : {50, 100, 150, 200, 250}) {
-    QueryTimes t = Measure(dataset, lin, nw, 15);
-    ta.AddRow({std::to_string(nw), TablePrinter::Num(t.simrank_us, 2),
-               TablePrinter::Num(t.semsim_us, 2),
-               TablePrinter::Num(t.semsim_pruned_us, 2)});
+  if (!small) {
+    std::printf(
+        "average single-pair query time over %d random pairs (us)\n\n",
+        kQueryPairs);
+
+    std::printf("(a) varying n_w, t = 15\n");
+    TablePrinter ta({"n_w", "SimRank us", "SemSim us", "SemSim+prune us"});
+    for (int nw : {50, 100, 150, 200, 250}) {
+      QueryTimes t = Measure(dataset, lin, nw, 15);
+      ta.AddRow({std::to_string(nw), TablePrinter::Num(t.simrank_us, 2),
+                 TablePrinter::Num(t.semsim_us, 2),
+                 TablePrinter::Num(t.semsim_pruned_us, 2)});
+    }
+    ta.Print(std::cout);
+
+    std::printf("\n(b) varying t, n_w = 150\n");
+    TablePrinter tb({"t", "SimRank us", "SemSim us", "SemSim+prune us"});
+    for (int t : {5, 10, 15, 20, 25}) {
+      QueryTimes q = Measure(dataset, lin, 150, t);
+      tb.AddRow({std::to_string(t), TablePrinter::Num(q.simrank_us, 2),
+                 TablePrinter::Num(q.semsim_us, 2),
+                 TablePrinter::Num(q.semsim_pruned_us, 2)});
+    }
+    tb.Print(std::cout);
+
+    QueryTimes def = Measure(dataset, lin, 150, 15);
+    std::printf(
+        "\npaper setting (n_w=150, t=15): SimRank %.2f us, SemSim %.2f us "
+        "(%.1fx), SemSim+pruning %.2f us (%.1fx)\n",
+        def.simrank_us, def.semsim_us, def.semsim_us / def.simrank_us,
+        def.semsim_pruned_us, def.semsim_pruned_us / def.simrank_us);
   }
-  ta.Print(std::cout);
 
-  std::printf("\n(b) varying t, n_w = 150\n");
-  TablePrinter tb({"t", "SimRank us", "SemSim us", "SemSim+prune us"});
-  for (int t : {5, 10, 15, 20, 25}) {
-    QueryTimes q = Measure(dataset, lin, 150, t);
-    tb.AddRow({std::to_string(t), TablePrinter::Num(q.simrank_us, 2),
-               TablePrinter::Num(q.semsim_us, 2),
-               TablePrinter::Num(q.semsim_pruned_us, 2)});
-  }
-  tb.Print(std::cout);
-
-  QueryTimes def = Measure(dataset, lin, 150, 15);
-  std::printf(
-      "\npaper setting (n_w=150, t=15): SimRank %.2f us, SemSim %.2f us "
-      "(%.1fx), SemSim+pruning %.2f us (%.1fx)\n",
-      def.simrank_us, def.semsim_us, def.semsim_us / def.simrank_us,
-      def.semsim_pruned_us, def.semsim_pruned_us / def.simrank_us);
-
-  RunBatch(dataset, lin, requested_threads);
+  RunBatch(dataset, lin, kernel_flag, requested_threads,
+           small ? 600 : 2000);
 }
 
 }  // namespace
@@ -219,6 +313,10 @@ void Run(int requested_threads) {
 
 int main(int argc, char** argv) {
   int threads = semsim::bench::ParseIntFlag(argc, argv, "--threads", 0);
-  semsim::Run(threads);
+  std::string kernel =
+      semsim::bench::ParseStringFlag(argc, argv, "--kernel", "both");
+  std::string dataset =
+      semsim::bench::ParseStringFlag(argc, argv, "--dataset", "medium");
+  semsim::Run(dataset, kernel, threads);
   return 0;
 }

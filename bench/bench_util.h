@@ -34,6 +34,19 @@ inline int ParseIntFlag(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Parses a string `--name=value` flag from argv; returns fallback when
+/// absent. Used by the query benches for --kernel and --dataset.
+inline std::string ParseStringFlag(int argc, char** argv, const char* name,
+                                   const char* fallback) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 /// Machine-readable bench output: a flat header of scalar fields plus an
 /// array of per-measurement records, serialized as one JSON object so the
 /// perf trajectory (wall time, queries/sec, cache hit rates) is tracked

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 build-and-test pass, then a
-# ThreadSanitizer build of the concurrency surface (pool, concurrent
-# caches, batch query engine) with its tests run under TSan.
+# Repo verification: the tier-1 build-and-test pass, then sanitizer
+# builds of the query-kernel and concurrency surfaces:
+#   asan  — AddressSanitizer over the flat-kernel paths (transition
+#           table, flat semantic table, walk-index compact layout).
+#   tsan  — ThreadSanitizer over the concurrency surface (pool,
+#           concurrent caches, batch query engine) plus the flat-kernel
+#           equivalence test, which drives multi-thread engines over the
+#           shared read-only flat tables.
+#   bench — smoke-run of the query bench with both kernels on the small
+#           dataset, gated by ci/compare_bench.py (flat must not be
+#           slower than generic, results must be bit-identical).
 #
-# Usage: ci/check.sh [--tier1-only|--tsan-only]
+# Usage: ci/check.sh [--tier1-only|--asan-only|--tsan-only|--bench-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,20 +25,42 @@ tier1() {
   ctest --test-dir build --output-on-failure -j "${JOBS}"
 }
 
+asan() {
+  echo "=== asan: kernel-path tests under AddressSanitizer ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DSEMSIM_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+    --target flat_kernel_test transition_table_test walk_index_test \
+    dynamic_walk_index_test batch_query_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test'
+}
+
 tsan() {
   echo "=== tsan: concurrency tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSEMSIM_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" \
-    --target parallel_test batch_query_test concurrent_cache_test
+    --target parallel_test batch_query_test concurrent_cache_test \
+    flat_kernel_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test'
+}
+
+bench_smoke() {
+  echo "=== bench smoke: both query kernels on the small dataset ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_fig4_query_times
+  (cd build && ./bench/bench_fig4_query_times --dataset=small --kernel=both)
+  python3 ci/compare_bench.py --dir build
 }
 
 case "${MODE}" in
   --tier1-only) tier1 ;;
+  --asan-only) asan ;;
   --tsan-only) tsan ;;
-  all|*) tier1; tsan ;;
+  --bench-smoke) bench_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke ;;
 esac
 
 echo "=== all checks passed ==="

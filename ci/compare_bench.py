@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compares per-kernel query-bench outputs and gates the flat kernel.
+
+Reads the combined BENCH_queries.json written by bench_fig4_query_times
+when run with --kernel=both (falling back to the two per-kernel files if
+the combined document is absent), prints a summary, and exits non-zero
+when:
+
+  * the flat and generic kernels disagree bitwise on any query, or
+  * the flat kernel's cold single-thread throughput is not at least
+    --min-speedup times the generic kernel's (default 1.0, i.e. "flat
+    must not be slower"; the nightly perf job passes a higher bar).
+
+Usage: ci/compare_bench.py [--dir DIR] [--min-speedup X]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def from_combined(doc):
+    return {
+        "identical": bool(doc["kernels_bit_identical"]),
+        "generic_cold": float(doc["generic_cold_queries_per_sec"]),
+        "flat_cold": float(doc["flat_cold_queries_per_sec"]),
+        "generic_warm": float(doc["generic_warm_queries_per_sec"]),
+        "flat_warm": float(doc["flat_warm_queries_per_sec"]),
+    }
+
+
+def from_per_kernel(generic_doc, flat_doc):
+    # Bit-identity is only checked inside the bench when both kernels run
+    # in one process; the per-kernel fallback can't re-verify it here.
+    return {
+        "identical": None,
+        "generic_cold": float(generic_doc["cold_queries_per_sec_1thread"]),
+        "flat_cold": float(flat_doc["cold_queries_per_sec_1thread"]),
+        "generic_warm": float(generic_doc["warm_queries_per_sec_1thread"]),
+        "flat_warm": float(flat_doc["warm_queries_per_sec_1thread"]),
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", default=".",
+                    help="directory holding the BENCH_*.json files")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    help="required flat/generic cold 1-thread qps ratio")
+    args = ap.parse_args()
+
+    combined = os.path.join(args.dir, "BENCH_queries.json")
+    generic = os.path.join(args.dir, "BENCH_queries_generic.json")
+    flat = os.path.join(args.dir, "BENCH_queries_flat.json")
+
+    if os.path.exists(combined):
+        stats = from_combined(load_json(combined))
+        source = combined
+    elif os.path.exists(generic) and os.path.exists(flat):
+        stats = from_per_kernel(load_json(generic), load_json(flat))
+        source = f"{generic} + {flat}"
+    else:
+        print(f"error: no bench output found in {args.dir!r}; run "
+              "bench_fig4_query_times --kernel=both first", file=sys.stderr)
+        return 2
+
+    cold_speedup = stats["flat_cold"] / stats["generic_cold"]
+    warm_speedup = stats["flat_warm"] / stats["generic_warm"]
+
+    print(f"bench comparison ({source})")
+    print(f"  cold 1-thread qps: generic {stats['generic_cold']:.0f}, "
+          f"flat {stats['flat_cold']:.0f}  ->  {cold_speedup:.2f}x")
+    print(f"  warm 1-thread qps: generic {stats['generic_warm']:.0f}, "
+          f"flat {stats['flat_warm']:.0f}  ->  {warm_speedup:.2f}x")
+    if stats["identical"] is not None:
+        print(f"  results bit-identical: "
+              f"{'yes' if stats['identical'] else 'NO'}")
+
+    failed = False
+    if stats["identical"] is False:
+        print("FAIL: flat and generic kernels disagree on query results",
+              file=sys.stderr)
+        failed = True
+    if cold_speedup < args.min_speedup:
+        print(f"FAIL: flat cold speedup {cold_speedup:.2f}x is below the "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+
+    if failed:
+        return 1
+    print("OK: flat kernel is no slower than generic and results agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,19 +17,46 @@ BatchQueryEngine::BatchQueryEngine(const Hin* graph,
       options_(options),
       pool_(options.num_threads) {
   SEMSIM_CHECK(graph != nullptr && semantic != nullptr && index != nullptr);
+  // Flat-kernel preprocessing (DESIGN.md §7): the transition table always
+  // pays off; the flat semantic table only exists when the measure is one
+  // of the flattenable built-ins. When it is, the devirtualized kernel
+  // replaces every sem(·,·) call, so the memoizing CachedSemanticMeasure
+  // wrapper would only add shard locks in front of a few array reads —
+  // skip building it entirely.
+  bool sem_devirtualized = false;
+  if (options_.kernel == QueryKernel::kFlat) {
+    transition_table_ =
+        std::make_unique<TransitionTable>(TransitionTable::Build(*graph_));
+    kernels::SemInfo info = kernels::ClassifyMeasure(semantic_);
+    if (info.kind != kernels::SemKind::kVirtual) {
+      flat_semantic_ = std::make_unique<FlatSemanticTable>(
+          FlatSemanticTable::Build(*info.context));
+      sem_devirtualized = true;
+    }
+  }
   const SemanticMeasure* measure = semantic_;
-  if (options_.semantic_cache_capacity > 0) {
+  if (options_.semantic_cache_capacity > 0 && !sem_devirtualized) {
     cached_semantic_ = std::make_unique<CachedSemanticMeasure>(
         semantic_, options_.semantic_cache_capacity);
     measure = cached_semantic_.get();
   }
   estimator_ = std::make_unique<SemSimMcEstimator>(graph_, measure, index_,
                                                    static_cache);
+  if (options_.kernel == QueryKernel::kFlat) {
+    bool engaged = estimator_->AttachFlatKernel(flat_semantic_.get(),
+                                                transition_table_.get());
+    SEMSIM_CHECK(engaged == sem_devirtualized);
+  }
   if (options_.normalizer_cache_capacity > 0) {
     normalizer_cache_ = std::make_unique<ConcurrentPairCache>(
         options_.normalizer_cache_capacity);
     estimator_->set_shared_cache(normalizer_cache_.get());
   }
+}
+
+std::string BatchQueryEngine::kernel_name() const {
+  if (options_.kernel == QueryKernel::kGeneric) return "generic";
+  return "flat+" + std::string(estimator_->sem_kernel_name());
 }
 
 std::vector<double> BatchQueryEngine::QueryBatch(
@@ -60,6 +87,8 @@ std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
 
 size_t BatchQueryEngine::MemoryBytes() const {
   size_t total = 0;
+  if (transition_table_) total += transition_table_->MemoryBytes();
+  if (flat_semantic_) total += flat_semantic_->MemoryBytes();
   if (normalizer_cache_) total += normalizer_cache_->MemoryBytes();
   if (cached_semantic_) total += cached_semantic_->cache().MemoryBytes();
   std::lock_guard<std::mutex> lock(inverted_mu_);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -24,8 +25,15 @@ struct BatchQueryEngineOptions {
   /// Slot budget of the cross-query SO-normalizer cache. 0 disables it.
   size_t normalizer_cache_capacity = 1 << 20;
   /// Slot budget of the memoizing sem(·,·) cache wrapped around the
-  /// semantic measure. 0 disables memoization.
+  /// semantic measure. 0 disables memoization. Ignored (no wrapper is
+  /// built) when the flat kernel devirtualizes the measure — the flat
+  /// table reads are cheaper than the cache's sharded lookup.
   size_t semantic_cache_capacity = 1 << 20;
+  /// Which query-kernel implementation to run (DESIGN.md §7). kFlat
+  /// builds the transition table (and, when the measure is a
+  /// flattenable built-in, the flat semantic table) at engine
+  /// construction; results are bit-identical either way.
+  QueryKernel kernel = QueryKernel::kFlat;
   /// Query-time parameters applied to every batch item.
   SemSimMcOptions query{0.6, 0.05};
 };
@@ -84,9 +92,23 @@ class BatchQueryEngine {
   const ConcurrentPairCache* normalizer_cache() const {
     return normalizer_cache_.get();
   }
+  /// nullptr when no memoizing wrapper was built (capacity 0, or the
+  /// flat kernel devirtualized the measure).
   const CachedSemanticMeasure* cached_semantic() const {
     return cached_semantic_.get();
   }
+
+  /// The flat tables owned by the engine; nullptr under kGeneric (and
+  /// flat_semantic_table() also when the measure is not flattenable).
+  const TransitionTable* transition_table() const {
+    return transition_table_.get();
+  }
+  const FlatSemanticTable* flat_semantic_table() const {
+    return flat_semantic_.get();
+  }
+  /// "generic", or "flat+<sem kernel name>" (e.g. "flat+flat-lin",
+  /// "flat+virtual" when only edge acceleration applies).
+  std::string kernel_name() const;
 
   size_t MemoryBytes() const;
 
@@ -98,6 +120,8 @@ class BatchQueryEngine {
   const WalkIndex* index_;
   BatchQueryEngineOptions options_;
   ThreadPool pool_;
+  std::unique_ptr<TransitionTable> transition_table_;
+  std::unique_ptr<FlatSemanticTable> flat_semantic_;
   std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
   std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
   std::unique_ptr<SemSimMcEstimator> estimator_;

@@ -55,11 +55,14 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
       }
       if (first_invalid < 0) continue;
       ++resampled;
-      // Resample the suffix from `cur` under the new graph.
+      // Resample the suffix from `cur` under the new graph, keeping the
+      // compact layout's live length in sync with the new suffix.
+      int live = opt.walk_length;
       for (int s = first_invalid; s < opt.walk_length; ++s) {
         auto in = g.InNeighbors(cur);
         if (in.empty()) {
           for (int r = s; r < opt.walk_length; ++r) steps[r] = kInvalidNode;
+          live = s;
           break;
         }
         size_t pick;
@@ -73,6 +76,8 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
         cur = in[pick].node;
         steps[s] = cur;
       }
+      index_.live_len_[static_cast<size_t>(origin) * opt.num_walks + w] =
+          static_cast<uint16_t>(live);
     }
   }
 

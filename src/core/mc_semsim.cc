@@ -8,9 +8,102 @@
 
 namespace semsim {
 
-double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
-                                     QueryContext* context,
-                                     McQueryStats* stats) const {
+// ---------------------------------------------------------------------------
+// Kernel dispatch. The inner loops below are member templates over a
+// semantic policy (VirtualSem or one of the Flat*Kernel structs) and an
+// edge policy (SearchEdges or TableEdges); Dispatch selects the
+// instantiation matching the attached flat tables. Every policy computes
+// the same arithmetic in the same order, so all instantiations return
+// bit-identical values — the flat ones just drop the virtual calls, the
+// CSR binary searches, and the per-step divisions.
+// ---------------------------------------------------------------------------
+
+template <typename F>
+auto SemSimMcEstimator::Dispatch(F&& f) const {
+  auto run = [&](const auto& sem) {
+    if (transitions_ != nullptr) {
+      return f(sem, kernels::TableEdges{transitions_});
+    }
+    return f(sem, kernels::SearchEdges{graph_});
+  };
+  switch (sem_kind_) {
+    case kernels::SemKind::kLin:
+      return run(FlatLinKernel{flat_sem_});
+    case kernels::SemKind::kResnik:
+      return run(FlatResnikKernel{flat_sem_});
+    case kernels::SemKind::kWuPalmer:
+      return run(FlatWuPalmerKernel{flat_sem_});
+    case kernels::SemKind::kPath:
+      return run(FlatPathKernel{flat_sem_});
+    case kernels::SemKind::kVirtual:
+      break;
+  }
+  return run(kernels::VirtualSem{semantic_});
+}
+
+bool SemSimMcEstimator::AttachFlatKernel(const FlatSemanticTable* semantics,
+                                         const TransitionTable* transitions) {
+  if (transitions != nullptr) {
+    SEMSIM_CHECK(transitions->num_nodes() == graph_->num_nodes());
+  }
+  transitions_ = transitions;
+  flat_sem_ = nullptr;
+  sem_kind_ = kernels::SemKind::kVirtual;
+  if (semantics != nullptr) {
+    kernels::SemInfo info = kernels::ClassifyMeasure(semantic_);
+    if (info.kind != kernels::SemKind::kVirtual) {
+      // The table must flatten the measure's own context, otherwise the
+      // devirtualized formulas would read someone else's IC/LCA data.
+      SEMSIM_CHECK(semantics->source() == info.context);
+      flat_sem_ = semantics;
+      sem_kind_ = info.kind;
+    }
+  }
+  return sem_kind_ != kernels::SemKind::kVirtual;
+}
+
+void SemSimMcEstimator::DetachFlatKernel() {
+  transitions_ = nullptr;
+  flat_sem_ = nullptr;
+  sem_kind_ = kernels::SemKind::kVirtual;
+}
+
+std::string_view SemSimMcEstimator::sem_kernel_name() const {
+  switch (sem_kind_) {
+    case kernels::SemKind::kLin:
+      return "flat-lin";
+    case kernels::SemKind::kResnik:
+      return "flat-resnik";
+    case kernels::SemKind::kWuPalmer:
+      return "flat-wupalmer";
+    case kernels::SemKind::kPath:
+      return "flat-path";
+    case kernels::SemKind::kVirtual:
+      break;
+  }
+  return "virtual";
+}
+
+double SemSimMcEstimator::SemValue(NodeId u, NodeId v) const {
+  switch (sem_kind_) {
+    case kernels::SemKind::kLin:
+      return FlatLinKernel{flat_sem_}.Sim(u, v);
+    case kernels::SemKind::kResnik:
+      return FlatResnikKernel{flat_sem_}.Sim(u, v);
+    case kernels::SemKind::kWuPalmer:
+      return FlatWuPalmerKernel{flat_sem_}.Sim(u, v);
+    case kernels::SemKind::kPath:
+      return FlatPathKernel{flat_sem_}.Sim(u, v);
+    case kernels::SemKind::kVirtual:
+      break;
+  }
+  return semantic_->Sim(u, v);
+}
+
+template <typename Sem>
+double SemSimMcEstimator::NormalizerT(const Sem& sem, NodeId u, NodeId v,
+                                      QueryContext* context,
+                                      McQueryStats* stats) const {
   if (cache_ != nullptr) {
     double cached;
     if (cache_->Lookup(u, v, &cached)) {
@@ -43,7 +136,7 @@ double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
   double norm = 0;
   for (const Neighbor& a : in_lo) {
     for (const Neighbor& b : in_hi) {
-      norm += a.weight * b.weight * semantic_->Sim(a.node, b.node);
+      norm += a.weight * b.weight * sem.Sim(a.node, b.node);
     }
   }
   context->normalizers.emplace(NodePair{u, v}, norm);
@@ -51,15 +144,24 @@ double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
   return norm;
 }
 
-double SemSimMcEstimator::CoupledWalkScore(NodeId u, NodeId v, int walk,
-                                           int meeting_step,
-                                           const SemSimMcOptions& options,
-                                           QueryContext* context,
-                                           McQueryStats* stats) const {
+double SemSimMcEstimator::Normalizer(NodeId u, NodeId v,
+                                     QueryContext* context,
+                                     McQueryStats* stats) const {
+  return Dispatch([&](const auto& sem, const auto&) {
+    return NormalizerT(sem, u, v, context, stats);
+  });
+}
+
+template <typename Sem, typename Edges>
+double SemSimMcEstimator::CoupledWalkScoreT(
+    const Sem& sem, const Edges& edges, NodeId u, NodeId v, int walk,
+    int meeting_step, const SemSimMcOptions& options, QueryContext* context,
+    McQueryStats* stats) const {
   SEMSIM_DCHECK(meeting_step >= 1 && meeting_step <= index_->walk_length());
-  auto walk_u = index_->Walk(u, walk);
-  auto walk_v = index_->Walk(v, walk);
+  const NodeId* walk_u = index_->WalkData(u, walk);
+  const NodeId* walk_v = index_->WalkData(v, walk);
   const double c = options.decay;
+  const bool weighted = index_->options().weighted;
 
   // Walk the prefix ⟨(u,v), (u₁,v₁), ..., (u_meet,v_meet)⟩ computing the
   // running IS ratio Π_j (P_j / Q_j) · c (Algorithm 1 lines 10-18).
@@ -69,22 +171,13 @@ double SemSimMcEstimator::CoupledWalkScore(NodeId u, NodeId v, int walk,
   for (int j = 0; j < meeting_step; ++j) {
     NodeId next_u = walk_u[j];
     NodeId next_v = walk_v[j];
-    double so = Normalizer(cur_u, cur_v, context, stats);
+    double so = NormalizerT(sem, cur_u, cur_v, context, stats);
     SEMSIM_DCHECK(so > 0);
-    Hin::EdgeInfo eu = graph_->InEdgeInfo(cur_u, next_u);
-    Hin::EdgeInfo ev = graph_->InEdgeInfo(cur_v, next_v);
-    double p_step = semantic_->Sim(next_u, next_v) * eu.total_weight *
-                    ev.total_weight / so;
-    double q_step;
-    if (index_->options().weighted) {
-      q_step = (eu.total_weight / graph_->TotalInWeight(cur_u)) *
-               (ev.total_weight / graph_->TotalInWeight(cur_v));
-    } else {
-      q_step = (static_cast<double>(eu.multiplicity) /
-                static_cast<double>(graph_->InDegree(cur_u))) *
-               (static_cast<double>(ev.multiplicity) /
-                static_cast<double>(graph_->InDegree(cur_v)));
-    }
+    kernels::StepSide su = edges.Step(cur_u, next_u, weighted);
+    kernels::StepSide sv = edges.Step(cur_v, next_v, weighted);
+    double p_step =
+        sem.Sim(next_u, next_v) * su.total_weight * sv.total_weight / so;
+    double q_step = su.q * sv.q;
     score *= p_step * c / q_step;
     cur_u = next_u;
     cur_v = next_v;
@@ -98,12 +191,24 @@ double SemSimMcEstimator::CoupledWalkScore(NodeId u, NodeId v, int walk,
   return score;
 }
 
-double SemSimMcEstimator::Query(NodeId u, NodeId v,
-                                const SemSimMcOptions& options,
-                                McQueryStats* stats) const {
+double SemSimMcEstimator::CoupledWalkScore(NodeId u, NodeId v, int walk,
+                                           int meeting_step,
+                                           const SemSimMcOptions& options,
+                                           QueryContext* context,
+                                           McQueryStats* stats) const {
+  return Dispatch([&](const auto& sem, const auto& edges) {
+    return CoupledWalkScoreT(sem, edges, u, v, walk, meeting_step, options,
+                             context, stats);
+  });
+}
+
+template <typename Sem, typename Edges>
+double SemSimMcEstimator::QueryT(const Sem& sem, const Edges& edges, NodeId u,
+                                 NodeId v, const SemSimMcOptions& options,
+                                 McQueryStats* stats) const {
   SEMSIM_DCHECK(options.decay > 0 && options.decay < 1);
   if (u == v) return 1.0;
-  double sem_uv = semantic_->Sim(u, v);
+  double sem_uv = sem.Sim(u, v);
   // Lines 2-3 of Algorithm 1: sem(u,v) is an upper bound on sim(u,v)
   // (Prop. 2.5), so low-semantics pairs are answered 0 immediately.
   if (options.theta > 0 && sem_uv <= options.theta) {
@@ -117,9 +222,18 @@ double SemSimMcEstimator::Query(NodeId u, NodeId v,
     int meet = FirstMeetingStep(*index_, u, v, w);
     if (meet < 0) continue;
     if (stats) ++stats->met_walks;
-    total += CoupledWalkScore(u, v, w, meet, options, &context, stats);
+    total += CoupledWalkScoreT(sem, edges, u, v, w, meet, options, &context,
+                               stats);
   }
   return sem_uv * total / static_cast<double>(index_->num_walks());
+}
+
+double SemSimMcEstimator::Query(NodeId u, NodeId v,
+                                const SemSimMcOptions& options,
+                                McQueryStats* stats) const {
+  return Dispatch([&](const auto& sem, const auto& edges) {
+    return QueryT(sem, edges, u, v, options, stats);
+  });
 }
 
 std::vector<double> SemSimMcEstimator::QueryBatch(
@@ -127,16 +241,21 @@ std::vector<double> SemSimMcEstimator::QueryBatch(
     const ThreadPool& pool, McQueryStats* stats) const {
   std::vector<double> results(pairs.size());
   std::mutex stats_mu;
-  pool.ParallelFor(0, pairs.size(), [&](size_t begin, size_t end) {
-    McQueryStats local;
-    for (size_t i = begin; i < end; ++i) {
-      results[i] = Query(pairs[i].first, pairs[i].second, options,
-                         stats ? &local : nullptr);
-    }
-    if (stats) {
-      std::lock_guard<std::mutex> lock(stats_mu);
-      stats->Merge(local);
-    }
+  // One dispatch per worker chunk, not per pair: the chunk loop runs
+  // entirely inside the selected instantiation.
+  Dispatch([&](const auto& sem, const auto& edges) {
+    pool.ParallelFor(0, pairs.size(), [&](size_t begin, size_t end) {
+      McQueryStats local;
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = QueryT(sem, edges, pairs[i].first, pairs[i].second,
+                            options, stats ? &local : nullptr);
+      }
+      if (stats) {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        stats->Merge(local);
+      }
+    });
+    return 0.0;
   });
   return results;
 }

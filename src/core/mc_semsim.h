@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/concurrent_cache.h"
+#include "core/mc_kernels.h"
 #include "core/sling_cache.h"
 #include "core/walk_index.h"
 #include "graph/hin.h"
@@ -79,6 +80,37 @@ class SemSimMcEstimator {
   void set_shared_cache(ConcurrentPairCache* cache) { shared_cache_ = cache; }
   const ConcurrentPairCache* shared_cache() const { return shared_cache_; }
 
+  /// Switches the estimator onto the flat query kernels (DESIGN.md §7).
+  /// `transitions` (built from the same graph) replaces the per-step
+  /// InEdgeInfo binary search and q divisions; `semantics` (may be
+  /// nullptr) devirtualizes sem(u,v) when the bound measure is one of
+  /// the four flattenable built-ins — `semantics` must then have been
+  /// built from that measure's SemanticContext (checked). Results are
+  /// bit-identical to the generic path on every query. Both tables must
+  /// outlive the estimator (or the detach). Returns true when the
+  /// semantic measure was devirtualized (false = virtual fallback, e.g.
+  /// for JiangConrath or custom measures; transition acceleration still
+  /// applies).
+  bool AttachFlatKernel(const FlatSemanticTable* semantics,
+                        const TransitionTable* transitions);
+
+  /// Reverts to the fully generic path.
+  void DetachFlatKernel();
+
+  /// Whether any flat acceleration is attached.
+  bool flat() const {
+    return transitions_ != nullptr ||
+           sem_kind_ != kernels::SemKind::kVirtual;
+  }
+
+  /// Name of the active semantic kernel: "virtual", or
+  /// "flat-lin" / "flat-resnik" / "flat-wupalmer" / "flat-path".
+  std::string_view sem_kernel_name() const;
+
+  /// sem(u, v) through the active semantic kernel — bit-identical to
+  /// semantic().Sim(u, v), minus the virtual dispatch when flat.
+  double SemValue(NodeId u, NodeId v) const;
+
   /// Estimates sim(u, v). Unbiased for θ = 0 (Prop. 4.4); with θ > 0 the
   /// additional one-sided error is bounded by θ (Prop. 4.6).
   double Query(NodeId u, NodeId v, const SemSimMcOptions& options,
@@ -125,11 +157,33 @@ class SemSimMcEstimator {
   double Normalizer(NodeId u, NodeId v, QueryContext* context,
                     McQueryStats* stats) const;
 
+  // Templated inner loops, instantiated per (semantic, edge) policy pair
+  // in mc_semsim.cc; Dispatch routes a call to the instantiation matching
+  // the attached flat tables (defined there too — all uses are in that
+  // translation unit).
+  template <typename F>
+  auto Dispatch(F&& f) const;
+  template <typename Sem, typename Edges>
+  double QueryT(const Sem& sem, const Edges& edges, NodeId u, NodeId v,
+                const SemSimMcOptions& options, McQueryStats* stats) const;
+  template <typename Sem, typename Edges>
+  double CoupledWalkScoreT(const Sem& sem, const Edges& edges, NodeId u,
+                           NodeId v, int walk, int meeting_step,
+                           const SemSimMcOptions& options,
+                           QueryContext* context, McQueryStats* stats) const;
+  template <typename Sem>
+  double NormalizerT(const Sem& sem, NodeId u, NodeId v,
+                     QueryContext* context, McQueryStats* stats) const;
+
   const Hin* graph_;
   const SemanticMeasure* semantic_;
   const WalkIndex* index_;
   const PairNormalizerCache* cache_;
   ConcurrentPairCache* shared_cache_ = nullptr;
+  // Flat-kernel state (AttachFlatKernel). Null / kVirtual = generic path.
+  const FlatSemanticTable* flat_sem_ = nullptr;
+  const TransitionTable* transitions_ = nullptr;
+  kernels::SemKind sem_kind_ = kernels::SemKind::kVirtual;
 };
 
 /// Sampling parameters guaranteeing a target accuracy (Prop. 4.2): with

@@ -1,17 +1,24 @@
 #include "core/mc_simrank.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace semsim {
 
 int FirstMeetingStep(const WalkIndex& index, NodeId u, NodeId v, int walk) {
-  auto wu = index.Walk(u, walk);
-  auto wv = index.Walk(v, walk);
-  for (int s = 0; s < index.walk_length(); ++s) {
-    NodeId a = wu[s];
-    NodeId b = wv[s];
-    if (a == kInvalidNode || b == kInvalidNode) return -1;  // a walk died
-    if (a == b) return s + 1;
+  // Compact-layout kernel: both walks are live for exactly their recorded
+  // live lengths, so the loop bound min(len_u, len_v) replaces the old
+  // per-step kInvalidNode death checks — one comparison per step and the
+  // padding is never scanned. Equivalent to the padded scan: the old code
+  // returned -1 the moment either walk died, before any equality test, so
+  // no meeting at or past min(len_u, len_v) was ever reported.
+  const NodeId* wu = index.WalkData(u, walk);
+  const NodeId* wv = index.WalkData(v, walk);
+  int limit = std::min(index.WalkLiveLength(u, walk),
+                       index.WalkLiveLength(v, walk));
+  for (int s = 0; s < limit; ++s) {
+    if (wu[s] == wv[s]) return s + 1;
   }
   return -1;
 }
@@ -19,10 +26,15 @@ int FirstMeetingStep(const WalkIndex& index, NodeId u, NodeId v, int walk) {
 double McSimRankQuery(const WalkIndex& index, NodeId u, NodeId v,
                       double decay) {
   if (u == v) return 1.0;
+  // Precompute c^s once per query; each entry uses the same std::pow the
+  // per-meeting code used, so results stay bit-identical.
+  int t = index.walk_length();
+  std::vector<double> decay_pow(static_cast<size_t>(t) + 1);
+  for (int s = 0; s <= t; ++s) decay_pow[s] = std::pow(decay, s);
   double total = 0;
   for (int w = 0; w < index.num_walks(); ++w) {
     int tau = FirstMeetingStep(index, u, v, w);
-    if (tau > 0) total += std::pow(decay, tau);
+    if (tau > 0) total += decay_pow[tau];
   }
   return total / static_cast<double>(index.num_walks());
 }

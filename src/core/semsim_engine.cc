@@ -30,6 +30,17 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
   }
   engine.estimator_ = std::make_unique<SemSimMcEstimator>(
       graph, semantic, engine.walk_index_.get(), engine.cache_.get());
+  if (options.kernel == QueryKernel::kFlat) {
+    engine.transition_table_ =
+        std::make_unique<TransitionTable>(TransitionTable::Build(*graph));
+    kernels::SemInfo info = kernels::ClassifyMeasure(semantic);
+    if (info.kind != kernels::SemKind::kVirtual) {
+      engine.flat_semantic_ = std::make_unique<FlatSemanticTable>(
+          FlatSemanticTable::Build(*info.context));
+    }
+    engine.estimator_->AttachFlatKernel(engine.flat_semantic_.get(),
+                                        engine.transition_table_.get());
+  }
   if (options.single_source) {
     engine.single_source_ = std::make_unique<SingleSourceIndex>(
         SingleSourceIndex::Build(*engine.walk_index_, graph->num_nodes()));

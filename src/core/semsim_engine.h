@@ -32,6 +32,11 @@ struct SemSimEngineOptions {
   /// one shared-meeting sweep instead of n pair queries (Sec. 7's
   /// single-source direction). Doubles the index memory.
   bool single_source = false;
+  /// Which query-kernel implementation to run (DESIGN.md §7). kFlat
+  /// precomputes the transition table (and, for the flattenable built-in
+  /// measures, the flat semantic table); results are bit-identical to
+  /// kGeneric.
+  QueryKernel kernel = QueryKernel::kFlat;
 };
 
 /// The library's front door: binds a HIN, a semantic measure and the
@@ -67,10 +72,13 @@ class SemSimEngine {
   const SemanticMeasure& semantic() const { return *semantic_; }
   const WalkIndex& walk_index() const { return *walk_index_; }
   const SemSimEngineOptions& options() const { return options_; }
-  /// Index + cache footprint (Sec. 5.2 memory report).
+  const SemSimMcEstimator& estimator() const { return *estimator_; }
+  /// Index + cache + flat-table footprint (Sec. 5.2 memory report).
   size_t MemoryBytes() const {
     return walk_index_->MemoryBytes() + (cache_ ? cache_->MemoryBytes() : 0) +
-           (single_source_ ? single_source_->MemoryBytes() : 0);
+           (single_source_ ? single_source_->MemoryBytes() : 0) +
+           (transition_table_ ? transition_table_->MemoryBytes() : 0) +
+           (flat_semantic_ ? flat_semantic_->MemoryBytes() : 0);
   }
 
  private:
@@ -83,6 +91,8 @@ class SemSimEngine {
   std::unique_ptr<WalkIndex> walk_index_;
   std::unique_ptr<PairGraph> pair_graph_;
   std::unique_ptr<PairNormalizerCache> cache_;
+  std::unique_ptr<TransitionTable> transition_table_;
+  std::unique_ptr<FlatSemanticTable> flat_semantic_;
   std::unique_ptr<SemSimMcEstimator> estimator_;
   std::unique_ptr<SingleSourceIndex> single_source_;
 };

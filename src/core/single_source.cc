@@ -18,12 +18,13 @@ SingleSourceIndex SingleSourceIndex::Build(const WalkIndex& index,
   size_t num_buckets =
       static_cast<size_t>(ss.num_walks_) * static_cast<size_t>(ss.walk_length_);
   // Counting pass: how many live positions land in each (walk, step).
+  // Both passes iterate the compact layout — exactly the live prefix of
+  // each walk, no padding scan.
   ss.bucket_offsets_.assign(num_buckets + 1, 0);
   for (NodeId v = 0; v < num_nodes; ++v) {
     for (int w = 0; w < ss.num_walks_; ++w) {
-      auto walk = index.Walk(v, w);
-      for (int s = 0; s < ss.walk_length_; ++s) {
-        if (walk[s] == kInvalidNode) break;
+      int len = index.WalkLiveLength(v, w);
+      for (int s = 0; s < len; ++s) {
         ++ss.bucket_offsets_[ss.BucketIndex(w, s) + 1];
       }
     }
@@ -37,9 +38,9 @@ SingleSourceIndex SingleSourceIndex::Build(const WalkIndex& index,
                              ss.bucket_offsets_.end() - 1);
   for (NodeId v = 0; v < num_nodes; ++v) {
     for (int w = 0; w < ss.num_walks_; ++w) {
-      auto walk = index.Walk(v, w);
-      for (int s = 0; s < ss.walk_length_; ++s) {
-        if (walk[s] == kInvalidNode) break;
+      const NodeId* walk = index.WalkData(v, w);
+      int len = index.WalkLiveLength(v, w);
+      for (int s = 0; s < len; ++s) {
         ss.entries_[cursor[ss.BucketIndex(w, s)]++] = Entry{walk[s], v};
       }
     }
@@ -64,11 +65,11 @@ std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
   // met_stamp[v] == current walk id+1 → v already met u's walk earlier.
   std::vector<int> met_stamp(num_nodes_, 0);
   for (int w = 0; w < num_walks_; ++w) {
-    auto walk_u = index_->Walk(u, w);
+    const NodeId* walk_u = index_->WalkData(u, w);
+    int len = index_->WalkLiveLength(u, w);
     int stamp = w + 1;
-    for (int s = 0; s < walk_length_; ++s) {
+    for (int s = 0; s < len; ++s) {
       NodeId pos = walk_u[s];
-      if (pos == kInvalidNode) break;
       size_t b = BucketIndex(w, s);
       auto begin = entries_.begin() + static_cast<long>(bucket_offsets_[b]);
       auto end = entries_.begin() + static_cast<long>(bucket_offsets_[b + 1]);
@@ -95,8 +96,12 @@ std::vector<double> SingleSourceIndex::SimRankFrom(NodeId u,
                                                    double decay) const {
   SEMSIM_CHECK(decay > 0 && decay < 1);
   std::vector<double> scores(num_nodes_, 0.0);
+  // Precompute c^s once per sweep; entries use the same std::pow the
+  // per-meeting code used, so sums stay bit-identical.
+  std::vector<double> decay_pow(static_cast<size_t>(walk_length_) + 1);
+  for (int s = 0; s <= walk_length_; ++s) decay_pow[s] = std::pow(decay, s);
   for (const Meeting& m : FirstMeetings(u)) {
-    scores[m.node] += std::pow(decay, m.step);
+    scores[m.node] += decay_pow[m.step];
   }
   double inv = 1.0 / static_cast<double>(num_walks_);
   for (double& s : scores) s *= inv;
@@ -110,18 +115,21 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
   SEMSIM_DCHECK(&estimator.index() == index_)
       << "estimator wraps a different walk index";
   std::vector<double> scores(num_nodes_, 0.0);
-  const SemanticMeasure& sem = estimator.semantic();
   // One shared normalizer memo for the whole source: coupled prefixes
   // from the same u overlap massively across candidates.
   SemSimMcEstimator::QueryContext context;
   // Candidate-level semantic pruning (Algorithm 1 lines 2-3), evaluated
-  // lazily at the first meeting of each candidate.
+  // lazily at the first meeting of each candidate. The sem(u,v) computed
+  // for the pruning decision is kept, so the final scaling loop reads it
+  // back instead of paying a second LCA/IC evaluation per candidate.
   std::vector<int8_t> sem_ok(num_nodes_, -1);
+  std::vector<double> sem_val(num_nodes_, 0.0);
   for (const Meeting& m : FirstMeetings(u)) {
     NodeId v = m.node;
     if (sem_ok[v] < 0) {
-      sem_ok[v] =
-          (options.theta > 0 && sem.Sim(u, v) <= options.theta) ? 0 : 1;
+      double s_uv = estimator.SemValue(u, v);
+      sem_val[v] = s_uv;
+      sem_ok[v] = (options.theta > 0 && s_uv <= options.theta) ? 0 : 1;
     }
     if (!sem_ok[v]) continue;
     if (stats) ++stats->met_walks;
@@ -130,7 +138,7 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
   }
   double inv = 1.0 / static_cast<double>(num_walks_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    if (scores[v] > 0) scores[v] *= sem.Sim(u, v) * inv;
+    if (scores[v] > 0) scores[v] *= sem_val[v] * inv;
   }
   scores[u] = 1.0;
   return scores;

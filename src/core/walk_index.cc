@@ -11,6 +11,7 @@ namespace semsim {
 WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
   SEMSIM_CHECK(options.num_walks > 0);
   SEMSIM_CHECK(options.walk_length > 0);
+  SEMSIM_CHECK(options.walk_length <= 65535);  // live lengths are uint16_t
   Timer timer;
   WalkIndex index;
   index.options_ = options;
@@ -18,6 +19,7 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
   index.steps_.assign(n * static_cast<size_t>(options.num_walks) *
                           static_cast<size_t>(options.walk_length),
                       kInvalidNode);
+  index.live_len_.assign(n * static_cast<size_t>(options.num_walks), 0);
   ParallelRunner runner(options.num_threads);
   runner.ParallelFor(0, n, [&](size_t begin, size_t end) {
     std::vector<double> weights;
@@ -27,12 +29,15 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
       Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (v + 1)));
       size_t cursor = static_cast<size_t>(v) * options.num_walks *
                       options.walk_length;
-      for (int w = 0; w < options.num_walks; ++w) {
+      size_t len_cursor = static_cast<size_t>(v) * options.num_walks;
+      for (int w = 0; w < options.num_walks; ++w, ++len_cursor) {
         NodeId cur = v;
+        int live = options.walk_length;
         for (int s = 0; s < options.walk_length; ++s, ++cursor) {
           auto in = graph.InNeighbors(cur);
           if (in.empty()) {
             cursor += static_cast<size_t>(options.walk_length - s);
+            live = s;
             break;
           }
           size_t pick;
@@ -46,6 +51,7 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
           cur = in[pick].node;
           index.steps_[cursor] = cur;
         }
+        index.live_len_[len_cursor] = static_cast<uint16_t>(live);
       }
     }
   });
@@ -53,15 +59,36 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
   return index;
 }
 
+void WalkIndex::RecomputeLiveLengths(size_t num_nodes) {
+  size_t walks = num_nodes * static_cast<size_t>(options_.num_walks);
+  int t = options_.walk_length;
+  live_len_.assign(walks, 0);
+  for (size_t w = 0; w < walks; ++w) {
+    const NodeId* steps = steps_.data() + w * static_cast<size_t>(t);
+    int live = t;
+    for (int s = 0; s < t; ++s) {
+      if (steps[s] == kInvalidNode) {
+        live = s;
+        break;
+      }
+    }
+    live_len_[w] = static_cast<uint16_t>(live);
+  }
+}
+
 namespace {
 
-// Binary layout: magic, version, node count, options, then the raw step
-// array. Little-endian native; the index is machine-local cache data,
-// not an interchange format.
-constexpr uint64_t kWalkIndexMagic = 0x53454D57414C4B31ULL;  // "SEMWALK1"
+// Binary layout: versioned header, then the raw step array. Live lengths
+// are derived data and recomputed on load. Little-endian native; the
+// index is machine-local cache data, not an interchange format.
+constexpr uint64_t kWalkIndexMagic = 0x5832584449574D53ULL;    // "SMWIDX2X"
+constexpr uint64_t kWalkIndexMagicV1 = 0x53454D57414C4B31ULL;  // "SEMWALK1"
+constexpr uint32_t kWalkIndexFormatVersion = 2;
 
 struct WalkIndexHeader {
   uint64_t magic;
+  uint32_t format_version;
+  uint32_t reserved;  // zero; room for future flags
   uint64_t num_nodes;
   int32_t num_walks;
   int32_t walk_length;
@@ -69,6 +96,7 @@ struct WalkIndexHeader {
   uint8_t weighted;
   uint8_t padding[7];
 };
+static_assert(sizeof(WalkIndexHeader) == 48, "header layout is part of the file format");
 
 }  // namespace
 
@@ -77,6 +105,7 @@ Status WalkIndex::Save(const std::string& path) const {
   if (!out) return Status::IOError("cannot open for writing: " + path);
   WalkIndexHeader header{};
   header.magic = kWalkIndexMagic;
+  header.format_version = kWalkIndexFormatVersion;
   size_t per_node = static_cast<size_t>(options_.num_walks) *
                     static_cast<size_t>(options_.walk_length);
   header.num_nodes = per_node == 0 ? 0 : steps_.size() / per_node;
@@ -98,8 +127,21 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
   if (!in) return Status::IOError("cannot open for reading: " + path);
   WalkIndexHeader header{};
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in || header.magic != kWalkIndexMagic) {
+  if (!in) return Status::IOError("not a walk-index file (too short): " + path);
+  if (header.magic != kWalkIndexMagic) {
+    if (header.magic == kWalkIndexMagicV1) {
+      return Status::FailedPrecondition(
+          "walk-index file uses the legacy format version 1 (unversioned "
+          "header, no live-length metadata): " + path +
+          "; rebuild the index with the current binary");
+    }
     return Status::IOError("not a walk-index file: " + path);
+  }
+  if (header.format_version != kWalkIndexFormatVersion) {
+    return Status::FailedPrecondition(
+        "unsupported walk-index format version " +
+        std::to_string(header.format_version) + " (this build reads version " +
+        std::to_string(kWalkIndexFormatVersion) + "): " + path);
   }
   if (header.num_nodes != expected_nodes) {
     return Status::FailedPrecondition(
@@ -107,8 +149,9 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
         std::to_string(header.num_nodes) + " nodes, expected " +
         std::to_string(expected_nodes));
   }
-  if (header.num_walks <= 0 || header.walk_length <= 0) {
-    return Status::IOError("corrupt walk-index header");
+  if (header.num_walks <= 0 || header.walk_length <= 0 ||
+      header.walk_length > 65535) {
+    return Status::IOError("corrupt walk-index header: " + path);
   }
   WalkIndex index;
   index.options_.num_walks = header.num_walks;
@@ -124,6 +167,12 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
                  static_cast<std::streamsize>(count * sizeof(NodeId))) {
     return Status::IOError("truncated walk-index file: " + path);
   }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::IOError(
+        "walk-index file has trailing bytes beyond the declared payload: " +
+        path);
+  }
+  index.RecomputeLiveLengths(header.num_nodes);
   return index;
 }
 

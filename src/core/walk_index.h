@@ -17,7 +17,8 @@ namespace semsim {
 struct WalkIndexOptions {
   /// Number of walks sampled from each node (n_w).
   int num_walks = 150;
-  /// Truncation point t: maximum number of steps per walk.
+  /// Truncation point t: maximum number of steps per walk. Bounded by
+  /// 65535 (live lengths are stored as uint16_t).
   int walk_length = 15;
   /// Deterministic sampling seed. Each node gets its own derived RNG
   /// stream, so the sampled walks are identical for any thread count.
@@ -35,6 +36,13 @@ struct WalkIndexOptions {
 /// n·n_w·t array of NodeId; walks that hit a node with no in-neighbors are
 /// padded with kInvalidNode. Space and preprocessing are O(n·n_w·t), as in
 /// the paper.
+///
+/// Compact layout (DESIGN.md §7): alongside the padded step array the
+/// index keeps a per-(node,walk) *live length* — the number of real
+/// steps before the walk died. Query kernels iterate exactly the live
+/// prefix (WalkData + WalkLiveLength) and never scan or branch on the
+/// kInvalidNode padding; the padding remains only so the flat array
+/// keeps O(1) addressing.
 class WalkIndex {
  public:
   WalkIndex() = default;
@@ -50,35 +58,63 @@ class WalkIndex {
   /// The `walk`-th walk from `v`: `walk_length` entries; entry s is the
   /// node after s+1 reverse steps, kInvalidNode once the walk has died.
   std::span<const NodeId> Walk(NodeId v, int walk) const {
-    size_t base =
-        (static_cast<size_t>(v) * options_.num_walks + walk) *
-        options_.walk_length;
-    return {steps_.data() + base, static_cast<size_t>(options_.walk_length)};
+    return {steps_.data() + WalkBase(v, walk),
+            static_cast<size_t>(options_.walk_length)};
+  }
+
+  /// Raw pointer to the `walk`-th walk from `v` — the compact-kernel
+  /// accessor: exactly WalkLiveLength(v, walk) leading entries are
+  /// valid nodes.
+  const NodeId* WalkData(NodeId v, int walk) const {
+    return steps_.data() + WalkBase(v, walk);
+  }
+
+  /// Number of live steps of the `walk`-th walk from `v` (0 when v has
+  /// no in-neighbors, walk_length when the walk survived truncation).
+  int WalkLiveLength(NodeId v, int walk) const {
+    return live_len_[static_cast<size_t>(v) * options_.num_walks + walk];
   }
 
   /// Probability Q assigns to stepping from `from` to in-neighbor at
   /// position `idx` of InNeighbors(from). Uniform: 1/|I(from)|.
   double ProposalProb(const Hin& graph, NodeId from, size_t idx) const;
 
-  size_t MemoryBytes() const { return steps_.size() * sizeof(NodeId); }
+  size_t MemoryBytes() const {
+    return steps_.size() * sizeof(NodeId) +
+           live_len_.size() * sizeof(uint16_t);
+  }
   /// Wall-clock seconds the sampling took (Sec. 5.2 preprocessing report).
   double build_seconds() const { return build_seconds_; }
 
   /// Persists the index to a binary file, so the paper's offline
   /// preprocessing (the dominant cost, Sec. 5.2) is paid once per graph.
+  /// The file carries a versioned header (magic, format version, walk
+  /// parameters, seed, weighted flag, node count) so Load can reject
+  /// stale or mismatched files instead of silently mispairing.
   Status Save(const std::string& path) const;
 
-  /// Loads an index saved by Save(). `expected_nodes` guards against
-  /// pairing an index with the wrong graph.
+  /// Loads an index saved by Save(). Validates the header magic and
+  /// format version, the walk parameters, and `expected_nodes` (guards
+  /// against pairing an index with the wrong graph), and rejects
+  /// truncated or oversized payloads with a descriptive Status.
   static Result<WalkIndex> Load(const std::string& path,
                                 size_t expected_nodes);
 
  private:
   friend class DynamicWalkIndex;  // in-place suffix resampling on updates
 
+  size_t WalkBase(NodeId v, int walk) const {
+    return (static_cast<size_t>(v) * options_.num_walks + walk) *
+           options_.walk_length;
+  }
+
+  /// Rebuilds live_len_ from steps_ (used after Load, which only
+  /// persists the step array).
+  void RecomputeLiveLengths(size_t num_nodes);
+
   WalkIndexOptions options_;
   std::vector<NodeId> steps_;
-  std::vector<double> weight_prefix_;  // unused for uniform Q
+  std::vector<uint16_t> live_len_;  // per (node, walk), size n·n_w
   double build_seconds_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #ifndef SEMSIM_GRAPH_TYPES_H_
 #define SEMSIM_GRAPH_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 

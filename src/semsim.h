@@ -21,17 +21,21 @@
 #include "common/stats.h"     // IWYU pragma: export
 #include "common/status.h"    // IWYU pragma: export
 
-#include "graph/graph_io.h"   // IWYU pragma: export
-#include "graph/hin.h"        // IWYU pragma: export
+#include "graph/graph_io.h"          // IWYU pragma: export
+#include "graph/hin.h"               // IWYU pragma: export
+#include "graph/transition_table.h"  // IWYU pragma: export
 
-#include "taxonomy/ic.h"                // IWYU pragma: export
-#include "taxonomy/lca.h"               // IWYU pragma: export
-#include "taxonomy/semantic_context.h"  // IWYU pragma: export
-#include "taxonomy/semantic_measure.h"  // IWYU pragma: export
-#include "taxonomy/taxonomy.h"          // IWYU pragma: export
+#include "taxonomy/flat_semantic_table.h"  // IWYU pragma: export
+#include "taxonomy/ic.h"                   // IWYU pragma: export
+#include "taxonomy/lca.h"                  // IWYU pragma: export
+#include "taxonomy/semantic_context.h"     // IWYU pragma: export
+#include "taxonomy/semantic_measure.h"     // IWYU pragma: export
+#include "taxonomy/taxonomy.h"             // IWYU pragma: export
 
+#include "core/batch_engine.h"        // IWYU pragma: export
 #include "core/dynamic_walk_index.h"  // IWYU pragma: export
 #include "core/iterative.h"           // IWYU pragma: export
+#include "core/mc_kernels.h"          // IWYU pragma: export
 #include "core/mc_semsim.h"           // IWYU pragma: export
 #include "core/mc_simrank.h"          // IWYU pragma: export
 #include "core/pair_graph.h"          // IWYU pragma: export

@@ -1,0 +1,97 @@
+#include "taxonomy/flat_semantic_table.h"
+
+#include "common/logging.h"
+
+namespace semsim {
+
+FlatSemanticTable FlatSemanticTable::Build(const SemanticContext& context) {
+  FlatSemanticTable table;
+  table.source_ = &context;
+  table.ic_floor_ = context.ic_floor();
+
+  const Taxonomy& taxonomy = context.taxonomy();
+  size_t n = taxonomy.num_concepts();
+  SEMSIM_CHECK(n > 0);
+
+  // Per-concept columns.
+  table.concept_ic_.resize(n);
+  table.concept_depth_.resize(n);
+  for (ConceptId c = 0; c < n; ++c) {
+    table.concept_ic_[c] = context.ic(c);
+    table.concept_depth_[c] = taxonomy.depth(c);
+  }
+
+  // Euler tour (iterative, children in taxonomy order — the same tour
+  // LcaIndex walks, so the range-minimum structure sees the same tree).
+  table.euler_nodes_.reserve(2 * n - 1);
+  table.euler_depths_.reserve(2 * n - 1);
+  table.concept_euler_first_.assign(n, 0);
+  struct Frame {
+    ConceptId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({taxonomy.root(), 0});
+  table.concept_euler_first_[taxonomy.root()] = 0;
+  table.euler_nodes_.push_back(taxonomy.root());
+  table.euler_depths_.push_back(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto kids = taxonomy.children(f.node);
+    if (f.next_child < kids.size()) {
+      ConceptId child = kids[f.next_child++];
+      table.concept_euler_first_[child] =
+          static_cast<uint32_t>(table.euler_nodes_.size());
+      table.euler_nodes_.push_back(child);
+      table.euler_depths_.push_back(taxonomy.depth(child));
+      stack.push_back({child, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        table.euler_nodes_.push_back(stack.back().node);
+        table.euler_depths_.push_back(taxonomy.depth(stack.back().node));
+      }
+    }
+  }
+  SEMSIM_CHECK(table.euler_nodes_.size() == 2 * n - 1);
+
+  // Flat sparse table: level k at offset k * stride_. sparse_[k*m + i]
+  // is the position of the minimum tour depth in [i, i + 2^k).
+  size_t m = table.euler_nodes_.size();
+  table.stride_ = m;
+  table.log2_floor_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) {
+    table.log2_floor_[i] = table.log2_floor_[i / 2] + 1;
+  }
+  size_t levels = static_cast<size_t>(table.log2_floor_[m]) + 1;
+  table.sparse_.assign(levels * m, 0);
+  for (size_t i = 0; i < m; ++i) table.sparse_[i] = static_cast<uint32_t>(i);
+  for (size_t k = 1; k < levels; ++k) {
+    size_t half = size_t{1} << (k - 1);
+    uint32_t* row = table.sparse_.data() + k * m;
+    const uint32_t* prev = table.sparse_.data() + (k - 1) * m;
+    for (size_t i = 0; i + (size_t{1} << k) <= m; ++i) {
+      uint32_t left = prev[i];
+      uint32_t right = prev[i + half];
+      row[i] = table.euler_depths_[left] <= table.euler_depths_[right] ? left
+                                                                       : right;
+    }
+  }
+
+  // Per-node columns: concept, Euler-tour first occurrence, depth, IC.
+  size_t num_nodes = context.num_nodes();
+  table.node_concept_.resize(num_nodes);
+  table.node_euler_first_.resize(num_nodes);
+  table.node_depth_.resize(num_nodes);
+  table.node_ic_.resize(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    ConceptId c = context.concept_of(v);
+    table.node_concept_[v] = c;
+    table.node_euler_first_[v] = table.concept_euler_first_[c];
+    table.node_depth_[v] = table.concept_depth_[c];
+    table.node_ic_[v] = table.concept_ic_[c];
+  }
+  return table;
+}
+
+}  // namespace semsim

@@ -1,0 +1,184 @@
+#ifndef SEMSIM_TAXONOMY_FLAT_SEMANTIC_TABLE_H_
+#define SEMSIM_TAXONOMY_FLAT_SEMANTIC_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "taxonomy/semantic_context.h"
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// Flattened, devirtualized view of a SemanticContext — the data layout
+/// behind the flat query kernels (DESIGN.md §7). A SemanticContext
+/// answers sem(u,v) through a virtual SemanticMeasure whose body chases
+/// node -> concept -> (IC table, two-level sparse-table LCA). This table
+/// precomputes, per HIN node, the contiguous arrays
+///
+///   concept id · Euler-tour first occurrence · depth · IC
+///
+/// and per concept the IC/depth columns plus a single flat sparse table
+/// (one vector, row stride = tour length) for range-minimum LCA. Every
+/// supported measure then evaluates as a handful of inlineable array
+/// reads with no virtual dispatch — see the Flat*Kernel structs below.
+///
+/// Bit-exactness: the arrays are copies of the context's values and the
+/// kernel formulas are textually identical to the virtual measures', so
+/// kernel results equal `measure.Sim(u,v)` bit-for-bit. (The LCA is the
+/// unique minimum-depth concept on the Euler range between two first
+/// occurrences, so any correct RMQ — ours or LcaIndex's — returns the
+/// same concept.)
+///
+/// The table is immutable after Build and safe to share read-only
+/// across query threads.
+class FlatSemanticTable {
+ public:
+  FlatSemanticTable() = default;
+
+  /// Flattens `context`. The context must outlive the table (the table
+  /// keeps only the pointer for identity checks; all data is copied).
+  static FlatSemanticTable Build(const SemanticContext& context);
+
+  /// The context this table was flattened from — used to verify a
+  /// measure and a table agree before devirtualizing.
+  const SemanticContext* source() const { return source_; }
+
+  // Per-node columns.
+  ConceptId concept_of(NodeId v) const { return node_concept_[v]; }
+  uint32_t node_depth(NodeId v) const { return node_depth_[v]; }
+  double node_ic(NodeId v) const { return node_ic_[v]; }
+
+  // Per-concept columns.
+  uint32_t concept_depth(ConceptId c) const { return concept_depth_[c]; }
+  double concept_ic(ConceptId c) const { return concept_ic_[c]; }
+  double ic_floor() const { return ic_floor_; }
+
+  /// LCA of the concepts of two nodes, through the per-node Euler
+  /// positions and the flat sparse table. O(1).
+  ConceptId LcaOfNodes(NodeId u, NodeId v) const {
+    size_t pa = node_euler_first_[u];
+    size_t pb = node_euler_first_[v];
+    if (pa > pb) std::swap(pa, pb);
+    return euler_nodes_[RangeMinPos(pa, pb)];
+  }
+
+  /// LCA of two concepts. O(1).
+  ConceptId Lca(ConceptId a, ConceptId b) const {
+    size_t pa = concept_euler_first_[a];
+    size_t pb = concept_euler_first_[b];
+    if (pa > pb) std::swap(pa, pb);
+    return euler_nodes_[RangeMinPos(pa, pb)];
+  }
+
+  size_t num_nodes() const { return node_concept_.size(); }
+  size_t num_concepts() const { return concept_ic_.size(); }
+
+  size_t MemoryBytes() const {
+    return node_concept_.size() * sizeof(ConceptId) +
+           node_euler_first_.size() * sizeof(uint32_t) +
+           node_depth_.size() * sizeof(uint32_t) +
+           node_ic_.size() * sizeof(double) +
+           concept_ic_.size() * sizeof(double) +
+           concept_depth_.size() * sizeof(uint32_t) +
+           concept_euler_first_.size() * sizeof(uint32_t) +
+           euler_nodes_.size() * sizeof(ConceptId) +
+           euler_depths_.size() * sizeof(uint32_t) +
+           sparse_.size() * sizeof(uint32_t) + log2_floor_.size();
+  }
+
+ private:
+  // Position of the minimum tour depth in [l, r] (inclusive) — flat
+  // sparse-table RMQ, row k at offset k * stride_.
+  size_t RangeMinPos(size_t l, size_t r) const {
+    size_t k = log2_floor_[r - l + 1];
+    uint32_t a = sparse_[k * stride_ + l];
+    uint32_t b = sparse_[k * stride_ + r + 1 - (size_t{1} << k)];
+    return euler_depths_[a] <= euler_depths_[b] ? a : b;
+  }
+
+  const SemanticContext* source_ = nullptr;
+  double ic_floor_ = 1e-3;
+
+  // Per-node contiguous columns (concept, Euler index, depth, IC).
+  std::vector<ConceptId> node_concept_;
+  std::vector<uint32_t> node_euler_first_;
+  std::vector<uint32_t> node_depth_;
+  std::vector<double> node_ic_;
+
+  // Per-concept columns.
+  std::vector<double> concept_ic_;
+  std::vector<uint32_t> concept_depth_;
+  std::vector<uint32_t> concept_euler_first_;
+
+  // Euler tour + flat sparse table (single vector, stride_ per level).
+  std::vector<ConceptId> euler_nodes_;
+  std::vector<uint32_t> euler_depths_;
+  std::vector<uint32_t> sparse_;
+  size_t stride_ = 0;
+  std::vector<uint8_t> log2_floor_;
+};
+
+/// Devirtualized measure kernels over a FlatSemanticTable. Each mirrors
+/// the formula of its virtual counterpart in semantic_measure.h exactly
+/// (same expressions, same operation order) so results are bit-identical.
+/// They are tiny value types: pass by value into templated query loops.
+
+/// Lin [23]: 2·IC(LCA) / (IC(cu) + IC(cv)), floored to ic_floor.
+struct FlatLinKernel {
+  const FlatSemanticTable* t;
+  double Sim(NodeId u, NodeId v) const {
+    if (u == v) return 1.0;
+    if (t->concept_of(u) == t->concept_of(v)) return 1.0;
+    double ic_lca = t->concept_ic(t->LcaOfNodes(u, v));
+    double denom = t->node_ic(u) + t->node_ic(v);
+    double value = 2.0 * ic_lca / denom;
+    double floor = t->ic_floor();
+    return value < floor ? floor : (value > 1.0 ? 1.0 : value);
+  }
+};
+
+/// Resnik [32]: IC(LCA), floored.
+struct FlatResnikKernel {
+  const FlatSemanticTable* t;
+  double Sim(NodeId u, NodeId v) const {
+    if (u == v) return 1.0;
+    if (t->concept_of(u) == t->concept_of(v)) return 1.0;
+    double value = t->concept_ic(t->LcaOfNodes(u, v));
+    double floor = t->ic_floor();
+    return value < floor ? floor : (value > 1.0 ? 1.0 : value);
+  }
+};
+
+/// Wu–Palmer: 2·depth(LCA) / (depth(cu) + depth(cv)), floored.
+struct FlatWuPalmerKernel {
+  const FlatSemanticTable* t;
+  double Sim(NodeId u, NodeId v) const {
+    if (u == v) return 1.0;
+    if (t->concept_of(u) == t->concept_of(v)) return 1.0;
+    double dl = t->concept_depth(t->LcaOfNodes(u, v));
+    double denom = static_cast<double>(t->node_depth(u)) + t->node_depth(v);
+    double value = denom > 0 ? 2.0 * dl / denom : 0.0;
+    double floor = t->ic_floor();
+    return value < floor ? floor : (value > 1.0 ? 1.0 : value);
+  }
+};
+
+/// Edge counting (Rada et al. [31]): 1 / (1 + tree distance).
+struct FlatPathKernel {
+  const FlatSemanticTable* t;
+  double Sim(NodeId u, NodeId v) const {
+    if (u == v) return 1.0;
+    if (t->concept_of(u) == t->concept_of(v)) return 1.0;
+    ConceptId l = t->LcaOfNodes(u, v);
+    double dist =
+        static_cast<double>(t->node_depth(u) - t->concept_depth(l)) +
+        static_cast<double>(t->node_depth(v) - t->concept_depth(l));
+    return 1.0 / (1.0 + dist);
+  }
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_FLAT_SEMANTIC_TABLE_H_

@@ -59,6 +59,10 @@ class LinMeasure : public SemanticMeasure {
 
   std::string_view name() const override { return "Lin"; }
 
+  /// The bound context — lets the flat kernel layer verify a
+  /// FlatSemanticTable was built from the same preprocessing artifact.
+  const SemanticContext* context() const { return ctx_; }
+
  private:
   const SemanticContext* ctx_;
 };
@@ -82,6 +86,8 @@ class ResnikMeasure : public SemanticMeasure {
   }
 
   std::string_view name() const override { return "Resnik"; }
+
+  const SemanticContext* context() const { return ctx_; }
 
  private:
   const SemanticContext* ctx_;
@@ -108,6 +114,8 @@ class WuPalmerMeasure : public SemanticMeasure {
 
   std::string_view name() const override { return "WuPalmer"; }
 
+  const SemanticContext* context() const { return ctx_; }
+
  private:
   const SemanticContext* ctx_;
 };
@@ -131,6 +139,8 @@ class PathMeasure : public SemanticMeasure {
   }
 
   std::string_view name() const override { return "Path"; }
+
+  const SemanticContext* context() const { return ctx_; }
 
  private:
   const SemanticContext* ctx_;

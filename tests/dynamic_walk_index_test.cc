@@ -13,15 +13,19 @@ namespace {
 using testutil::MakeSmallWorld;
 using testutil::Unwrap;
 
-// Checks every live step of every walk is a valid in-neighbor in `g`.
+// Checks every live step of every walk is a valid in-neighbor in `g`,
+// and that the compact layout's live lengths still describe exactly the
+// non-padded prefix after in-place updates.
 void CheckWalksValid(const WalkIndex& index, const Hin& g) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     for (int w = 0; w < index.num_walks(); ++w) {
       auto walk = index.Walk(v, w);
+      int expected_len = index.walk_length();
       NodeId cur = v;
       for (int s = 0; s < index.walk_length(); ++s) {
         if (walk[s] == kInvalidNode) {
           ASSERT_TRUE(g.InNeighbors(cur).empty() || s > 0);
+          expected_len = s;
           // Once dead, stays dead.
           for (int r = s; r < index.walk_length(); ++r) {
             ASSERT_EQ(walk[r], kInvalidNode);
@@ -38,6 +42,9 @@ void CheckWalksValid(const WalkIndex& index, const Hin& g) {
         ASSERT_TRUE(found) << "stale step after update";
         cur = walk[s];
       }
+      ASSERT_EQ(index.WalkLiveLength(v, w), expected_len)
+          << "live length out of sync after update, node " << v << " walk "
+          << w;
     }
   }
 }

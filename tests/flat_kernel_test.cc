@@ -1,0 +1,306 @@
+#include "core/mc_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/batch_engine.h"
+#include "core/mc_semsim.h"
+#include "core/single_source.h"
+#include "core/walk_index.h"
+#include "datasets/aminer_gen.h"
+#include "datasets/figure1.h"
+#include "graph/transition_table.h"
+#include "taxonomy/flat_semantic_table.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+Dataset Figure1() { return Unwrap(MakeFigure1Dataset()); }
+
+Dataset Aminer() {
+  AminerOptions opt;
+  opt.num_authors = 180;
+  opt.seed = 7;
+  return Unwrap(GenerateAminer(opt));
+}
+
+std::vector<NodePair> MakePairs(size_t num_nodes, size_t count) {
+  std::vector<NodePair> pairs;
+  Rng rng(1234);
+  for (size_t i = 0; i < count; ++i) {
+    NodeId u = static_cast<NodeId>(i % num_nodes);
+    NodeId v = static_cast<NodeId>(rng.NextIndex(num_nodes));
+    pairs.push_back(NodePair{u, v});
+  }
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: the devirtualized measure kernels agree with their virtual
+// counterparts bit-for-bit, on every node pair.
+// ---------------------------------------------------------------------------
+
+TEST(FlatSemanticTable, LcaMatchesContext) {
+  for (const Dataset& d : {Figure1(), Aminer()}) {
+    FlatSemanticTable table = FlatSemanticTable::Build(d.context);
+    size_t concepts = table.num_concepts();
+    for (ConceptId a = 0; a < concepts; ++a) {
+      for (ConceptId b = 0; b < concepts; ++b) {
+        ASSERT_EQ(table.Lca(a, b), d.context.Lca(a, b))
+            << "concepts " << a << "," << b;
+      }
+    }
+    for (NodeId u = 0; u < d.graph.num_nodes(); ++u) {
+      for (NodeId v = 0; v < d.graph.num_nodes(); ++v) {
+        ASSERT_EQ(table.LcaOfNodes(u, v),
+                  d.context.Lca(d.context.concept_of(u),
+                                d.context.concept_of(v)));
+      }
+    }
+  }
+}
+
+template <typename Measure, typename Kernel>
+void CheckSimEquivalence(const Dataset& d) {
+  Measure measure(&d.context);
+  FlatSemanticTable table = FlatSemanticTable::Build(d.context);
+  Kernel kernel{&table};
+  for (NodeId u = 0; u < d.graph.num_nodes(); ++u) {
+    for (NodeId v = 0; v < d.graph.num_nodes(); ++v) {
+      // Bit-equality, not tolerance: the kernels mirror the formulas.
+      ASSERT_EQ(kernel.Sim(u, v), measure.Sim(u, v))
+          << measure.name() << " nodes " << u << "," << v;
+    }
+  }
+}
+
+TEST(FlatSemanticTable, KernelsMatchVirtualMeasures) {
+  for (const Dataset& d : {Figure1(), Aminer()}) {
+    CheckSimEquivalence<LinMeasure, FlatLinKernel>(d);
+    CheckSimEquivalence<ResnikMeasure, FlatResnikKernel>(d);
+    CheckSimEquivalence<WuPalmerMeasure, FlatWuPalmerKernel>(d);
+    CheckSimEquivalence<PathMeasure, FlatPathKernel>(d);
+  }
+}
+
+TEST(MeasureClassification, DetectsFlattenableMeasuresThroughCache) {
+  Dataset d = Figure1();
+  LinMeasure lin(&d.context);
+  ResnikMeasure resnik(&d.context);
+  WuPalmerMeasure wp(&d.context);
+  PathMeasure path(&d.context);
+  JiangConrathMeasure jc(&d.context);
+  ConstantMeasure constant;
+  EXPECT_EQ(kernels::ClassifyMeasure(&lin).kind, kernels::SemKind::kLin);
+  EXPECT_EQ(kernels::ClassifyMeasure(&resnik).kind,
+            kernels::SemKind::kResnik);
+  EXPECT_EQ(kernels::ClassifyMeasure(&wp).kind, kernels::SemKind::kWuPalmer);
+  EXPECT_EQ(kernels::ClassifyMeasure(&path).kind, kernels::SemKind::kPath);
+  EXPECT_EQ(kernels::ClassifyMeasure(&jc).kind, kernels::SemKind::kVirtual);
+  EXPECT_EQ(kernels::ClassifyMeasure(&constant).kind,
+            kernels::SemKind::kVirtual);
+  EXPECT_EQ(kernels::ClassifyMeasure(&lin).context, &d.context);
+  // The decorator is transparent to classification.
+  CachedSemanticMeasure cached(&lin, 1 << 10);
+  EXPECT_EQ(kernels::ClassifyMeasure(&cached).kind, kernels::SemKind::kLin);
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: estimator-level bit-equality — single-pair, single-source and
+// top-k answers are identical with and without the flat kernels.
+// ---------------------------------------------------------------------------
+
+template <typename Measure>
+void CheckEstimatorEquivalence(const Dataset& d, const char* flat_name) {
+  Measure measure(&d.context);
+  WalkIndex index = WalkIndex::Build(d.graph,
+                                     WalkIndexOptions{40, 8, 13, false});
+  TransitionTable transitions = TransitionTable::Build(d.graph);
+  FlatSemanticTable semantics = FlatSemanticTable::Build(d.context);
+
+  SemSimMcEstimator generic(&d.graph, &measure, &index);
+  SemSimMcEstimator flat(&d.graph, &measure, &index);
+  ASSERT_TRUE(flat.AttachFlatKernel(&semantics, &transitions));
+  EXPECT_TRUE(flat.flat());
+  EXPECT_EQ(flat.sem_kernel_name(), flat_name);
+  EXPECT_EQ(generic.sem_kernel_name(), "virtual");
+
+  std::vector<NodePair> pairs = MakePairs(d.graph.num_nodes(), 150);
+  for (double theta : {0.0, 0.05}) {
+    SemSimMcOptions opt{0.6, theta};
+    for (const NodePair& p : pairs) {
+      ASSERT_EQ(flat.Query(p.first, p.second, opt),
+                generic.Query(p.first, p.second, opt))
+          << "pair (" << p.first << "," << p.second << ") theta " << theta;
+      ASSERT_EQ(flat.SemValue(p.first, p.second),
+                measure.Sim(p.first, p.second));
+    }
+  }
+
+  SingleSourceIndex inverted =
+      SingleSourceIndex::Build(index, d.graph.num_nodes());
+  SemSimMcOptions opt{0.6, 0.05};
+  for (NodeId u = 0; u < d.graph.num_nodes();
+       u += 1 + d.graph.num_nodes() / 8) {
+    std::vector<double> sf = inverted.SemSimFrom(u, flat, opt);
+    std::vector<double> sg = inverted.SemSimFrom(u, generic, opt);
+    ASSERT_EQ(sf.size(), sg.size());
+    for (size_t v = 0; v < sf.size(); ++v) ASSERT_EQ(sf[v], sg[v]);
+    std::vector<Scored> tf = inverted.TopKFrom(u, 10, flat, opt);
+    std::vector<Scored> tg = inverted.TopKFrom(u, 10, generic, opt);
+    ASSERT_EQ(tf.size(), tg.size());
+    for (size_t i = 0; i < tf.size(); ++i) {
+      ASSERT_EQ(tf[i].node, tg[i].node);
+      ASSERT_EQ(tf[i].score, tg[i].score);
+    }
+  }
+
+  // Detach restores the generic path (still bit-identical, of course).
+  flat.DetachFlatKernel();
+  EXPECT_FALSE(flat.flat());
+  ASSERT_EQ(flat.Query(pairs[0].first, pairs[0].second, opt),
+            generic.Query(pairs[0].first, pairs[0].second, opt));
+}
+
+TEST(FlatKernelEstimator, LinBitIdentical) {
+  CheckEstimatorEquivalence<LinMeasure>(Figure1(), "flat-lin");
+  CheckEstimatorEquivalence<LinMeasure>(Aminer(), "flat-lin");
+}
+
+TEST(FlatKernelEstimator, ResnikBitIdentical) {
+  CheckEstimatorEquivalence<ResnikMeasure>(Figure1(), "flat-resnik");
+  CheckEstimatorEquivalence<ResnikMeasure>(Aminer(), "flat-resnik");
+}
+
+TEST(FlatKernelEstimator, WuPalmerBitIdentical) {
+  CheckEstimatorEquivalence<WuPalmerMeasure>(Figure1(), "flat-wupalmer");
+  CheckEstimatorEquivalence<WuPalmerMeasure>(Aminer(), "flat-wupalmer");
+}
+
+TEST(FlatKernelEstimator, PathBitIdentical) {
+  CheckEstimatorEquivalence<PathMeasure>(Figure1(), "flat-path");
+  CheckEstimatorEquivalence<PathMeasure>(Aminer(), "flat-path");
+}
+
+TEST(FlatKernelEstimator, TransitionTableOnlyFallbackForJiangConrath) {
+  // JiangConrath has no flat kernel: AttachFlatKernel must keep the
+  // virtual semantics, still use the transition table, and still be
+  // bit-identical to the fully generic path.
+  Dataset d = Figure1();
+  JiangConrathMeasure measure(&d.context);
+  WalkIndex index = WalkIndex::Build(d.graph,
+                                     WalkIndexOptions{40, 8, 13, false});
+  TransitionTable transitions = TransitionTable::Build(d.graph);
+
+  SemSimMcEstimator generic(&d.graph, &measure, &index);
+  SemSimMcEstimator flat(&d.graph, &measure, &index);
+  EXPECT_FALSE(flat.AttachFlatKernel(nullptr, &transitions));
+  EXPECT_TRUE(flat.flat());
+  EXPECT_EQ(flat.sem_kernel_name(), "virtual");
+
+  SemSimMcOptions opt{0.6, 0.05};
+  for (const NodePair& p : MakePairs(d.graph.num_nodes(), 100)) {
+    ASSERT_EQ(flat.Query(p.first, p.second, opt),
+              generic.Query(p.first, p.second, opt));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: engine-level bit-equality — a kFlat BatchQueryEngine and a
+// kGeneric one return identical batches at 1, 2 and 8 threads, across
+// repeated rounds (cache history must not matter).
+// ---------------------------------------------------------------------------
+
+TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
+  for (const Dataset& d : {Figure1(), Aminer()}) {
+    LinMeasure lin(&d.context);
+    WalkIndex index = WalkIndex::Build(d.graph,
+                                       WalkIndexOptions{40, 8, 13, false});
+    std::vector<NodePair> pairs = MakePairs(d.graph.num_nodes(), 300);
+    std::vector<NodeId> sources;
+    for (NodeId u = 0; u < d.graph.num_nodes();
+         u += 1 + d.graph.num_nodes() / 6) {
+      sources.push_back(u);
+    }
+
+    BatchQueryEngineOptions generic_opt;
+    generic_opt.num_threads = 1;
+    generic_opt.kernel = QueryKernel::kGeneric;
+    BatchQueryEngine reference(&d.graph, &lin, &index, generic_opt);
+    EXPECT_EQ(reference.kernel_name(), "generic");
+    EXPECT_EQ(reference.transition_table(), nullptr);
+    std::vector<double> want = reference.QueryBatch(pairs);
+    auto want_sources = reference.SingleSourceBatch(sources);
+    auto want_topk = reference.TopKBatch(sources, 10);
+
+    for (int threads : {1, 2, 8}) {
+      BatchQueryEngineOptions opt;
+      opt.num_threads = threads;
+      opt.kernel = QueryKernel::kFlat;
+      BatchQueryEngine engine(&d.graph, &lin, &index, opt);
+      EXPECT_EQ(engine.kernel_name(), "flat+flat-lin");
+      ASSERT_NE(engine.transition_table(), nullptr);
+      ASSERT_NE(engine.flat_semantic_table(), nullptr);
+      // Devirtualized semantics: no memoizing wrapper is built.
+      EXPECT_EQ(engine.cached_semantic(), nullptr);
+
+      for (int round = 0; round < 2; ++round) {
+        std::vector<double> got = engine.QueryBatch(pairs);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << "pair " << i << " threads " << threads << " round "
+              << round;
+        }
+      }
+      auto got_sources = engine.SingleSourceBatch(sources);
+      ASSERT_EQ(got_sources.size(), want_sources.size());
+      for (size_t i = 0; i < got_sources.size(); ++i) {
+        for (size_t v = 0; v < got_sources[i].size(); ++v) {
+          ASSERT_EQ(got_sources[i][v], want_sources[i][v]);
+        }
+      }
+      auto got_topk = engine.TopKBatch(sources, 10);
+      for (size_t i = 0; i < got_topk.size(); ++i) {
+        ASSERT_EQ(got_topk[i].size(), want_topk[i].size());
+        for (size_t j = 0; j < got_topk[i].size(); ++j) {
+          ASSERT_EQ(got_topk[i][j].node, want_topk[i][j].node);
+          ASSERT_EQ(got_topk[i][j].score, want_topk[i][j].score);
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatKernelEngine, ConstantMeasureFallsBackToVirtual) {
+  Dataset d = Figure1();
+  ConstantMeasure constant;
+  WalkIndex index = WalkIndex::Build(d.graph,
+                                     WalkIndexOptions{30, 8, 13, false});
+  BatchQueryEngineOptions flat_opt;
+  flat_opt.num_threads = 2;
+  flat_opt.kernel = QueryKernel::kFlat;
+  BatchQueryEngine flat_engine(&d.graph, &constant, &index, flat_opt);
+  EXPECT_EQ(flat_engine.kernel_name(), "flat+virtual");
+  EXPECT_EQ(flat_engine.flat_semantic_table(), nullptr);
+  ASSERT_NE(flat_engine.transition_table(), nullptr);
+
+  BatchQueryEngineOptions generic_opt;
+  generic_opt.num_threads = 2;
+  generic_opt.kernel = QueryKernel::kGeneric;
+  BatchQueryEngine generic_engine(&d.graph, &constant, &index, generic_opt);
+
+  std::vector<NodePair> pairs = MakePairs(d.graph.num_nodes(), 120);
+  std::vector<double> got = flat_engine.QueryBatch(pairs);
+  std::vector<double> want = generic_engine.QueryBatch(pairs);
+  for (size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], want[i]);
+}
+
+}  // namespace
+}  // namespace semsim
