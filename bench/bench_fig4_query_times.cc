@@ -17,6 +17,9 @@
 //                      "small" is the CI smoke configuration: skips the
 //                      (a)/(b) single-pair sweeps and uses a smaller
 //                      graph and batch.
+//   --metrics-out=P    write the engine's metrics-registry snapshot to
+//                      P (JSON) and the .prom sibling (Prometheus text)
+//                      after the run (DESIGN.md §8).
 //
 // Each measured kernel writes BENCH_queries_<kernel>.json; with both
 // kernels a combined BENCH_queries.json adds the flat_speedup headline
@@ -142,9 +145,10 @@ KernelRun RunBatchKernel(const Dataset& dataset, const LinMeasure& lin,
   for (int threads : counts) {
     BatchQueryEngineOptions opt;
     opt.num_threads = threads;
-    opt.kernel = kernel;
-    opt.query = SemSimMcOptions{0.6, 0.05};
-    BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    opt.query.kernel = kernel;
+    opt.query.mc = SemSimMcOptions{0.6, 0.05};
+    BatchQueryEngine engine = bench::Unwrap(
+        BatchQueryEngine::Create(&dataset.graph, &lin, &index, opt));
     if (threads == counts.front()) {
       doc.Add("engine_kernel_name", engine.kernel_name())
           .Add("engine_memory_bytes", engine.MemoryBytes());
@@ -317,6 +321,9 @@ int main(int argc, char** argv) {
       semsim::bench::ParseStringFlag(argc, argv, "--kernel", "both");
   std::string dataset =
       semsim::bench::ParseStringFlag(argc, argv, "--dataset", "medium");
+  std::string metrics_out =
+      semsim::bench::ParseStringFlag(argc, argv, "--metrics-out", "");
   semsim::Run(dataset, kernel, threads);
+  semsim::bench::MaybeWriteMetrics(metrics_out);
   return 0;
 }

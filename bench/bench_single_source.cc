@@ -132,8 +132,9 @@ void Run(int requested_threads) {
                                    : std::vector<int>{1, resolved}) {
     BatchQueryEngineOptions opt;
     opt.num_threads = threads;
-    opt.query = mc;
-    BatchQueryEngine engine(&dataset.graph, &lin, &index, opt);
+    opt.query.mc = mc;
+    BatchQueryEngine engine = bench::Unwrap(
+        BatchQueryEngine::Create(&dataset.graph, &lin, &index, opt));
     for (const char* pass : {"cold", "warm"}) {
       McQueryStats stats;
       Timer t;
@@ -158,8 +159,11 @@ void Run(int requested_threads) {
           .Field("sources_per_sec", kQueries / (wall_ms / 1e3))
           .Field("normalizer_cache_hit_rate",
                  engine.normalizer_cache()->hit_rate())
+          // nullptr when the flat kernel devirtualized the measure.
           .Field("semantic_cache_hit_rate",
-                 engine.cached_semantic()->cache().hit_rate())
+                 engine.cached_semantic() != nullptr
+                     ? engine.cached_semantic()->cache().hit_rate()
+                     : 0.0)
           .Field("shared_cache_hits", stats.shared_cache_hits)
           .Field("normalizers_computed", stats.normalizers_computed);
     }
@@ -176,6 +180,9 @@ void Run(int requested_threads) {
 
 int main(int argc, char** argv) {
   int threads = semsim::bench::ParseIntFlag(argc, argv, "--threads", 0);
+  std::string metrics_out =
+      semsim::bench::ParseStringFlag(argc, argv, "--metrics-out", "");
   semsim::Run(threads);
+  semsim::bench::MaybeWriteMetrics(metrics_out);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "datasets/aminer_gen.h"
 #include "datasets/amazon_gen.h"
@@ -166,6 +167,21 @@ template <typename T>
 T Unwrap(Result<T> result) {
   SEMSIM_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
+}
+
+/// Backend of the query benches' `--metrics-out=<path>` flag: snapshots
+/// the global MetricsRegistry and writes it as JSON to `path` plus
+/// Prometheus text to the `.prom` sibling. Empty path = flag absent =
+/// no-op.
+inline void MaybeWriteMetrics(const std::string& json_path) {
+  if (json_path.empty()) return;
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  Status status = WriteMetricsFiles(snapshot, json_path);
+  SEMSIM_CHECK(status.ok()) << status.ToString();
+  std::printf("wrote %s and %s (%zu counters, %zu gauges, %zu histograms)\n",
+              json_path.c_str(), MetricsPromPath(json_path).c_str(),
+              snapshot.counters.size(), snapshot.gauges.size(),
+              snapshot.histograms.size());
 }
 
 /// Standard bench-scale dataset instances. The paper runs on graphs up to

@@ -4,14 +4,18 @@
 #   asan  — AddressSanitizer over the flat-kernel paths (transition
 #           table, flat semantic table, walk-index compact layout).
 #   tsan  — ThreadSanitizer over the concurrency surface (pool,
-#           concurrent caches, batch query engine) plus the flat-kernel
-#           equivalence test, which drives multi-thread engines over the
-#           shared read-only flat tables.
+#           concurrent caches, batch query engine, metrics registry)
+#           plus the flat-kernel equivalence test, which drives
+#           multi-thread engines over the shared read-only flat tables.
 #   bench — smoke-run of the query bench with both kernels on the small
 #           dataset, gated by ci/compare_bench.py (flat must not be
 #           slower than generic, results must be bit-identical).
+#   metrics — bench smoke with --metrics-out, then the compare_bench
+#           metrics checker (required series present, histograms
+#           coherent, JSON and Prometheus exports agree).
 #
-# Usage: ci/check.sh [--tier1-only|--asan-only|--tsan-only|--bench-smoke]
+# Usage: ci/check.sh
+#   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,9 +46,9 @@ tsan() {
     -DSEMSIM_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_test batch_query_test concurrent_cache_test \
-    flat_kernel_test
+    flat_kernel_test metrics_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test'
 }
 
 bench_smoke() {
@@ -55,12 +59,22 @@ bench_smoke() {
   python3 ci/compare_bench.py --dir build
 }
 
+metrics_smoke() {
+  echo "=== metrics smoke: bench with --metrics-out + snapshot checks ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_fig4_query_times
+  (cd build && ./bench/bench_fig4_query_times --dataset=small --kernel=both \
+    --metrics-out=BENCH_metrics.json)
+  python3 ci/compare_bench.py --dir build --metrics build/BENCH_metrics.json
+}
+
 case "${MODE}" in
   --tier1-only) tier1 ;;
   --asan-only) asan ;;
   --tsan-only) tsan ;;
   --bench-smoke) bench_smoke ;;
-  all|*) tier1; asan; tsan; bench_smoke ;;
+  --metrics-smoke|metrics) metrics_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke ;;
 esac
 
 echo "=== all checks passed ==="

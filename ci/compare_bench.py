@@ -11,7 +11,14 @@ when:
     --min-speedup times the generic kernel's (default 1.0, i.e. "flat
     must not be slower"; the nightly perf job passes a higher bar).
 
+With --metrics SNAPSHOT.json it additionally validates the metrics
+snapshot written by --metrics-out (DESIGN.md §8): the JSON document has
+the expected structure, the required instrumentation series exist, every
+histogram is coherent (ascending bounds, count == sum of buckets), and
+the Prometheus sibling (.prom) agrees with the JSON on every value.
+
 Usage: ci/compare_bench.py [--dir DIR] [--min-speedup X]
+                           [--metrics SNAPSHOT.json]
 """
 
 import argparse
@@ -47,12 +54,138 @@ def from_per_kernel(generic_doc, flat_doc):
     }
 
 
+# Series every instrumented bench run must have registered: the trace
+# spans around engine construction and the batch entry point, the
+# query-stage counters, the walk-index build, and the pool/caches.
+REQUIRED_COUNTERS = [
+    "semsim_batch_engine_create_total",
+    "semsim_batch_query_batch_total",
+    "semsim_batch_query_items_total",
+    "semsim_query_published_total",
+    "semsim_query_met_walks_total",
+    "semsim_walk_index_build_total",
+    "semsim_graph_transition_table_build_total",
+    "semsim_pool_parallel_for_total",
+    "semsim_pool_chunks_total",
+    "semsim_cache_normalizer_hits_total",
+    "semsim_cache_normalizer_misses_total",
+]
+REQUIRED_HISTOGRAMS = [
+    "semsim_batch_engine_create_seconds",
+    "semsim_batch_query_batch_seconds",
+    "semsim_walk_index_build_seconds",
+    "semsim_pool_chunk_seconds",
+]
+REQUIRED_GAUGES = [
+    "semsim_pool_queue_depth",
+    "semsim_pool_active_jobs",
+]
+
+
+def parse_prometheus(path):
+    """Parses a Prometheus text exposition into {series: value}."""
+    values = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            if series in values:
+                raise ValueError(f"duplicate series {series!r} in {path}")
+            values[series] = float(value)
+    return values
+
+
+def check_metrics(json_path):
+    """Validates a --metrics-out snapshot; returns a list of failures."""
+    failures = []
+    doc = load_json(json_path)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            failures.append(f"metrics JSON lacks a {section!r} object")
+            return failures
+
+    for name in REQUIRED_COUNTERS:
+        if name not in doc["counters"]:
+            failures.append(f"missing counter {name!r}")
+    for name in REQUIRED_GAUGES:
+        if name not in doc["gauges"]:
+            failures.append(f"missing gauge {name!r}")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in doc["histograms"]:
+            failures.append(f"missing histogram {name!r}")
+
+    # The bench ran real queries, so the spans must have fired.
+    for name in ("semsim_batch_query_batch_total",
+                 "semsim_query_published_total"):
+        if doc["counters"].get(name, 0) == 0:
+            failures.append(f"counter {name!r} is zero after a bench run")
+
+    for name, h in doc["histograms"].items():
+        bounds, counts = h["bounds"], h["counts"]
+        if len(counts) != len(bounds) + 1:
+            failures.append(f"{name}: expected {len(bounds) + 1} buckets "
+                            f"(incl. overflow), got {len(counts)}")
+            continue
+        if any(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:])):
+            failures.append(f"{name}: bounds are not strictly ascending")
+        if h["count"] != sum(counts):
+            failures.append(f"{name}: count {h['count']} != bucket sum "
+                            f"{sum(counts)}")
+
+    # Cross-check the Prometheus sibling: every JSON value must reappear.
+    prom_path = (json_path[:-len(".json")] if json_path.endswith(".json")
+                 else json_path) + ".prom"
+    if not os.path.exists(prom_path):
+        failures.append(f"missing Prometheus sibling {prom_path!r}")
+        return failures
+    prom = parse_prometheus(prom_path)
+    for name, value in doc["counters"].items():
+        if prom.get(name) != float(value):
+            failures.append(f"{name}: JSON {value} != Prometheus "
+                            f"{prom.get(name)}")
+    for name, value in doc["gauges"].items():
+        if prom.get(name) != float(value):
+            failures.append(f"{name}: JSON {value} != Prometheus "
+                            f"{prom.get(name)}")
+    for name, h in doc["histograms"].items():
+        # Key the .prom buckets by their parsed le value: both exporters
+        # print round-trip precision, so float equality is exact, while
+        # the C and Python "%.17g" spellings may differ.
+        prefix = f"{name}_bucket{{le=\""
+        prom_buckets = {}
+        for series, value in prom.items():
+            if series.startswith(prefix) and series.endswith("\"}"):
+                le = series[len(prefix):-2]
+                prom_buckets[float("inf") if le == "+Inf" else float(le)] = \
+                    value
+        cumulative = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            cumulative += count
+            if prom_buckets.get(bound) != float(cumulative):
+                failures.append(f"{name}_bucket le={bound}: JSON cumulative "
+                                f"{cumulative} != Prometheus "
+                                f"{prom_buckets.get(bound)}")
+        if prom_buckets.get(float("inf")) != float(h["count"]):
+            failures.append(f"{name}_bucket le=+Inf: JSON {h['count']} != "
+                            f"Prometheus {prom_buckets.get(float('inf'))}")
+        if prom.get(f"{name}_count") != float(h["count"]):
+            failures.append(f"{name}_count disagrees with JSON")
+        if prom.get(f"{name}_sum") != h["sum"]:
+            failures.append(f"{name}_sum disagrees with JSON")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".",
                     help="directory holding the BENCH_*.json files")
     ap.add_argument("--min-speedup", type=float, default=1.0,
                     help="required flat/generic cold 1-thread qps ratio")
+    ap.add_argument("--metrics", default=None,
+                    help="also validate this --metrics-out JSON snapshot "
+                         "(and its .prom sibling)")
     args = ap.parse_args()
 
     combined = os.path.join(args.dir, "BENCH_queries.json")
@@ -91,6 +224,19 @@ def main():
         print(f"FAIL: flat cold speedup {cold_speedup:.2f}x is below the "
               f"required {args.min_speedup:.2f}x", file=sys.stderr)
         failed = True
+
+    if args.metrics is not None:
+        metric_failures = check_metrics(args.metrics)
+        doc = load_json(args.metrics)
+        print(f"metrics snapshot ({args.metrics}): "
+              f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+              f"{len(doc['histograms'])} histograms")
+        for failure in metric_failures:
+            print(f"FAIL: metrics: {failure}", file=sys.stderr)
+            failed = True
+        if not metric_failures:
+            print("  required series present, histograms coherent, "
+                  "JSON == Prometheus")
 
     if failed:
         return 1

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   LinMeasure lin(&dataset.context);
   SemSimEngineOptions options;  // paper defaults: n_w=150, t=15, c=0.6
-  options.query.theta = 0.05;
+  options.query.mc.theta = 0.05;
   Result<SemSimEngine> engine_result =
       SemSimEngine::Create(&g, &lin, options);
   SemSimEngine& engine = engine_result.value();

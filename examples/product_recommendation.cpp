@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   // SemSim recommendations through the MC engine.
   LinMeasure lin(&dataset.context);
   SemSimEngineOptions options;
-  options.query.theta = 0.05;
+  options.query.mc.theta = 0.05;
   SemSimEngine engine = SemSimEngine::Create(&g, &lin, options).value();
   std::printf("SemSim recommendations:\n");
   for (const Scored& s : engine.TopK(seed_item, 5, &items)) {

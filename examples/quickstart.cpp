@@ -68,8 +68,8 @@ int main() {
   SemSimEngineOptions options;
   options.walks.num_walks = 2000;  // tiny graph: cheap, low-variance
   options.walks.walk_length = 15;
-  options.query.decay = 0.8;
-  options.query.theta = 0.0;
+  options.query.mc.decay = 0.8;
+  options.query.mc.theta = 0.0;
   SemSimEngine engine = SemSimEngine::Create(&g, &lin, options).value();
   std::printf("MC engine estimates: sim(John, Aditi) = %.4f, "
               "sim(Bo, Aditi) = %.4f\n",

@@ -126,7 +126,7 @@ int CmdQuery(int argc, char** argv) {
         SemSimEngine::Create(&dataset->graph, &lin, opt);
     if (!engine.ok()) return Fail(engine.status());
     std::printf("SemSim (MC, n_w=%d, t=%d, theta=%.2f) = %.6f\n",
-                opt.walks.num_walks, opt.walks.walk_length, opt.query.theta,
+                opt.walks.num_walks, opt.walks.walk_length, opt.query.mc.theta,
                 engine->Similarity(*a, *b));
   }
   return 0;
@@ -144,7 +144,7 @@ int CmdTopK(int argc, char** argv) {
   opt.single_source = true;
   // No pruning for interactive top-k: on taxonomies with low absolute Lin
   // scores the default θ would zero out every candidate.
-  opt.query.theta = 0.0;
+  opt.query.mc.theta = 0.0;
   Result<SemSimEngine> engine =
       SemSimEngine::Create(&dataset->graph, &lin, opt);
   if (!engine.ok()) return Fail(engine.status());

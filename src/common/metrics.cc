@@ -1,0 +1,323 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+namespace metrics_internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SEMSIM_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  // Slots per shard: bounds + overflow, padded to a cache-line multiple
+  // of 8-byte cells so neighboring shards never share a line.
+  size_t slots = bounds_.size() + 1;
+  stride_ = (slots + 7) / 8 * 8;
+  cells_ = std::vector<std::atomic<uint64_t>>(kMetricShards * stride_);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  size_t shard = metrics_internal::ThisThreadShard();
+  cells_[shard * stride_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  metrics_internal::RelaxedAdd(sums_[shard].value, value);
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  SEMSIM_CHECK(start > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::span<const double> Histogram::DefaultLatencyBounds() {
+  // 1us → ~100s in half-decade steps: wide enough for a single flat
+  // query and a full medium-graph index build alike.
+  static const std::vector<double> kBounds =
+      ExponentialBuckets(1e-6, 3.1622776601683795, 17);
+  return kBounds;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] +=
+          cells_[shard * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const auto& cell : sums_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& cell : cells_) cell.store(0, std::memory_order_relaxed);
+  for (auto& cell : sums_) cell.value.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEMSIM_CHECK(gauges_.find(name) == gauges_.end() &&
+               histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEMSIM_CHECK(counters_.find(name) == counters_.end() &&
+               histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+  std::lock_guard<std::mutex> lock(mu_);
+  SEMSIM_CHECK(counters_.find(name) == counters_.end() &&
+               gauges_.find(name) == gauges_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  } else {
+    SEMSIM_CHECK(std::equal(bounds.begin(), bounds.end(),
+                            it->second->bounds().begin(),
+                            it->second->bounds().end()))
+        << "histogram '" << std::string(name)
+        << "' re-registered with different bounds";
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->BucketCounts();
+    for (uint64_t c : h.counts) h.count += c;
+    h.sum = histogram->Sum();
+    snapshot.histograms.emplace(name, std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Round-trip double rendering, shared with the bench JSON writer's
+// convention (%.17g; non-finite → null only in JSON).
+std::string RenderDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string RenderUint(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string JsonNumber(double value) {
+  return std::isfinite(value) ? RenderDouble(value) : "null";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + RenderUint(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + JsonNumber(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderUint(h.counts[i]);
+    }
+    out += "], \"count\": " + RenderUint(h.count) +
+           ", \"sum\": " + JsonNumber(h.sum) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + RenderUint(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + RenderDouble(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name + "_bucket{le=\"" + RenderDouble(h.bounds[i]) + "\"} " +
+             RenderUint(cumulative) + "\n";
+    }
+    cumulative += h.counts.back();
+    out += name + "_bucket{le=\"+Inf\"} " + RenderUint(cumulative) + "\n";
+    out += name + "_sum " + RenderDouble(h.sum) + "\n";
+    out += name + "_count " + RenderUint(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsPromPath(const std::string& json_path) {
+  constexpr std::string_view kJson = ".json";
+  if (json_path.size() > kJson.size() &&
+      json_path.compare(json_path.size() - kJson.size(), kJson.size(),
+                        kJson) == 0) {
+    return json_path.substr(0, json_path.size() - kJson.size()) + ".prom";
+  }
+  return json_path + ".prom";
+}
+
+Status WriteMetricsFiles(const MetricsSnapshot& snapshot,
+                         const std::string& json_path) {
+  {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      return Status::IOError("cannot write metrics snapshot: " + json_path);
+    }
+    out << snapshot.ToJson();
+    out.flush();
+    if (!out) return Status::IOError("write failed: " + json_path);
+  }
+  std::string prom_path = MetricsPromPath(json_path);
+  std::ofstream out(prom_path);
+  if (!out.good()) {
+    return Status::IOError("cannot write metrics snapshot: " + prom_path);
+  }
+  out << snapshot.ToPrometheus();
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + prom_path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::Site TraceSpan::Resolve(MetricsRegistry& registry,
+                                   std::string_view name,
+                                   std::span<const double> bounds) {
+  std::string base(name);
+  return Site{registry.GetCounter(base + "_total"),
+              registry.GetHistogram(base + "_seconds", bounds)};
+}
+
+}  // namespace semsim

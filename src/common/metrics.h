@@ -1,0 +1,298 @@
+#ifndef SEMSIM_COMMON_METRICS_H_
+#define SEMSIM_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace semsim {
+
+/// Process-wide observability substrate (DESIGN.md §8). Three metric
+/// kinds — monotonic counters, gauges, and fixed-bucket latency
+/// histograms — live in a `MetricsRegistry` and are written through
+/// stable handles resolved once per call site. Writes land on
+/// per-thread shards (relaxed atomic adds on thread-private cache
+/// lines), so the query hot path pays no contended atomics and no
+/// locks; reads aggregate the shards, so a snapshot is always coherent
+/// per metric even while writers are running.
+///
+/// Naming convention: `semsim_<module>_<metric>`, counters suffixed
+/// `_total`, latency histograms suffixed `_seconds`.
+
+/// Independent write shards per metric. Threads pick a shard at first
+/// use (round-robin); 64 exceeds every pool size this library runs
+/// with, so concurrent writers essentially never share a cell.
+inline constexpr size_t kMetricShards = 64;
+
+namespace metrics_internal {
+
+/// Stable shard slot of the calling thread, assigned on first use.
+size_t ThisThreadShard();
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) DoubleCell {
+  std::atomic<double> value{0.0};
+};
+
+/// Relaxed add for atomic doubles via CAS (portable across libstdc++
+/// versions; shard-private cells make the loop effectively one trip).
+inline void RelaxedAdd(std::atomic<double>& cell, double delta) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace metrics_internal
+
+/// Monotonically increasing event count. Add() is wait-free: one
+/// relaxed fetch_add on the calling thread's shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[metrics_internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Monotone between calls; concurrent Adds may
+  /// or may not be included (relaxed reads).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<metrics_internal::CounterCell, kMetricShards> cells_;
+};
+
+/// Point-in-time value. Two write styles, not to be mixed on one gauge:
+/// Set() stores an absolute level (last writer wins); Add() applies a
+/// signed delta to the caller's shard (exact under concurrency — use
+/// for in-flight/queue-depth style gauges). Value() = set level + sum
+/// of deltas.
+class Gauge {
+ public:
+  void Set(double value) { base_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    metrics_internal::RelaxedAdd(
+        cells_[metrics_internal::ThisThreadShard()].value, delta);
+  }
+  void Sub(double delta) { Add(-delta); }
+
+  double Value() const {
+    double total = base_.load(std::memory_order_relaxed);
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    base_.store(0.0, std::memory_order_relaxed);
+    for (auto& cell : cells_) {
+      cell.value.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<double> base_{0.0};
+  std::array<metrics_internal::DoubleCell, kMetricShards> cells_;
+};
+
+/// Fixed-bucket distribution: `bounds` are strictly increasing
+/// *inclusive* upper bounds (Prometheus `le` semantics); one implicit
+/// overflow bucket catches everything above the last bound. Observe()
+/// is one binary search over the bounds plus two relaxed adds on the
+/// caller's shard. Bucket layout is fixed at construction — no
+/// allocation or rehash ever happens afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+
+  /// `count` exponentially spaced bounds starting at `start`, each
+  /// `factor` times the previous — the standard latency ladder.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+  /// The registry-wide default for `_seconds` histograms: 1us → ~100s,
+  /// half-decade steps.
+  static std::span<const double> DefaultLatencyBounds();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries; the last entry is
+  /// the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  /// Total observations (sum of all buckets including overflow).
+  uint64_t Count() const;
+  /// Sum of all observed values.
+  double Sum() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  size_t stride_;  // slots per shard, padded to a cache line multiple
+  std::vector<std::atomic<uint64_t>> cells_;  // kMetricShards * stride_
+  std::array<metrics_internal::DoubleCell, kMetricShards> sums_;
+};
+
+/// One histogram's aggregated state inside a snapshot.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1; last = overflow
+  uint64_t count = 0;            // sum of counts
+  double sum = 0.0;
+};
+
+/// A point-in-time aggregation of every registered metric, with
+/// exporters. Both exporters render the same numbers: the JSON document
+/// carries raw per-bucket counts, the Prometheus text the standard
+/// cumulative `le` buckets plus `_sum`/`_count` — test-checked to agree.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+  std::string ToPrometheus() const;
+};
+
+/// Derives the Prometheus-text sibling of a JSON snapshot path
+/// (`x.json` → `x.prom`, anything else gets `.prom` appended).
+std::string MetricsPromPath(const std::string& json_path);
+
+/// Writes `snapshot` as JSON to `json_path` and as Prometheus text to
+/// MetricsPromPath(json_path) — the `--metrics-out` backend.
+Status WriteMetricsFiles(const MetricsSnapshot& snapshot,
+                         const std::string& json_path);
+
+/// Name → metric registry. Handles returned by the Get*() calls are
+/// stable for the registry's lifetime; resolve them once (constructor,
+/// static local) and write through the pointer on hot paths. Get*() on
+/// an existing name returns the existing metric — same-named call
+/// sites share one aggregate.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site
+  /// writes to. Never destroyed (leaked on exit) so worker threads can
+  /// touch metrics during static teardown.
+  static MetricsRegistry& Global();
+
+  /// Resolves (creating on first use) the named metric. A name is
+  /// bound to one kind forever; requesting it as a different kind
+  /// aborts. GetHistogram with empty `bounds` uses
+  /// Histogram::DefaultLatencyBounds(); an existing histogram's bounds
+  /// must match the request.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> bounds = {});
+
+  /// Aggregates every metric. Safe to call while writers run: each
+  /// value is a relaxed read of a consistent metric.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric; handles stay valid. Test/bench
+  /// hygiene — not meant for serving paths.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the wall time of a scope into a histogram on destruction
+/// (and optionally into *out_seconds for callers that also report the
+/// value elsewhere, e.g. WalkIndex::build_seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* out_seconds = nullptr)
+      : histogram_(histogram), out_seconds_(out_seconds) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    double seconds = timer_.ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
+    if (out_seconds_ != nullptr) *out_seconds_ = seconds;
+  }
+
+ private:
+  Timer timer_;
+  Histogram* histogram_;
+  double* out_seconds_;
+};
+
+/// A named trace span: counts entries under `<name>_total` and records
+/// wall time under `<name>_seconds`. Resolve() the handles once per
+/// call site (SEMSIM_TRACE_SPAN caches them in a static), so entering
+/// a span costs two pointer copies and one clock read.
+class TraceSpan {
+ public:
+  struct Site {
+    Counter* calls;
+    Histogram* seconds;
+  };
+
+  static Site Resolve(MetricsRegistry& registry, std::string_view name,
+                      std::span<const double> bounds = {});
+
+  explicit TraceSpan(const Site& site) : site_(site) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    site_.calls->Add(1);
+    site_.seconds->Observe(timer_.ElapsedSeconds());
+  }
+
+ private:
+  Site site_;
+  Timer timer_;
+};
+
+#define SEMSIM_METRICS_CONCAT_IMPL_(a, b) a##b
+#define SEMSIM_METRICS_CONCAT_(a, b) SEMSIM_METRICS_CONCAT_IMPL_(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope,
+/// reporting to the global registry as `<name>_total` +
+/// `<name>_seconds`. `name` must be a string literal (it is resolved
+/// once into a function-local static).
+#define SEMSIM_TRACE_SPAN(name)                                             \
+  static const ::semsim::TraceSpan::Site SEMSIM_METRICS_CONCAT_(            \
+      _semsim_span_site_, __LINE__) =                                       \
+      ::semsim::TraceSpan::Resolve(::semsim::MetricsRegistry::Global(),     \
+                                   name);                                   \
+  ::semsim::TraceSpan SEMSIM_METRICS_CONCAT_(_semsim_span_, __LINE__)(      \
+      SEMSIM_METRICS_CONCAT_(_semsim_span_site_, __LINE__))
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_METRICS_H_

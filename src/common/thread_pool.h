@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace semsim {
 
@@ -77,13 +78,16 @@ class ThreadPool {
     SEMSIM_CHECK(begin <= end);
     size_t total = end - begin;
     if (total == 0) return;
+    Metrics().parallel_for->Add(1);
     if (num_threads_ == 1 || total == 1 || InPoolRegion()) {
       chunk_fn(begin, end);
       return;
     }
     std::lock_guard<std::mutex> serialize(run_mu_);
+    Metrics().active_jobs->Add(1);
     size_t num_chunks =
         std::min(total, static_cast<size_t>(num_threads_) * 8);
+    Metrics().queue_depth->Add(static_cast<double>(num_chunks));
     {
       std::lock_guard<std::mutex> lock(mu_);
       job_begin_ = begin;
@@ -103,9 +107,35 @@ class ThreadPool {
              completed_chunks_.load(std::memory_order_acquire) == num_chunks;
     });
     job_fn_ = nullptr;
+    Metrics().active_jobs->Sub(1);
   }
 
  private:
+  // Handles into the global registry, resolved once per process. Chunk
+  // granularity is coarse (~8 chunks per thread per job), so the per-chunk
+  // clock reads cost nothing next to the work inside a chunk; the inline
+  // single-thread path pays only one relaxed counter add.
+  struct MetricSites {
+    Counter* parallel_for;
+    Counter* chunks;
+    Histogram* chunk_seconds;
+    Gauge* queue_depth;
+    Gauge* active_jobs;
+  };
+  static const MetricSites& Metrics() {
+    static const MetricSites sites = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return MetricSites{
+          reg.GetCounter("semsim_pool_parallel_for_total"),
+          reg.GetCounter("semsim_pool_chunks_total"),
+          reg.GetHistogram("semsim_pool_chunk_seconds"),
+          reg.GetGauge("semsim_pool_queue_depth"),
+          reg.GetGauge("semsim_pool_active_jobs"),
+      };
+    }();
+    return sites;
+  }
+
   static bool& InPoolRegionFlag() {
     thread_local bool in_region = false;
     return in_region;
@@ -122,7 +152,13 @@ class ThreadPool {
       if (c >= job_num_chunks_) break;
       size_t lo = job_begin_ + c * job_chunk_size_;
       size_t hi = std::min(job_end_, lo + job_chunk_size_);
-      (*job_fn_)(lo, hi);
+      {
+        Timer chunk_timer;
+        (*job_fn_)(lo, hi);
+        Metrics().chunk_seconds->Observe(chunk_timer.ElapsedSeconds());
+      }
+      Metrics().chunks->Add(1);
+      Metrics().queue_depth->Sub(1);
       completed_chunks_.fetch_add(1, std::memory_order_release);
     }
     InPoolRegionFlag() = false;

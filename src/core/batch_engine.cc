@@ -1,22 +1,44 @@
 #include "core/batch_engine.h"
 
 #include <mutex>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace semsim {
 
-BatchQueryEngine::BatchQueryEngine(const Hin* graph,
-                                   const SemanticMeasure* semantic,
-                                   const WalkIndex* index,
-                                   const BatchQueryEngineOptions& options,
-                                   const PairNormalizerCache* static_cache)
-    : graph_(graph),
-      semantic_(semantic),
-      index_(index),
-      options_(options),
-      pool_(options.num_threads) {
-  SEMSIM_CHECK(graph != nullptr && semantic != nullptr && index != nullptr);
+Result<BatchQueryEngine> BatchQueryEngine::Create(
+    const Hin* graph, const SemanticMeasure* semantic, const WalkIndex* index,
+    const BatchQueryEngineOptions& options,
+    const PairNormalizerCache* static_cache) {
+  if (graph == nullptr || semantic == nullptr || index == nullptr) {
+    return Status::InvalidArgument(
+        "graph, semantic measure, and walk index are required");
+  }
+  if (options.normalizer_cache_capacity < 0 ||
+      options.semantic_cache_capacity < 0) {
+    return Status::InvalidArgument(
+        "cache capacities must be >= 0 (0 disables the cache)");
+  }
+  if (!(options.query.mc.decay > 0 && options.query.mc.decay < 1)) {
+    return Status::InvalidArgument("decay must lie in (0,1)");
+  }
+  if (options.query.mc.theta > 1 - options.query.mc.decay) {
+    // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
+    return Status::InvalidArgument(
+        "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
+  }
+  SEMSIM_TRACE_SPAN("semsim_batch_engine_create");
+  BatchQueryEngine engine;
+  engine.graph_ = graph;
+  engine.semantic_ = semantic;
+  engine.index_ = index;
+  engine.options_ = options;
+  engine.options_.num_threads =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+  engine.pool_ = std::make_unique<ThreadPool>(engine.options_.num_threads);
+  engine.inverted_mu_ = std::make_unique<std::mutex>();
   // Flat-kernel preprocessing (DESIGN.md §7): the transition table always
   // pays off; the flat semantic table only exists when the measure is one
   // of the flattenable built-ins. When it is, the devirtualized kernel
@@ -24,49 +46,69 @@ BatchQueryEngine::BatchQueryEngine(const Hin* graph,
   // wrapper would only add shard locks in front of a few array reads —
   // skip building it entirely.
   bool sem_devirtualized = false;
-  if (options_.kernel == QueryKernel::kFlat) {
-    transition_table_ =
-        std::make_unique<TransitionTable>(TransitionTable::Build(*graph_));
-    kernels::SemInfo info = kernels::ClassifyMeasure(semantic_);
+  if (engine.options_.query.kernel == QueryKernel::kFlat) {
+    engine.transition_table_ =
+        std::make_unique<TransitionTable>(TransitionTable::Build(*graph));
+    kernels::SemInfo info = kernels::ClassifyMeasure(semantic);
     if (info.kind != kernels::SemKind::kVirtual) {
-      flat_semantic_ = std::make_unique<FlatSemanticTable>(
+      engine.flat_semantic_ = std::make_unique<FlatSemanticTable>(
           FlatSemanticTable::Build(*info.context));
       sem_devirtualized = true;
     }
   }
-  const SemanticMeasure* measure = semantic_;
-  if (options_.semantic_cache_capacity > 0 && !sem_devirtualized) {
-    cached_semantic_ = std::make_unique<CachedSemanticMeasure>(
-        semantic_, options_.semantic_cache_capacity);
-    measure = cached_semantic_.get();
+  const SemanticMeasure* measure = semantic;
+  if (engine.options_.semantic_cache_capacity > 0 && !sem_devirtualized) {
+    engine.cached_semantic_ = std::make_unique<CachedSemanticMeasure>(
+        semantic,
+        static_cast<size_t>(engine.options_.semantic_cache_capacity));
+    engine.cached_semantic_->cache().BindMetrics("semantic");
+    measure = engine.cached_semantic_.get();
   }
-  estimator_ = std::make_unique<SemSimMcEstimator>(graph_, measure, index_,
-                                                   static_cache);
-  if (options_.kernel == QueryKernel::kFlat) {
-    bool engaged = estimator_->AttachFlatKernel(flat_semantic_.get(),
-                                                transition_table_.get());
+  engine.estimator_ = std::make_unique<SemSimMcEstimator>(
+      graph, measure, index, static_cache);
+  if (engine.options_.query.kernel == QueryKernel::kFlat) {
+    bool engaged = engine.estimator_->AttachFlatKernel(
+        engine.flat_semantic_.get(), engine.transition_table_.get());
     SEMSIM_CHECK(engaged == sem_devirtualized);
   }
-  if (options_.normalizer_cache_capacity > 0) {
-    normalizer_cache_ = std::make_unique<ConcurrentPairCache>(
-        options_.normalizer_cache_capacity);
-    estimator_->set_shared_cache(normalizer_cache_.get());
+  if (engine.options_.normalizer_cache_capacity > 0) {
+    engine.normalizer_cache_ = std::make_unique<ConcurrentPairCache>(
+        static_cast<size_t>(engine.options_.normalizer_cache_capacity));
+    engine.normalizer_cache_->BindMetrics("normalizer");
+    engine.estimator_->set_shared_cache(engine.normalizer_cache_.get());
   }
+  return engine;
+}
+
+BatchQueryEngine::BatchQueryEngine(const Hin* graph,
+                                   const SemanticMeasure* semantic,
+                                   const WalkIndex* index,
+                                   const BatchQueryEngineOptions& options,
+                                   const PairNormalizerCache* static_cache) {
+  Result<BatchQueryEngine> created =
+      Create(graph, semantic, index, options, static_cache);
+  SEMSIM_CHECK(created.ok()) << created.status().ToString();
+  *this = std::move(created).value();
 }
 
 std::string BatchQueryEngine::kernel_name() const {
-  if (options_.kernel == QueryKernel::kGeneric) return "generic";
+  if (options_.query.kernel == QueryKernel::kGeneric) return "generic";
   return "flat+" + std::string(estimator_->sem_kernel_name());
 }
 
 std::vector<double> BatchQueryEngine::QueryBatch(
     std::span<const NodePair> pairs, McQueryStats* stats) const {
-  return estimator_->QueryBatch(pairs, options_.query, pool_, stats);
+  SEMSIM_TRACE_SPAN("semsim_batch_query_batch");
+  static Counter* items = MetricsRegistry::Global().GetCounter(
+      "semsim_batch_query_items_total");
+  items->Add(pairs.size());
+  return estimator_->QueryBatch(pairs, options_.query.mc, *pool_, stats);
 }
 
 const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
-  std::lock_guard<std::mutex> lock(inverted_mu_);
+  std::lock_guard<std::mutex> lock(*inverted_mu_);
   if (!inverted_) {
+    SEMSIM_TRACE_SPAN("semsim_batch_inverted_index_build");
     inverted_ = std::make_unique<SingleSourceIndex>(
         SingleSourceIndex::Build(*index_, graph_->num_nodes()));
   }
@@ -75,14 +117,22 @@ const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
 
 std::vector<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
     std::span<const NodeId> sources, McQueryStats* stats) const {
+  SEMSIM_TRACE_SPAN("semsim_batch_single_source_batch");
+  static Counter* items = MetricsRegistry::Global().GetCounter(
+      "semsim_batch_single_source_items_total");
+  items->Add(sources.size());
   return ParallelSemSimFrom(InvertedIndex(), sources, *estimator_,
-                            options_.query, pool_, stats);
+                            options_.query.mc, *pool_, stats);
 }
 
 std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> sources, size_t k, McQueryStats* stats) const {
+  SEMSIM_TRACE_SPAN("semsim_batch_topk_batch");
+  static Counter* items = MetricsRegistry::Global().GetCounter(
+      "semsim_batch_topk_items_total");
+  items->Add(sources.size());
   return ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_,
-                          options_.query, pool_, stats);
+                          options_.query.mc, *pool_, stats);
 }
 
 size_t BatchQueryEngine::MemoryBytes() const {
@@ -91,7 +141,7 @@ size_t BatchQueryEngine::MemoryBytes() const {
   if (flat_semantic_) total += flat_semantic_->MemoryBytes();
   if (normalizer_cache_) total += normalizer_cache_->MemoryBytes();
   if (cached_semantic_) total += cached_semantic_->cache().MemoryBytes();
-  std::lock_guard<std::mutex> lock(inverted_mu_);
+  std::lock_guard<std::mutex> lock(*inverted_mu_);
   if (inverted_) total += inverted_->MemoryBytes();
   return total;
 }

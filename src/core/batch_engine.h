@@ -1,11 +1,13 @@
 #ifndef SEMSIM_CORE_BATCH_ENGINE_H_
 #define SEMSIM_CORE_BATCH_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/concurrent_cache.h"
 #include "core/mc_semsim.h"
@@ -22,20 +24,19 @@ struct BatchQueryEngineOptions {
   /// Worker count; <= 0 resolves to hardware concurrency (the resolved
   /// value is reported by BatchQueryEngine::num_threads()).
   int num_threads = 0;
-  /// Slot budget of the cross-query SO-normalizer cache. 0 disables it.
-  size_t normalizer_cache_capacity = 1 << 20;
+  /// Slot budget of the cross-query SO-normalizer cache. 0 disables it;
+  /// negative values are rejected by Create().
+  int64_t normalizer_cache_capacity = 1 << 20;
   /// Slot budget of the memoizing sem(·,·) cache wrapped around the
-  /// semantic measure. 0 disables memoization. Ignored (no wrapper is
-  /// built) when the flat kernel devirtualizes the measure — the flat
-  /// table reads are cheaper than the cache's sharded lookup.
-  size_t semantic_cache_capacity = 1 << 20;
-  /// Which query-kernel implementation to run (DESIGN.md §7). kFlat
-  /// builds the transition table (and, when the measure is a
-  /// flattenable built-in, the flat semantic table) at engine
-  /// construction; results are bit-identical either way.
-  QueryKernel kernel = QueryKernel::kFlat;
-  /// Query-time parameters applied to every batch item.
-  SemSimMcOptions query{0.6, 0.05};
+  /// semantic measure. 0 disables memoization (negative rejected).
+  /// Ignored (no wrapper is built) when the flat kernel devirtualizes
+  /// the measure — the flat table reads are cheaper than the cache's
+  /// sharded lookup.
+  int64_t semantic_cache_capacity = 1 << 20;
+  /// Kernel selection + estimator parameters applied to every batch
+  /// item — the QueryOptions surface shared with SemSimEngineOptions
+  /// (defaults: kFlat, c=0.6, θ=0.05).
+  QueryOptions query;
 };
 
 /// The parallel batch query engine: owns a persistent ThreadPool and the
@@ -55,13 +56,28 @@ struct BatchQueryEngineOptions {
 /// values that are bit-exact functions of their canonical pair key.
 class BatchQueryEngine {
  public:
-  /// `graph`, `semantic`, and `index` must outlive the engine. The
-  /// optional SLING-style `static_cache` is consulted before the
-  /// concurrent caches, exactly as in SemSimMcEstimator.
+  /// Validating factory, the counterpart of SemSimEngine::Create.
+  /// `graph`, `semantic`, and `index` must be non-null and outlive the
+  /// engine; decay must lie in (0,1) and θ ≤ 1 - decay (Lemma 4.7);
+  /// negative cache capacities are rejected. `num_threads <= 0` is
+  /// resolved here (the returned engine's options report the resolved
+  /// count). The optional SLING-style `static_cache` is consulted
+  /// before the concurrent caches, exactly as in SemSimMcEstimator.
+  static Result<BatchQueryEngine> Create(
+      const Hin* graph, const SemanticMeasure* semantic,
+      const WalkIndex* index, const BatchQueryEngineOptions& options = {},
+      const PairNormalizerCache* static_cache = nullptr);
+
+  /// Legacy constructor; aborts on the inputs Create() rejects.
+  [[deprecated("use BatchQueryEngine::Create, which validates instead of "
+               "aborting")]]
   BatchQueryEngine(const Hin* graph, const SemanticMeasure* semantic,
                    const WalkIndex* index,
                    const BatchQueryEngineOptions& options = {},
                    const PairNormalizerCache* static_cache = nullptr);
+
+  BatchQueryEngine(BatchQueryEngine&&) = default;
+  BatchQueryEngine& operator=(BatchQueryEngine&&) = default;
 
   /// results[i] == estimator().Query(pairs[i], ...) for every i.
   std::vector<double> QueryBatch(std::span<const NodePair> pairs,
@@ -81,10 +97,13 @@ class BatchQueryEngine {
                                                  nullptr) const;
 
   const SemSimMcEstimator& estimator() const { return *estimator_; }
-  const ThreadPool& pool() const { return pool_; }
+  const ThreadPool& pool() const { return *pool_; }
   /// Resolved worker count (satellite of the num_threads <= 0 contract).
-  int num_threads() const { return pool_.num_threads(); }
-  const SemSimMcOptions& query_options() const { return options_.query; }
+  int num_threads() const { return pool_->num_threads(); }
+  const QueryOptions& query_options() const { return options_.query; }
+  /// The options the engine runs with; num_threads holds the resolved
+  /// count.
+  const BatchQueryEngineOptions& options() const { return options_; }
 
   /// Cross-query cache instrumentation for bench JSON output. The
   /// normalizer cache also counts per-query-context misses it could not
@@ -113,20 +132,24 @@ class BatchQueryEngine {
   size_t MemoryBytes() const;
 
  private:
+  // Result<BatchQueryEngine> requires a movable engine, so the pool and
+  // the inverted-index mutex live behind unique_ptr.
+  BatchQueryEngine() = default;
+
   const SingleSourceIndex& InvertedIndex() const;
 
-  const Hin* graph_;
-  const SemanticMeasure* semantic_;
-  const WalkIndex* index_;
+  const Hin* graph_ = nullptr;
+  const SemanticMeasure* semantic_ = nullptr;
+  const WalkIndex* index_ = nullptr;
   BatchQueryEngineOptions options_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<TransitionTable> transition_table_;
   std::unique_ptr<FlatSemanticTable> flat_semantic_;
   std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
   std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
   std::unique_ptr<SemSimMcEstimator> estimator_;
   // Lazily built inverted index (guarded; build is idempotent).
-  mutable std::mutex inverted_mu_;
+  mutable std::unique_ptr<std::mutex> inverted_mu_;
   mutable std::unique_ptr<SingleSourceIndex> inverted_;
 };
 

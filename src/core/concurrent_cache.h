@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/types.h"
 #include "taxonomy/semantic_measure.h"
 
@@ -64,11 +67,13 @@ class ConcurrentPairCache {
       if (slot.key == key) {
         *value = slot.value;
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (metric_hits_ != nullptr) metric_hits_->Add(1);
         return true;
       }
       if (slot.key == kEmptyKey) break;
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_misses_ != nullptr) metric_misses_->Add(1);
     return false;
   }
 
@@ -81,6 +86,7 @@ class ConcurrentPairCache {
     size_t base = (h >> kShardBits) & slot_mask_;
     std::lock_guard<std::mutex> lock(shard.mu);
     size_t victim = base & slot_mask_;
+    bool displaced = true;
     for (size_t i = 0; i < kProbeWindow; ++i) {
       Slot& slot = shard.slots[(base + i) & slot_mask_];
       if (slot.key == key) {
@@ -90,8 +96,13 @@ class ConcurrentPairCache {
       if (slot.key == kEmptyKey) {
         victim = (base + i) & slot_mask_;
         ++shard.used;
+        displaced = false;
         break;
       }
+    }
+    if (displaced) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_evictions_ != nullptr) metric_evictions_->Add(1);
     }
     shard.slots[victim] = Slot{key, value};
   }
@@ -104,6 +115,7 @@ class ConcurrentPairCache {
     }
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
   /// Occupied slots (exact; takes every shard lock).
@@ -121,6 +133,12 @@ class ConcurrentPairCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Displacing inserts: the probe window was full so an older pair was
+  /// overwritten. A high rate relative to misses means the capacity is
+  /// too small for the working set.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   double hit_rate() const {
     uint64_t h = hits(), m = misses();
     return h + m == 0 ? 0.0 : static_cast<double>(h) / (h + m);
@@ -128,6 +146,19 @@ class ConcurrentPairCache {
   void ResetCounters() {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Additionally routes this cache's traffic into the global
+  /// MetricsRegistry as `semsim_cache_<name>_{hits,misses,evictions}_total`
+  /// (shared with any other cache bound to the same name). Unbound caches
+  /// pay only the local atomics.
+  void BindMetrics(std::string_view name) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    std::string base = "semsim_cache_" + std::string(name) + "_";
+    metric_hits_ = registry.GetCounter(base + "hits_total");
+    metric_misses_ = registry.GetCounter(base + "misses_total");
+    metric_evictions_ = registry.GetCounter(base + "evictions_total");
   }
 
   size_t MemoryBytes() const { return capacity() * sizeof(Slot); }
@@ -176,6 +207,10 @@ class ConcurrentPairCache {
   size_t slot_mask_ = 0;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  Counter* metric_hits_ = nullptr;
+  Counter* metric_misses_ = nullptr;
+  Counter* metric_evictions_ = nullptr;
 };
 
 /// Memoizing decorator over any SemanticMeasure: serves sem(u,v) from a

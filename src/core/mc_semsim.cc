@@ -4,9 +4,59 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "core/mc_simrank.h"
 
 namespace semsim {
+
+void PublishQueryStats(const McQueryStats& stats) {
+  // Handles resolved once per process; each publish is a handful of
+  // relaxed shard adds. Zero fields are skipped so idle counters cost
+  // one branch each.
+  struct Sites {
+    Counter* queries;
+    Counter* met_walks;
+    Counter* pruned_walks;
+    Counter* sem_pruned;
+    Counter* normalizers_computed;
+    Counter* normalizer_cache_hits;
+    Counter* shared_cache_hits;
+  };
+  static const Sites sites = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return Sites{
+        reg.GetCounter("semsim_query_published_total"),
+        reg.GetCounter("semsim_query_met_walks_total"),
+        reg.GetCounter("semsim_query_pruned_walks_total"),
+        reg.GetCounter("semsim_query_sem_pruned_total"),
+        reg.GetCounter("semsim_query_normalizers_computed_total"),
+        reg.GetCounter("semsim_query_normalizer_cache_hits_total"),
+        reg.GetCounter("semsim_query_shared_cache_hits_total"),
+    };
+  }();
+  sites.queries->Add(1);
+  if (stats.met_walks > 0) {
+    sites.met_walks->Add(static_cast<uint64_t>(stats.met_walks));
+  }
+  if (stats.pruned_walks > 0) {
+    sites.pruned_walks->Add(static_cast<uint64_t>(stats.pruned_walks));
+  }
+  if (stats.sem_pruned_queries > 0) {
+    sites.sem_pruned->Add(static_cast<uint64_t>(stats.sem_pruned_queries));
+  }
+  if (stats.normalizers_computed > 0) {
+    sites.normalizers_computed->Add(
+        static_cast<uint64_t>(stats.normalizers_computed));
+  }
+  if (stats.normalizer_cache_hits > 0) {
+    sites.normalizer_cache_hits->Add(
+        static_cast<uint64_t>(stats.normalizer_cache_hits));
+  }
+  if (stats.shared_cache_hits > 0) {
+    sites.shared_cache_hits->Add(
+        static_cast<uint64_t>(stats.shared_cache_hits));
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Kernel dispatch. The inner loops below are member templates over a
@@ -212,7 +262,10 @@ double SemSimMcEstimator::QueryT(const Sem& sem, const Edges& edges, NodeId u,
   // Lines 2-3 of Algorithm 1: sem(u,v) is an upper bound on sim(u,v)
   // (Prop. 2.5), so low-semantics pairs are answered 0 immediately.
   if (options.theta > 0 && sem_uv <= options.theta) {
-    if (stats) stats->sem_pruned = true;
+    if (stats) {
+      stats->sem_pruned = true;
+      ++stats->sem_pruned_queries;
+    }
     return 0.0;
   }
 
@@ -231,9 +284,16 @@ double SemSimMcEstimator::QueryT(const Sem& sem, const Edges& edges, NodeId u,
 double SemSimMcEstimator::Query(NodeId u, NodeId v,
                                 const SemSimMcOptions& options,
                                 McQueryStats* stats) const {
-  return Dispatch([&](const auto& sem, const auto& edges) {
-    return QueryT(sem, edges, u, v, options, stats);
+  // Counts are always gathered into a local record and published, so a
+  // nullptr `stats` no longer drops them; the out-param is merely an
+  // additional per-call view.
+  McQueryStats local;
+  double result = Dispatch([&](const auto& sem, const auto& edges) {
+    return QueryT(sem, edges, u, v, options, &local);
   });
+  PublishQueryStats(local);
+  if (stats != nullptr) stats->Merge(local);
+  return result;
 }
 
 std::vector<double> SemSimMcEstimator::QueryBatch(
@@ -248,8 +308,10 @@ std::vector<double> SemSimMcEstimator::QueryBatch(
       McQueryStats local;
       for (size_t i = begin; i < end; ++i) {
         results[i] = QueryT(sem, edges, pairs[i].first, pairs[i].second,
-                            options, stats ? &local : nullptr);
+                            options, &local);
       }
+      // Registry totals accumulate per chunk regardless of `stats`.
+      PublishQueryStats(local);
       if (stats) {
         std::lock_guard<std::mutex> lock(stats_mu);
         stats->Merge(local);

@@ -27,6 +27,21 @@ struct SemSimMcOptions {
   double theta = 0.0;
 };
 
+/// The query-time surface shared by SemSimEngine and BatchQueryEngine:
+/// kernel selection plus the estimator parameters applied to every
+/// query. Both engines embed one of these as `.query`, so the two option
+/// structs cannot drift apart.
+struct QueryOptions {
+  /// Which query-kernel implementation to run (DESIGN.md §7). kFlat
+  /// precomputes the transition table (and, for the flattenable built-in
+  /// measures, the flat semantic table); results are bit-identical to
+  /// kGeneric.
+  QueryKernel kernel = QueryKernel::kFlat;
+  /// Estimator parameters: c=0.6 and pruning θ=0.05 are the paper's
+  /// experimental setting.
+  SemSimMcOptions mc{0.6, 0.05};
+};
+
 /// Per-query instrumentation (used by the Fig. 4 experiment to explain
 /// where time goes).
 struct McQueryStats {
@@ -36,6 +51,9 @@ struct McQueryStats {
   int pruned_walks = 0;
   /// Query answered 0 because sem(u,v) <= θ (lines 2-3 of Algorithm 1).
   bool sem_pruned = false;
+  /// Number of queries answered 0 by the sem(u,v) <= θ test — the
+  /// summable form of `sem_pruned` (which saturates under Merge).
+  int64_t sem_pruned_queries = 0;
   /// Number of d²-cost normalizer (SO) computations performed.
   int64_t normalizers_computed = 0;
   /// Normalizer lookups answered by the SLING-style cache.
@@ -50,11 +68,18 @@ struct McQueryStats {
     met_walks += other.met_walks;
     pruned_walks += other.pruned_walks;
     sem_pruned = sem_pruned || other.sem_pruned;
+    sem_pruned_queries += other.sem_pruned_queries;
     normalizers_computed += other.normalizers_computed;
     normalizer_cache_hits += other.normalizer_cache_hits;
     shared_cache_hits += other.shared_cache_hits;
   }
 };
+
+/// Adds one stats record to the global MetricsRegistry's
+/// `semsim_query_*` counters. The estimator's public entry points call
+/// this on every query, so registry totals accumulate even for the
+/// (legacy) `stats = nullptr` call sites that used to drop the counts.
+void PublishQueryStats(const McQueryStats& stats);
 
 /// Single-pair SemSim estimator implementing the paper's Algorithm 1:
 /// walks are drawn once from the proposal distribution Q (the WalkIndex),
@@ -112,7 +137,10 @@ class SemSimMcEstimator {
   double SemValue(NodeId u, NodeId v) const;
 
   /// Estimates sim(u, v). Unbiased for θ = 0 (Prop. 4.4); with θ > 0 the
-  /// additional one-sided error is bounded by θ (Prop. 4.6).
+  /// additional one-sided error is bounded by θ (Prop. 4.6). Stage
+  /// counts are always published to the global MetricsRegistry
+  /// (`semsim_query_*`); the `stats` out-param is the legacy per-call
+  /// view and may stay nullptr.
   double Query(NodeId u, NodeId v, const SemSimMcOptions& options,
                McQueryStats* stats = nullptr) const;
 
@@ -122,7 +150,9 @@ class SemSimMcEstimator {
   /// independent: each item is estimated in isolation (per-item
   /// accumulation order is fixed by the walk index, queries draw no
   /// randomness) and written to its own slot; per-thread stats partials
-  /// are merged by commutative sums into *stats.
+  /// are merged by commutative sums into *stats. As with Query, stage
+  /// counts always reach the global MetricsRegistry; `stats` is the
+  /// legacy out-param view.
   std::vector<double> QueryBatch(std::span<const NodePair> pairs,
                                  const SemSimMcOptions& options,
                                  const ThreadPool& pool,

@@ -1,5 +1,7 @@
 #include "core/semsim_engine.h"
 
+#include "common/metrics.h"
+
 namespace semsim {
 
 Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
@@ -8,14 +10,15 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
   if (graph == nullptr || semantic == nullptr) {
     return Status::InvalidArgument("graph and semantic measure are required");
   }
-  if (!(options.query.decay > 0 && options.query.decay < 1)) {
+  if (!(options.query.mc.decay > 0 && options.query.mc.decay < 1)) {
     return Status::InvalidArgument("decay must lie in (0,1)");
   }
-  if (options.query.theta > 1 - options.query.decay) {
+  if (options.query.mc.theta > 1 - options.query.mc.decay) {
     // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
     return Status::InvalidArgument(
         "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
   }
+  SEMSIM_TRACE_SPAN("semsim_engine_create");
   SemSimEngine engine;
   engine.graph_ = graph;
   engine.semantic_ = semantic;
@@ -30,7 +33,7 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
   }
   engine.estimator_ = std::make_unique<SemSimMcEstimator>(
       graph, semantic, engine.walk_index_.get(), engine.cache_.get());
-  if (options.kernel == QueryKernel::kFlat) {
+  if (options.query.kernel == QueryKernel::kFlat) {
     engine.transition_table_ =
         std::make_unique<TransitionTable>(TransitionTable::Build(*graph));
     kernels::SemInfo info = kernels::ClassifyMeasure(semantic);
@@ -52,11 +55,11 @@ std::vector<Scored> SemSimEngine::TopK(
     NodeId query, size_t k, const std::vector<NodeId>* candidates) const {
   if (single_source_ != nullptr) {
     std::vector<double> scores =
-        single_source_->SemSimFrom(query, *estimator_, options_.query);
+        single_source_->SemSimFrom(query, *estimator_, options_.query.mc);
     return CallbackTopK(graph_->num_nodes(), query, k, candidates,
                         [&](NodeId v) { return scores[v]; });
   }
-  return McTopK(*estimator_, query, k, options_.query, candidates);
+  return McTopK(*estimator_, query, k, options_.query.mc, candidates);
 }
 
 Result<std::vector<double>> SemSimEngine::AllScores(NodeId query) const {
@@ -65,7 +68,7 @@ Result<std::vector<double>> SemSimEngine::AllScores(NodeId query) const {
         "engine built without the single-source index "
         "(SemSimEngineOptions::single_source)");
   }
-  return single_source_->SemSimFrom(query, *estimator_, options_.query);
+  return single_source_->SemSimFrom(query, *estimator_, options_.query.mc);
 }
 
 Result<double> SemSimEngine::SimilarityByName(std::string_view u,

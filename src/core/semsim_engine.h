@@ -22,9 +22,10 @@ namespace semsim {
 struct SemSimEngineOptions {
   /// Reverse-walk index parameters (paper defaults n_w=150, t=15).
   WalkIndexOptions walks;
-  /// Query-time parameters: c=0.6 and pruning θ=0.05 are the paper's
-  /// experimental setting.
-  SemSimMcOptions query{0.6, 0.05};
+  /// Kernel selection + estimator parameters — the QueryOptions surface
+  /// shared with BatchQueryEngineOptions (defaults: kFlat, c=0.6,
+  /// θ=0.05).
+  QueryOptions query;
   /// When >= 0, build the SLING-style normalizer cache for pairs with
   /// sem >= this value (the paper uses 0.1). Negative disables the cache.
   double cache_min_sem = -1.0;
@@ -32,11 +33,6 @@ struct SemSimEngineOptions {
   /// one shared-meeting sweep instead of n pair queries (Sec. 7's
   /// single-source direction). Doubles the index memory.
   bool single_source = false;
-  /// Which query-kernel implementation to run (DESIGN.md §7). kFlat
-  /// precomputes the transition table (and, for the flattenable built-in
-  /// measures, the flat semantic table); results are bit-identical to
-  /// kGeneric.
-  QueryKernel kernel = QueryKernel::kFlat;
 };
 
 /// The library's front door: binds a HIN, a semantic measure and the
@@ -50,9 +46,11 @@ class SemSimEngine {
                                      const SemanticMeasure* semantic,
                                      const SemSimEngineOptions& options);
 
-  /// Approximate SemSim score of (u, v) with the engine's options.
+  /// Approximate SemSim score of (u, v) with the engine's options. Stage
+  /// counts reach the global MetricsRegistry on every call; `stats` is
+  /// the legacy per-call out-param view.
   double Similarity(NodeId u, NodeId v, McQueryStats* stats = nullptr) const {
-    return estimator_->Query(u, v, options_.query, stats);
+    return estimator_->Query(u, v, options_.query.mc, stats);
   }
 
   /// Name-based convenience wrapper.

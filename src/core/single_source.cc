@@ -118,6 +118,10 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
   // One shared normalizer memo for the whole source: coupled prefixes
   // from the same u overlap massively across candidates.
   SemSimMcEstimator::QueryContext context;
+  // Stage counts for the whole sweep; published to the registry once at
+  // the end (TopKFrom rides on this publish — it adds no queries of its
+  // own), merged into the legacy out-param when one was passed.
+  McQueryStats local;
   // Candidate-level semantic pruning (Algorithm 1 lines 2-3), evaluated
   // lazily at the first meeting of each candidate. The sem(u,v) computed
   // for the pruning decision is kept, so the final scaling loop reads it
@@ -129,18 +133,26 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
     if (sem_ok[v] < 0) {
       double s_uv = estimator.SemValue(u, v);
       sem_val[v] = s_uv;
-      sem_ok[v] = (options.theta > 0 && s_uv <= options.theta) ? 0 : 1;
+      if (options.theta > 0 && s_uv <= options.theta) {
+        sem_ok[v] = 0;
+        local.sem_pruned = true;
+        ++local.sem_pruned_queries;
+      } else {
+        sem_ok[v] = 1;
+      }
     }
     if (!sem_ok[v]) continue;
-    if (stats) ++stats->met_walks;
+    ++local.met_walks;
     scores[v] += estimator.CoupledWalkScore(u, v, m.walk, m.step, options,
-                                            &context, stats);
+                                            &context, &local);
   }
   double inv = 1.0 / static_cast<double>(num_walks_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
     if (scores[v] > 0) scores[v] *= sem_val[v] * inv;
   }
   scores[u] = 1.0;
+  PublishQueryStats(local);
+  if (stats != nullptr) stats->Merge(local);
   return scores;
 }
 

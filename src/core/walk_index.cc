@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 
@@ -12,6 +13,9 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
   SEMSIM_CHECK(options.num_walks > 0);
   SEMSIM_CHECK(options.walk_length > 0);
   SEMSIM_CHECK(options.walk_length <= 65535);  // live lengths are uint16_t
+  SEMSIM_TRACE_SPAN("semsim_walk_index_build");
+  static Counter* walks_sampled = MetricsRegistry::Global().GetCounter(
+      "semsim_walk_index_walks_sampled_total");
   Timer timer;
   WalkIndex index;
   index.options_ = options;
@@ -55,6 +59,7 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
       }
     }
   });
+  walks_sampled->Add(n * static_cast<uint64_t>(options.num_walks));
   index.build_seconds_ = timer.ElapsedSeconds();
   return index;
 }
@@ -101,6 +106,7 @@ static_assert(sizeof(WalkIndexHeader) == 48, "header layout is part of the file 
 }  // namespace
 
 Status WalkIndex::Save(const std::string& path) const {
+  SEMSIM_TRACE_SPAN("semsim_walk_index_save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for writing: " + path);
   WalkIndexHeader header{};
@@ -123,6 +129,16 @@ Status WalkIndex::Save(const std::string& path) const {
 
 Result<WalkIndex> WalkIndex::Load(const std::string& path,
                                   size_t expected_nodes) {
+  SEMSIM_TRACE_SPAN("semsim_walk_index_load");
+  static Counter* load_failures = MetricsRegistry::Global().GetCounter(
+      "semsim_walk_index_load_failures_total");
+  Result<WalkIndex> result = LoadImpl(path, expected_nodes);
+  if (!result.ok()) load_failures->Add(1);
+  return result;
+}
+
+Result<WalkIndex> WalkIndex::LoadImpl(const std::string& path,
+                                      size_t expected_nodes) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   WalkIndexHeader header{};

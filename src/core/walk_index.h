@@ -108,6 +108,11 @@ class WalkIndex {
            options_.walk_length;
   }
 
+  /// Load() body; the public wrapper adds the trace span and failure
+  /// counter around it.
+  static Result<WalkIndex> LoadImpl(const std::string& path,
+                                    size_t expected_nodes);
+
   /// Rebuilds live_len_ from steps_ (used after Load, which only
   /// persists the step array).
   void RecomputeLiveLengths(size_t num_nodes);

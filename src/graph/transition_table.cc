@@ -1,5 +1,7 @@
 #include "graph/transition_table.h"
 
+#include "common/metrics.h"
+
 namespace semsim {
 
 namespace {
@@ -13,6 +15,7 @@ size_t RoundUpPow2(size_t x) {
 }  // namespace
 
 TransitionTable TransitionTable::Build(const Hin& graph) {
+  SEMSIM_TRACE_SPAN("semsim_graph_transition_table_build");
   TransitionTable table;
   size_t n = graph.num_nodes();
   table.group_offsets_.assign(n + 1, 0);

@@ -1,10 +1,12 @@
 #include "taxonomy/flat_semantic_table.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace semsim {
 
 FlatSemanticTable FlatSemanticTable::Build(const SemanticContext& context) {
+  SEMSIM_TRACE_SPAN("semsim_taxonomy_flat_table_build");
   FlatSemanticTable table;
   table.source_ = &context;
   table.ic_floor_ = context.ic_floor();

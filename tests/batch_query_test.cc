@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/mc_semsim.h"
 #include "core/single_source.h"
 #include "core/walk_index.h"
@@ -65,8 +66,9 @@ void ExpectBatchDeterministic(const Fixture& f, const SemSimMcOptions& mc) {
   for (int threads : {1, 2, 8}) {
     BatchQueryEngineOptions opt;
     opt.num_threads = threads;
-    opt.query = mc;
-    BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+    opt.query.mc = mc;
+    BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
     // Two rounds: the second runs against a warm cross-query cache.
     for (int round = 0; round < 2; ++round) {
       std::vector<double> got = engine.QueryBatch(pairs);
@@ -106,8 +108,9 @@ TEST(BatchQuery, SingleSourceBatchMatchesSerialSweeps) {
   SemSimMcOptions mc{0.6, 0.05};
   BatchQueryEngineOptions opt;
   opt.num_threads = 4;
-  opt.query = mc;
-  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  opt.query.mc = mc;
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
 
   SemSimMcEstimator plain(&f.dataset.graph, &f.lin, &f.index);
   SingleSourceIndex inverted =
@@ -130,8 +133,9 @@ TEST(BatchQuery, TopKBatchMatchesSerialTopK) {
   SemSimMcOptions mc{0.6, 0.0};
   BatchQueryEngineOptions opt;
   opt.num_threads = 8;
-  opt.query = mc;
-  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  opt.query.mc = mc;
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
 
   SemSimMcEstimator plain(&f.dataset.graph, &f.lin, &f.index);
   SingleSourceIndex inverted =
@@ -157,8 +161,9 @@ TEST(BatchQuery, SharedCacheHitsAccumulateAcrossRepeatedSingleSource) {
   Fixture f = AminerFixture();
   BatchQueryEngineOptions opt;
   opt.num_threads = 2;
-  opt.query = SemSimMcOptions{0.6, 0.05};
-  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  opt.query.mc = SemSimMcOptions{0.6, 0.05};
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
 
   std::vector<NodeId> sources = {1, 2, 5};
   McQueryStats first;
@@ -177,11 +182,79 @@ TEST(BatchQuery, EngineReportsResolvedThreadCount) {
   Fixture f = Figure1Fixture();
   BatchQueryEngineOptions opt;
   opt.num_threads = 0;  // auto
-  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
   EXPECT_EQ(engine.num_threads(), ThreadPool::ResolveThreadCount(0));
+  // Create resolves the count into the engine's own options too.
+  EXPECT_EQ(engine.options().num_threads, engine.num_threads());
   opt.num_threads = 3;
-  BatchQueryEngine fixed(&f.dataset.graph, &f.lin, &f.index, opt);
+  BatchQueryEngine fixed =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
   EXPECT_EQ(fixed.num_threads(), 3);
+}
+
+TEST(BatchQuery, CreateRejectsInvalidArguments) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+
+  auto null_graph = BatchQueryEngine::Create(nullptr, &f.lin, &f.index, opt);
+  EXPECT_FALSE(null_graph.ok());
+  EXPECT_EQ(null_graph.status().code(), StatusCode::kInvalidArgument);
+
+  opt.normalizer_cache_capacity = -1;
+  auto bad_norm = BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index,
+                                           opt);
+  EXPECT_FALSE(bad_norm.ok());
+  EXPECT_EQ(bad_norm.status().code(), StatusCode::kInvalidArgument);
+
+  opt.normalizer_cache_capacity = 1 << 10;
+  opt.semantic_cache_capacity = -7;
+  EXPECT_FALSE(
+      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+
+  opt.semantic_cache_capacity = 1 << 10;
+  opt.query.mc = SemSimMcOptions{0.6, 0.5};  // violates θ <= 1-c (Lemma 4.7)
+  EXPECT_FALSE(
+      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+
+  opt.query.mc = SemSimMcOptions{1.2, 0.0};  // decay outside (0,1)
+  EXPECT_FALSE(
+      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+
+  opt.query.mc = SemSimMcOptions{0.6, 0.05};
+  EXPECT_TRUE(
+      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+}
+
+TEST(BatchQuery, DeprecatedConstructorStillBuildsAWorkingEngine) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 2;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+#pragma GCC diagnostic pop
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 20);
+  EXPECT_EQ(engine.QueryBatch(pairs).size(), pairs.size());
+}
+
+TEST(BatchQuery, NullStatsCallSitesStillPublishToRegistry) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 2;
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 50);
+
+  Counter* met = MetricsRegistry::Global().GetCounter(
+      "semsim_query_met_walks_total");
+  Counter* published = MetricsRegistry::Global().GetCounter(
+      "semsim_query_published_total");
+  uint64_t met_before = met->Value();
+  uint64_t published_before = published->Value();
+  engine.QueryBatch(pairs);  // legacy stats = nullptr
+  EXPECT_GT(met->Value(), met_before);
+  EXPECT_GT(published->Value(), published_before);
 }
 
 }  // namespace

@@ -231,8 +231,9 @@ TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
 
     BatchQueryEngineOptions generic_opt;
     generic_opt.num_threads = 1;
-    generic_opt.kernel = QueryKernel::kGeneric;
-    BatchQueryEngine reference(&d.graph, &lin, &index, generic_opt);
+    generic_opt.query.kernel = QueryKernel::kGeneric;
+    BatchQueryEngine reference = testutil::Unwrap(
+        BatchQueryEngine::Create(&d.graph, &lin, &index, generic_opt));
     EXPECT_EQ(reference.kernel_name(), "generic");
     EXPECT_EQ(reference.transition_table(), nullptr);
     std::vector<double> want = reference.QueryBatch(pairs);
@@ -242,8 +243,9 @@ TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
     for (int threads : {1, 2, 8}) {
       BatchQueryEngineOptions opt;
       opt.num_threads = threads;
-      opt.kernel = QueryKernel::kFlat;
-      BatchQueryEngine engine(&d.graph, &lin, &index, opt);
+      opt.query.kernel = QueryKernel::kFlat;
+      BatchQueryEngine engine = testutil::Unwrap(
+          BatchQueryEngine::Create(&d.graph, &lin, &index, opt));
       EXPECT_EQ(engine.kernel_name(), "flat+flat-lin");
       ASSERT_NE(engine.transition_table(), nullptr);
       ASSERT_NE(engine.flat_semantic_table(), nullptr);
@@ -285,16 +287,18 @@ TEST(FlatKernelEngine, ConstantMeasureFallsBackToVirtual) {
                                      WalkIndexOptions{30, 8, 13, false});
   BatchQueryEngineOptions flat_opt;
   flat_opt.num_threads = 2;
-  flat_opt.kernel = QueryKernel::kFlat;
-  BatchQueryEngine flat_engine(&d.graph, &constant, &index, flat_opt);
+  flat_opt.query.kernel = QueryKernel::kFlat;
+  BatchQueryEngine flat_engine = testutil::Unwrap(
+      BatchQueryEngine::Create(&d.graph, &constant, &index, flat_opt));
   EXPECT_EQ(flat_engine.kernel_name(), "flat+virtual");
   EXPECT_EQ(flat_engine.flat_semantic_table(), nullptr);
   ASSERT_NE(flat_engine.transition_table(), nullptr);
 
   BatchQueryEngineOptions generic_opt;
   generic_opt.num_threads = 2;
-  generic_opt.kernel = QueryKernel::kGeneric;
-  BatchQueryEngine generic_engine(&d.graph, &constant, &index, generic_opt);
+  generic_opt.query.kernel = QueryKernel::kGeneric;
+  BatchQueryEngine generic_engine = testutil::Unwrap(
+      BatchQueryEngine::Create(&d.graph, &constant, &index, generic_opt));
 
   std::vector<NodePair> pairs = MakePairs(d.graph.num_nodes(), 120);
   std::vector<double> got = flat_engine.QueryBatch(pairs);

@@ -130,7 +130,7 @@ TEST(Integration, EngineTopKReturnsSemanticallyRelevantNodes) {
   SemSimEngineOptions eopt;
   eopt.walks.num_walks = 150;
   eopt.walks.walk_length = 15;
-  eopt.query = {0.6, 0.05};
+  eopt.query.mc = {0.6, 0.05};
   SemSimEngine engine = Unwrap(SemSimEngine::Create(&d.graph, &lin, eopt));
 
   // Query a random item; its top-10 must contain same-category items

@@ -1,0 +1,445 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace semsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, just enough to round-trip MetricsSnapshot::ToJson
+// (objects, arrays, numbers, strings, null). Keeps the exporter test honest:
+// we parse the emitted document instead of substring-matching it.
+
+struct JsonValue {
+  enum Kind { kNull, kNumber, kString, kArray, kObject } kind = kNull;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key: " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON garbage";
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 'n') {
+      pos_ += 4;  // null
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = ParseString();
+      Expect(':');
+      v.object[key.str] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind = JsonValue::kString;
+    Expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      v.str += text_[pos_++];
+    }
+    Expect('"');
+    return v;
+  }
+  JsonValue ParseNumber() {
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Parses a Prometheus text exposition into name(+labels) -> value,
+// skipping comment lines.
+std::map<std::string, double> ParsePrometheus(const std::string& text) {
+  std::map<std::string, double> values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "bad line: " << line;
+    std::string key = line.substr(0, space);
+    EXPECT_FALSE(values.count(key)) << "duplicate series: " << key;
+    values[key] = std::stod(line.substr(space + 1));
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Counter, AggregatesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_counter_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter->Add(1);
+      counter->Add(2);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter->Value(), kThreads * (kAddsPerThread + 2));
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST(Gauge, SetAndDeltaStyles) {
+  MetricsRegistry registry;
+  Gauge* level = registry.GetGauge("test_level");
+  level->Set(42.5);
+  EXPECT_DOUBLE_EQ(level->Value(), 42.5);
+  level->Set(7.0);  // last writer wins
+  EXPECT_DOUBLE_EQ(level->Value(), 7.0);
+
+  Gauge* depth = registry.GetGauge("test_depth");
+  depth->Add(5);
+  depth->Sub(2);
+  EXPECT_DOUBLE_EQ(depth->Value(), 3.0);
+  depth->Reset();
+  EXPECT_DOUBLE_EQ(depth->Value(), 0.0);
+}
+
+TEST(Gauge, DeltaExactUnderConcurrency) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("test_concurrent_depth");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        depth->Add(1);
+        depth->Sub(1);
+      }
+      depth->Add(1);  // net +1 per thread
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(depth->Value(), kThreads);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram h{std::span<const double>(bounds)};
+  h.Observe(0.5);   // <= 1      -> bucket 0
+  h.Observe(1.0);   // == bound  -> bucket 0 (le semantics, inclusive)
+  h.Observe(1.5);   //           -> bucket 1
+  h.Observe(2.0);   // == bound  -> bucket 1
+  h.Observe(4.0);   // == bound  -> bucket 2
+  h.Observe(4.001); // overflow  -> bucket 3
+  h.Observe(1e12);  // overflow  -> bucket 3
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{2, 2, 1, 2}));
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001 + 1e12);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(Histogram, ExponentialBucketsAndDefaults) {
+  std::vector<double> b = Histogram::ExponentialBuckets(1e-6, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-6);
+  EXPECT_DOUBLE_EQ(b[1], 1e-5);
+  EXPECT_DOUBLE_EQ(b[2], 1e-4);
+  EXPECT_DOUBLE_EQ(b[3], 1e-3);
+
+  std::span<const double> defaults = Histogram::DefaultLatencyBounds();
+  ASSERT_FALSE(defaults.empty());
+  EXPECT_DOUBLE_EQ(defaults.front(), 1e-6);
+  for (size_t i = 1; i < defaults.size(); ++i) {
+    EXPECT_LT(defaults[i - 1], defaults[i]);  // strictly increasing
+  }
+  EXPECT_GT(defaults.back(), 10.0);  // ladder reaches past 10 s
+}
+
+TEST(Histogram, ShardAggregationUnderConcurrentObserve) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test_concurrent_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        h->Observe(1e-6 * (t + 1));
+      }
+    });
+  }
+  // Concurrent snapshots must be race-free (run under TSan) and coherent:
+  // every observation lands in exactly one bucket.
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    const HistogramSnapshot& hs = snap.histograms.at("test_concurrent_seconds");
+    uint64_t bucket_total = 0;
+    for (uint64_t c : hs.counts) bucket_total += c;
+    EXPECT_EQ(bucket_total, hs.count);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kObsPerThread);
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += 1e-6 * (t + 1);
+  EXPECT_NEAR(h->Sum(), expected_sum * kObsPerThread, 1e-9);
+}
+
+TEST(Registry, HandlesAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("shared_total");
+  Counter* b = registry.GetCounter("shared_total");
+  EXPECT_EQ(a, b);  // same name, same aggregate
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+
+  Histogram* h1 = registry.GetHistogram("shared_seconds");
+  Histogram* h2 = registry.GetHistogram("shared_seconds");
+  EXPECT_EQ(h1, h2);
+
+  registry.Reset();
+  EXPECT_EQ(a->Value(), 0u);  // handles survive Reset
+  a->Add(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("shared_total"), 1u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(TraceSpanTest, PublishesCallCountAndLatency) {
+  MetricsRegistry registry;
+  TraceSpan::Site site = TraceSpan::Resolve(registry, "test_span");
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span(site);
+  }
+  EXPECT_EQ(registry.GetCounter("test_span_total")->Value(), 3u);
+  Histogram* seconds = registry.GetHistogram("test_span_seconds");
+  EXPECT_EQ(seconds->Count(), 3u);
+  EXPECT_GE(seconds->Sum(), 0.0);
+}
+
+TEST(ScopedTimerTest, ReportsToHistogramAndOutParam) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test_timer_seconds");
+  double seconds = -1;
+  {
+    ScopedTimer timer(h, &seconds);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_DOUBLE_EQ(h->Sum(), seconds);
+}
+
+// Builds a snapshot with one of everything, exercised by the exporter
+// round-trip tests below.
+MetricsSnapshot MakeSampleSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("semsim_sample_events_total")->Add(12345);
+  registry.GetGauge("semsim_sample_depth")->Set(2.5);
+  const double bounds[] = {0.001, 0.01, 0.1};
+  Histogram* h = registry.GetHistogram("semsim_sample_seconds",
+                                       std::span<const double>(bounds));
+  h->Observe(0.0005);  // bucket 0
+  h->Observe(0.005);   // bucket 1
+  h->Observe(0.005);   // bucket 1
+  h->Observe(0.05);    // bucket 2
+  h->Observe(5.0);     // overflow
+  return registry.Snapshot();
+}
+
+TEST(Exporters, JsonRoundTripsEveryValue) {
+  MetricsSnapshot snap = MakeSampleSnapshot();
+  JsonValue doc = JsonReader(snap.ToJson()).Parse();
+
+  EXPECT_EQ(doc.at("counters").at("semsim_sample_events_total").number, 12345);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("semsim_sample_depth").number, 2.5);
+
+  const JsonValue& h = doc.at("histograms").at("semsim_sample_seconds");
+  const HistogramSnapshot& hs = snap.histograms.at("semsim_sample_seconds");
+  ASSERT_EQ(h.at("bounds").array.size(), hs.bounds.size());
+  for (size_t i = 0; i < hs.bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.at("bounds").array[i].number, hs.bounds[i]);
+  }
+  ASSERT_EQ(h.at("counts").array.size(), hs.counts.size());
+  for (size_t i = 0; i < hs.counts.size(); ++i) {
+    EXPECT_EQ(h.at("counts").array[i].number, hs.counts[i]);
+  }
+  EXPECT_EQ(h.at("count").number, 5);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, hs.sum);
+}
+
+TEST(Exporters, PrometheusAgreesWithJsonOnEveryValue) {
+  MetricsSnapshot snap = MakeSampleSnapshot();
+  std::map<std::string, double> prom = ParsePrometheus(snap.ToPrometheus());
+
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_DOUBLE_EQ(prom.at(name), static_cast<double>(value)) << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_DOUBLE_EQ(prom.at(name), value) << name;
+  }
+  for (const auto& [name, hs] : snap.histograms) {
+    // Prometheus buckets are cumulative; the +Inf bucket equals _count.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hs.bounds.size(); ++i) {
+      cumulative += hs.counts[i];
+      char bound[40];
+      std::snprintf(bound, sizeof(bound), "%.17g", hs.bounds[i]);
+      std::string series =
+          name + "_bucket{le=\"" + bound + "\"}";
+      EXPECT_DOUBLE_EQ(prom.at(series), static_cast<double>(cumulative))
+          << series;
+    }
+    EXPECT_DOUBLE_EQ(prom.at(name + "_bucket{le=\"+Inf\"}"),
+                     static_cast<double>(hs.count));
+    EXPECT_DOUBLE_EQ(prom.at(name + "_count"), static_cast<double>(hs.count));
+    EXPECT_DOUBLE_EQ(prom.at(name + "_sum"), hs.sum);
+  }
+}
+
+TEST(Exporters, PromPathDerivation) {
+  EXPECT_EQ(MetricsPromPath("snap.json"), "snap.prom");
+  EXPECT_EQ(MetricsPromPath("dir/metrics.json"), "dir/metrics.prom");
+  EXPECT_EQ(MetricsPromPath("snap"), "snap.prom");
+}
+
+TEST(Exporters, WriteMetricsFilesRoundTrip) {
+  MetricsSnapshot snap = MakeSampleSnapshot();
+  std::string json_path =
+      ::testing::TempDir() + "/semsim_metrics_test_snap.json";
+  Status status = WriteMetricsFiles(snap, json_path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  EXPECT_EQ(slurp(json_path), snap.ToJson());
+  EXPECT_EQ(slurp(MetricsPromPath(json_path)), snap.ToPrometheus());
+  std::remove(json_path.c_str());
+  std::remove(MetricsPromPath(json_path).c_str());
+}
+
+TEST(Exporters, SnapshotWhileWritersRunStaysCoherent) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("writer_total");
+  Histogram* h = registry.GetHistogram("writer_seconds");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        c->Add(1);
+        h->Observe(1e-5);
+      }
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    uint64_t now = snap.counters.at("writer_total");
+    EXPECT_GE(now, last);  // counters are monotone across snapshots
+    last = now;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), 80000u);
+  EXPECT_EQ(h->Count(), 80000u);
+}
+
+}  // namespace
+}  // namespace semsim

@@ -80,8 +80,8 @@ TEST(SemSimEngine, EndToEndQueries) {
   SemSimEngineOptions opt;
   opt.walks.num_walks = 300;
   opt.walks.walk_length = 12;
-  opt.query.decay = 0.6;
-  opt.query.theta = 0.05;
+  opt.query.mc.decay = 0.6;
+  opt.query.mc.theta = 0.05;
   SemSimEngine engine = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
 
   EXPECT_DOUBLE_EQ(engine.Similarity(w.a0, w.a0), 1.0);
@@ -99,13 +99,13 @@ TEST(SemSimEngine, ValidatesOptions) {
   auto w = MakeSmallWorld();
   LinMeasure lin(&w.context);
   SemSimEngineOptions opt;
-  opt.query.decay = 0.6;
-  opt.query.theta = 0.5;  // violates θ <= 1-c (Lemma 4.7)
+  opt.query.mc.decay = 0.6;
+  opt.query.mc.theta = 0.5;  // violates θ <= 1-c (Lemma 4.7)
   EXPECT_FALSE(SemSimEngine::Create(&w.graph, &lin, opt).ok());
-  opt.query.theta = 0.05;
+  opt.query.mc.theta = 0.05;
   EXPECT_FALSE(SemSimEngine::Create(nullptr, &lin, opt).ok());
   EXPECT_FALSE(SemSimEngine::Create(&w.graph, nullptr, opt).ok());
-  opt.query.decay = 1.2;
+  opt.query.mc.decay = 1.2;
   EXPECT_FALSE(SemSimEngine::Create(&w.graph, &lin, opt).ok());
 }
 
@@ -115,7 +115,7 @@ TEST(SemSimEngine, SingleSourceEngineMatchesPairwiseTopK) {
   SemSimEngineOptions opt;
   opt.walks.num_walks = 150;
   opt.walks.walk_length = 10;
-  opt.query = {0.6, 0.0};
+  opt.query.mc = {0.6, 0.0};
   SemSimEngine plain = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
   opt.single_source = true;
   SemSimEngine fast = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
@@ -143,7 +143,7 @@ TEST(SemSimEngine, SingleSourceRespectsCandidateFilter) {
   SemSimEngineOptions opt;
   opt.walks.num_walks = 100;
   opt.walks.walk_length = 8;
-  opt.query = {0.6, 0.0};
+  opt.query.mc = {0.6, 0.0};
   opt.single_source = true;
   SemSimEngine engine = Unwrap(SemSimEngine::Create(&w.graph, &lin, opt));
   std::vector<NodeId> candidates = {w.a1, w.b0};
