@@ -13,9 +13,17 @@
 #   metrics — bench smoke with --metrics-out, then the compare_bench
 #           metrics checker (required series present, histograms
 #           coherent, JSON and Prometheus exports agree).
+#   verify — randomized differential sweep (DESIGN.md §9): replays
+#           identical queries through the iterative oracle, both MC
+#           kernels, the batch engine, single-source and top-k, checking
+#           bit-identity and statistical bands. Smoke = 200 fixed seeds
+#           (<60s); extended = 1000 further seeds for the nightly lane.
+#           Failing seeds dump replayable artifacts under
+#           build/verify-artifacts/.
 #
 # Usage: ci/check.sh
-#   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke]
+#   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
+#    --verify-smoke|--verify-extended]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,9 +43,10 @@ asan() {
     -DSEMSIM_SANITIZE=address
   cmake --build build-asan -j "${JOBS}" \
     --target flat_kernel_test transition_table_test walk_index_test \
-    dynamic_walk_index_test batch_query_test
+    dynamic_walk_index_test batch_query_test \
+    walk_index_corruption_test differential_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test'
+    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test|walk_index_corruption_test|differential_test'
 }
 
 tsan() {
@@ -68,13 +77,33 @@ metrics_smoke() {
   python3 ci/compare_bench.py --dir build --metrics build/BENCH_metrics.json
 }
 
+verify_smoke() {
+  echo "=== verify smoke: 200-seed differential sweep ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target semsim_verify
+  ./build/src/testing/semsim_verify --start-seed=1 --instances=200 \
+    --dump-dir=build/verify-artifacts
+}
+
+verify_extended() {
+  echo "=== verify extended: 1000-seed differential sweep ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target semsim_verify
+  # A disjoint seed range, so the nightly lane adds coverage instead of
+  # re-running the smoke seeds.
+  ./build/src/testing/semsim_verify --start-seed=1000 --instances=1000 \
+    --dump-dir=build/verify-artifacts
+}
+
 case "${MODE}" in
   --tier1-only) tier1 ;;
   --asan-only) asan ;;
   --tsan-only) tsan ;;
   --bench-smoke) bench_smoke ;;
   --metrics-smoke|metrics) metrics_smoke ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke ;;
+  --verify-smoke) verify_smoke ;;
+  --verify-extended) verify_extended ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; verify_smoke ;;
 esac
 
 echo "=== all checks passed ==="

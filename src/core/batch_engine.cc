@@ -21,14 +21,7 @@ Result<BatchQueryEngine> BatchQueryEngine::Create(
     return Status::InvalidArgument(
         "cache capacities must be >= 0 (0 disables the cache)");
   }
-  if (!(options.query.mc.decay > 0 && options.query.mc.decay < 1)) {
-    return Status::InvalidArgument("decay must lie in (0,1)");
-  }
-  if (options.query.mc.theta > 1 - options.query.mc.decay) {
-    // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
-    return Status::InvalidArgument(
-        "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
-  }
+  SEMSIM_RETURN_NOT_OK(ValidateMcOptions(options.query.mc));
   SEMSIM_TRACE_SPAN("semsim_batch_engine_create");
   BatchQueryEngine engine;
   engine.graph_ = graph;

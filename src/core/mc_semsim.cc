@@ -9,6 +9,18 @@
 
 namespace semsim {
 
+Status ValidateMcOptions(const SemSimMcOptions& options) {
+  if (!(options.decay > 0 && options.decay < 1)) {
+    return Status::InvalidArgument("decay must lie in (0,1)");
+  }
+  if (options.theta > 1 - options.decay) {
+    // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
+    return Status::InvalidArgument(
+        "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
+  }
+  return Status::OK();
+}
+
 void PublishQueryStats(const McQueryStats& stats) {
   // Handles resolved once per process; each publish is a handful of
   // relaxed shard adds. Zero fields are skipped so idle counters cost

@@ -27,6 +27,12 @@ struct SemSimMcOptions {
   double theta = 0.0;
 };
 
+/// Domain check shared by SemSimEngine::Create, BatchQueryEngine::Create
+/// and the differential verification harness: decay must lie in (0,1)
+/// and θ ≤ 1 - decay (Lemma 4.7). Returns InvalidArgument naming the
+/// violated constraint.
+Status ValidateMcOptions(const SemSimMcOptions& options);
+
 /// The query-time surface shared by SemSimEngine and BatchQueryEngine:
 /// kernel selection plus the estimator parameters applied to every
 /// query. Both engines embed one of these as `.query`, so the two option

@@ -10,14 +10,7 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
   if (graph == nullptr || semantic == nullptr) {
     return Status::InvalidArgument("graph and semantic measure are required");
   }
-  if (!(options.query.mc.decay > 0 && options.query.mc.decay < 1)) {
-    return Status::InvalidArgument("decay must lie in (0,1)");
-  }
-  if (options.query.mc.theta > 1 - options.query.mc.decay) {
-    // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
-    return Status::InvalidArgument(
-        "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
-  }
+  SEMSIM_RETURN_NOT_OK(ValidateMcOptions(options.query.mc));
   SEMSIM_TRACE_SPAN("semsim_engine_create");
   SemSimEngine engine;
   engine.graph_ = graph;

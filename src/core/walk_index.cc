@@ -176,17 +176,29 @@ Result<WalkIndex> WalkIndex::LoadImpl(const std::string& path,
   index.options_.weighted = header.weighted != 0;
   size_t count = header.num_nodes * static_cast<size_t>(header.num_walks) *
                  static_cast<size_t>(header.walk_length);
+  // Compare the declared payload against the actual file size BEFORE
+  // allocating: a corrupted count field must produce a clean error, not
+  // a multi-gigabyte resize attempt.
+  std::streamoff data_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  std::streamoff file_size = in.tellg();
+  in.seekg(data_start, std::ios::beg);
+  uint64_t payload = static_cast<uint64_t>(file_size - data_start);
+  uint64_t expected_bytes = static_cast<uint64_t>(count) * sizeof(NodeId);
+  if (payload < expected_bytes) {
+    return Status::IOError("truncated walk-index file: " + path);
+  }
+  if (payload > expected_bytes) {
+    return Status::IOError(
+        "walk-index file has trailing bytes beyond the declared payload: " +
+        path);
+  }
   index.steps_.resize(count);
   in.read(reinterpret_cast<char*>(index.steps_.data()),
           static_cast<std::streamsize>(count * sizeof(NodeId)));
   if (!in || in.gcount() !=
                  static_cast<std::streamsize>(count * sizeof(NodeId))) {
     return Status::IOError("truncated walk-index file: " + path);
-  }
-  if (in.peek() != std::ifstream::traits_type::eof()) {
-    return Status::IOError(
-        "walk-index file has trailing bytes beyond the declared payload: " +
-        path);
   }
   index.RecomputeLiveLengths(header.num_nodes);
   return index;

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 namespace semsim {
 
@@ -49,10 +51,13 @@ Status SaveHin(const Hin& g, const std::string& path) {
   return Status::OK();
 }
 
-Result<Hin> LoadHin(const std::string& path) {
+Result<Hin> LoadHin(const std::string& path, const LoadHinOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   HinBuilder b;
+  // (src, dst, label) combinations already seen — only tracked in strict
+  // mode; the default multigraph policy needs no bookkeeping.
+  std::set<std::tuple<unsigned long, unsigned long, std::string>> seen;
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -78,6 +83,14 @@ Result<Hin> LoadHin(const std::string& path) {
       if (!(ss >> src >> dst >> label >> weight)) {
         return Status::IOError("malformed edge at line " +
                                std::to_string(lineno));
+      }
+      if (options.duplicate_edges == DuplicateEdgePolicy::kReject &&
+          !seen.emplace(src, dst, label).second) {
+        return Status::InvalidArgument(
+            "duplicate edge " + std::to_string(src) + " -> " +
+            std::to_string(dst) + " '" + label + "' at line " +
+            std::to_string(lineno) +
+            " (rejected by DuplicateEdgePolicy::kReject)");
       }
       SEMSIM_RETURN_NOT_OK(b.AddEdge(static_cast<NodeId>(src),
                                      static_cast<NodeId>(dst), label, weight));

@@ -16,9 +16,33 @@ namespace semsim {
 /// Names and labels are whitespace-free tokens (enforced on save).
 Status SaveHin(const Hin& g, const std::string& path);
 
+/// How LoadHin treats a repeated `e <src> <dst> <label> <weight>`
+/// combination (same endpoints AND same label; the weight may differ).
+enum class DuplicateEdgePolicy {
+  /// The default, and what SaveHin round-trips require: repeated lines
+  /// are parallel edges of the paper's weighted multigraph (Def. 2.1).
+  /// They act as independent relations — Hin::InEdgeInfo reports their
+  /// multiplicity and summed weight, and the estimators weight the
+  /// transition accordingly. This is a feature, not an accident; it is
+  /// pinned by graph_io_test.
+  kKeepParallel,
+  /// Strict mode for hand-authored files, where a repeated line is more
+  /// likely a copy-paste slip than an intentional parallel relation:
+  /// loading fails with InvalidArgument naming the offending line.
+  /// Parallel edges with *distinct* labels are always legal.
+  kReject,
+};
+
+struct LoadHinOptions {
+  DuplicateEdgePolicy duplicate_edges = DuplicateEdgePolicy::kKeepParallel;
+};
+
 /// Reads a graph produced by SaveHin. Unknown directives and blank lines
-/// are rejected so that silent truncation cannot pass as success.
-Result<Hin> LoadHin(const std::string& path);
+/// are rejected so that silent truncation cannot pass as success;
+/// duplicate edge lines follow `options.duplicate_edges` (see above —
+/// the default accepts them as parallel edges).
+Result<Hin> LoadHin(const std::string& path,
+                    const LoadHinOptions& options = {});
 
 }  // namespace semsim
 

@@ -1,0 +1,43 @@
+#ifndef SEMSIM_TAXONOMY_TAXONOMY_IO_H_
+#define SEMSIM_TAXONOMY_TAXONOMY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+
+/// Writes `t` as a line-oriented text file, the taxonomy counterpart of
+/// SaveHin:
+///   # comment lines
+///   c <name> <parent-name|->        (concepts, in id order; "-" = root)
+/// Concept names are whitespace-free tokens (enforced on save). The
+/// differential harness dumps failing instances in this format so a
+/// violation can be replayed from files alone.
+Status SaveTaxonomy(const Taxonomy& t, const std::string& path);
+
+/// Reads a taxonomy produced by SaveTaxonomy. Concept ids follow
+/// declaration order; parents may be declared before OR after their
+/// children (saved forests put the synthetic "<ROOT>" last), so a
+/// Save/Load round-trip preserves every ConceptId. Unknown directives,
+/// unknown parents, duplicates, cycles and blank lines are rejected.
+Result<Taxonomy> LoadTaxonomy(const std::string& path);
+
+/// Writes a node→concept assignment (`map[v]` = concept of node v) as
+///   m <node-id> <concept-name>
+/// lines, one per node, resolvable against the taxonomy saved alongside.
+Status SaveConceptMap(const Taxonomy& t, const std::vector<ConceptId>& map,
+                      const std::string& path);
+
+/// Reads an assignment saved by SaveConceptMap, resolving concept names
+/// against `t`. The result has one entry per node id 0..n-1 and rejects
+/// gaps, duplicates, and unknown concepts.
+Result<std::vector<ConceptId>> LoadConceptMap(const Taxonomy& t,
+                                              const std::string& path);
+
+}  // namespace semsim
+
+#endif  // SEMSIM_TAXONOMY_TAXONOMY_IO_H_

@@ -1,0 +1,138 @@
+#include "testing/random_hin.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace semsim {
+namespace testing {
+
+namespace {
+
+Status ValidateOptions(const RandomHinOptions& o) {
+  if (o.num_nodes < 1) return Status::InvalidArgument("num_nodes must be >= 1");
+  if (o.node_label_alphabet < 1 || o.edge_label_alphabet < 1) {
+    return Status::InvalidArgument("label alphabets must be >= 1");
+  }
+  if (o.avg_out_degree < 0) {
+    return Status::InvalidArgument("avg_out_degree must be >= 0");
+  }
+  if (o.degree_skew < 0) {
+    return Status::InvalidArgument("degree_skew must be >= 0");
+  }
+  if (o.dangling_fraction < 0 || o.dangling_fraction > 1 ||
+      o.self_loop_fraction < 0 || o.self_loop_fraction > 1 ||
+      o.parallel_edge_fraction < 0 || o.parallel_edge_fraction > 1) {
+    return Status::InvalidArgument("fractions must lie in [0,1]");
+  }
+  if (o.num_components < 1) {
+    return Status::InvalidArgument("num_components must be >= 1");
+  }
+  if (!(o.min_weight > 0) || o.max_weight < o.min_weight) {
+    return Status::InvalidArgument(
+        "weights need 0 < min_weight <= max_weight (Def. 2.1 requires "
+        "strictly positive W)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Hin> GenerateRandomHin(const RandomHinOptions& o) {
+  SEMSIM_RETURN_NOT_OK(ValidateOptions(o));
+  Rng rng(o.seed);
+  size_t n = static_cast<size_t>(o.num_nodes);
+
+  HinBuilder b;
+  for (size_t v = 0; v < n; ++v) {
+    b.AddNode("v" + std::to_string(v),
+              "T" + std::to_string(rng.NextIndex(
+                        static_cast<size_t>(o.node_label_alphabet))));
+  }
+
+  // Dangling nodes are fixed up front so edge targeting can honor them.
+  std::vector<char> dangling(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    if (rng.NextDouble() < o.dangling_fraction) dangling[v] = 1;
+  }
+
+  // Per-component lists of nodes allowed to receive in-edges. A component
+  // whose nodes are all dangling simply stays edge-free.
+  std::vector<std::vector<NodeId>> receivers(
+      static_cast<size_t>(o.num_components));
+  for (size_t v = 0; v < n; ++v) {
+    if (!dangling[v]) {
+      receivers[v % static_cast<size_t>(o.num_components)].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+
+  // Skewed pick from [0, size): uniform for skew 0, low-index-heavy
+  // otherwise.
+  auto skewed_index = [&](size_t size) {
+    if (o.degree_skew <= 0) return rng.NextIndex(size);
+    double u = std::pow(rng.NextDouble(), 1.0 + o.degree_skew);
+    size_t i = static_cast<size_t>(u * static_cast<double>(size));
+    return i >= size ? size - 1 : i;
+  };
+
+  auto draw_weight = [&]() {
+    if (o.heavy_tail_weights) {
+      double log_lo = std::log(o.min_weight);
+      double log_hi = std::log(o.max_weight);
+      return std::exp(log_lo + (log_hi - log_lo) * rng.NextDouble());
+    }
+    return o.min_weight + (o.max_weight - o.min_weight) * rng.NextDouble();
+  };
+
+  size_t num_edges = static_cast<size_t>(
+      std::llround(o.avg_out_degree * static_cast<double>(n)));
+  for (size_t e = 0; e < num_edges; ++e) {
+    NodeId src = static_cast<NodeId>(skewed_index(n));
+    size_t comp = src % static_cast<size_t>(o.num_components);
+    const std::vector<NodeId>& pool = receivers[comp];
+
+    NodeId dst;
+    bool self_loop = rng.NextDouble() < o.self_loop_fraction && !dangling[src];
+    if (self_loop) {
+      dst = src;
+    } else {
+      if (pool.empty()) continue;  // component with only dangling nodes
+      dst = pool[skewed_index(pool.size())];
+    }
+    // Undirected edges put an in-edge on both endpoints, so the source
+    // must be a legal receiver too.
+    if (o.undirected_edges && dangling[src]) continue;
+
+    std::string label = "r" + std::to_string(rng.NextIndex(
+                                  static_cast<size_t>(o.edge_label_alphabet)));
+    double weight = draw_weight();
+    int copies = rng.NextDouble() < o.parallel_edge_fraction ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      Status st = o.undirected_edges
+                      ? b.AddUndirectedEdge(src, dst, label, weight)
+                      : b.AddEdge(src, dst, label, weight);
+      SEMSIM_RETURN_NOT_OK(st);
+    }
+  }
+  return std::move(b).Build();
+}
+
+std::string DescribeOptions(const RandomHinOptions& o) {
+  std::ostringstream os;
+  os << "hin{seed=" << o.seed << " n=" << o.num_nodes
+     << " labels=" << o.node_label_alphabet << "/" << o.edge_label_alphabet
+     << " deg=" << o.avg_out_degree << " skew=" << o.degree_skew
+     << " dangling=" << o.dangling_fraction
+     << " self_loops=" << o.self_loop_fraction
+     << " parallel=" << o.parallel_edge_fraction
+     << " components=" << o.num_components << " w=[" << o.min_weight << ","
+     << o.max_weight << (o.heavy_tail_weights ? "] log" : "] uniform")
+     << (o.undirected_edges ? " undirected" : " directed") << "}";
+  return os.str();
+}
+
+}  // namespace testing
+}  // namespace semsim

@@ -1,0 +1,70 @@
+#ifndef SEMSIM_TESTING_RANDOM_HIN_H_
+#define SEMSIM_TESTING_RANDOM_HIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace semsim {
+namespace testing {
+
+/// Knobs of the seed-deterministic random HIN generator used by the
+/// differential verification harness (DESIGN.md §9). Every structural
+/// hazard the query kernels must survive is an explicit dial here, so a
+/// fuzzing sweep covers dangling nodes, self-loops, parallel edges,
+/// disconnected components and skewed degrees instead of only the
+/// well-behaved shapes the curated fixtures exercise.
+struct RandomHinOptions {
+  /// Generator seed. Two calls with identical options produce
+  /// byte-identical graphs on every platform (only semsim::Rng is used).
+  uint64_t seed = 1;
+  /// Node count (>= 1).
+  int num_nodes = 16;
+  /// Node labels are drawn uniformly from "T0".."T<k-1>" (>= 1).
+  int node_label_alphabet = 3;
+  /// Edge labels are drawn uniformly from "r0".."r<k-1>" (>= 1).
+  int edge_label_alphabet = 2;
+  /// Expected out-degree; the edge count is round(avg_out_degree * n).
+  double avg_out_degree = 2.0;
+  /// 0 = uniform endpoint choice; > 0 biases endpoints toward low node
+  /// ids (id ~ n * u^(1+skew)), producing hub-and-tail degree profiles.
+  double degree_skew = 0.0;
+  /// Fraction of nodes that receive no in-edges at all — their reverse
+  /// walks die immediately (the kInvalidNode padding path).
+  double dangling_fraction = 0.0;
+  /// Probability that a generated edge is a self-loop (src == dst).
+  double self_loop_fraction = 0.0;
+  /// Probability that a generated edge is emitted twice with the same
+  /// label (a parallel edge: multiplicity 2, summed weight).
+  double parallel_edge_fraction = 0.0;
+  /// Nodes are partitioned into this many groups (node id mod k) and
+  /// edges never cross groups, so walks from different components can
+  /// never meet.
+  int num_components = 1;
+  /// Edge weights are drawn from [min_weight, max_weight] — uniformly,
+  /// or log-uniformly when heavy_tail_weights is set (orders-of-magnitude
+  /// spread stresses the weighted-proposal IS ratios). Both must be > 0.
+  double min_weight = 0.25;
+  double max_weight = 4.0;
+  bool heavy_tail_weights = false;
+  /// Emit every edge in both directions (the paper's collaboration /
+  /// co-purchase relations are symmetric).
+  bool undirected_edges = false;
+};
+
+/// Generates a random HIN. Node names are "v0".."v<n-1>". Rejects
+/// out-of-domain options with InvalidArgument; structural degeneracies
+/// (zero edges because every node is dangling, isolated components, ...)
+/// are valid outputs, not errors — the harness must handle them.
+Result<Hin> GenerateRandomHin(const RandomHinOptions& options);
+
+/// One-line human-readable summary of the options ("n=16 deg=2.0 ...");
+/// embedded in harness violation reports next to the repro command.
+std::string DescribeOptions(const RandomHinOptions& options);
+
+}  // namespace testing
+}  // namespace semsim
+
+#endif  // SEMSIM_TESTING_RANDOM_HIN_H_

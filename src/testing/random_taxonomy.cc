@@ -1,0 +1,92 @@
+#include "testing/random_taxonomy.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace semsim {
+namespace testing {
+
+const char* TaxonomyShapeName(TaxonomyShape shape) {
+  switch (shape) {
+    case TaxonomyShape::kChain:
+      return "chain";
+    case TaxonomyShape::kStar:
+      return "star";
+    case TaxonomyShape::kBalanced:
+      return "balanced";
+    case TaxonomyShape::kRandomAttach:
+      return "random-attach";
+  }
+  return "?";
+}
+
+Result<Taxonomy> GenerateRandomTaxonomy(const RandomTaxonomyOptions& o) {
+  if (o.num_concepts < 1) {
+    return Status::InvalidArgument("num_concepts must be >= 1");
+  }
+  if (o.max_fanout < 1) {
+    return Status::InvalidArgument("max_fanout must be >= 1");
+  }
+  if (o.num_roots < 1 || o.num_roots > o.num_concepts) {
+    return Status::InvalidArgument(
+        "num_roots must lie in [1, num_concepts]");
+  }
+  Rng rng(o.seed);
+  size_t m = static_cast<size_t>(o.num_concepts);
+  size_t roots = static_cast<size_t>(o.num_roots);
+  TaxonomyBuilder b;
+  std::vector<ConceptId> ids;
+  ids.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    ConceptId parent = kInvalidConcept;
+    if (i >= roots) {
+      size_t p = 0;
+      switch (o.shape) {
+        case TaxonomyShape::kChain:
+          // `roots` parallel chains, one per root.
+          p = i - roots;
+          break;
+        case TaxonomyShape::kStar:
+          p = i % roots;
+          break;
+        case TaxonomyShape::kBalanced:
+          p = (i - roots) / static_cast<size_t>(o.max_fanout);
+          break;
+        case TaxonomyShape::kRandomAttach:
+          p = rng.NextIndex(i);
+          break;
+      }
+      parent = ids[p];
+    }
+    ids.push_back(b.AddConcept("c" + std::to_string(i), parent));
+  }
+  return std::move(b).Build();
+}
+
+Result<SemanticContext> GenerateRandomContext(
+    const Hin& graph, const RandomTaxonomyOptions& o) {
+  Result<Taxonomy> taxonomy = GenerateRandomTaxonomy(o);
+  if (!taxonomy.ok()) return taxonomy.status();
+  // Separate stream from the tree construction so assignment randomness
+  // does not shift when shape parameters change.
+  Rng rng(o.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  size_t concepts = taxonomy.value().num_concepts();
+  std::vector<ConceptId> node_concept(graph.num_nodes());
+  for (ConceptId& c : node_concept) {
+    c = static_cast<ConceptId>(rng.NextIndex(concepts));
+  }
+  return SemanticContext::FromTaxonomy(std::move(taxonomy).value(),
+                                       std::move(node_concept));
+}
+
+std::string DescribeOptions(const RandomTaxonomyOptions& o) {
+  std::ostringstream os;
+  os << "tax{seed=" << o.seed << " concepts=" << o.num_concepts << " shape="
+     << TaxonomyShapeName(o.shape) << " fanout=" << o.max_fanout
+     << " roots=" << o.num_roots << "}";
+  return os.str();
+}
+
+}  // namespace testing
+}  // namespace semsim

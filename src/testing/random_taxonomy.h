@@ -1,0 +1,63 @@
+#ifndef SEMSIM_TESTING_RANDOM_TAXONOMY_H_
+#define SEMSIM_TESTING_RANDOM_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "taxonomy/semantic_context.h"
+#include "taxonomy/taxonomy.h"
+
+namespace semsim {
+namespace testing {
+
+/// Shape families for the random taxonomy generator. Seco IC and the LCA
+/// index behave very differently on deep chains (IC spread, long upward
+/// walks) than on flat stars (every LCA is the root, IC hits its floor),
+/// so the harness rotates through adversarial extremes instead of only
+/// sampling "balanced-ish" trees.
+enum class TaxonomyShape {
+  /// Every concept attaches to the previous one: depth == num_concepts.
+  kChain,
+  /// Every concept hangs directly under a root: depth <= 1 everywhere.
+  kStar,
+  /// Concept i's parent is concept (i-1)/max_fanout: a full b-ary tree.
+  kBalanced,
+  /// Parent drawn uniformly among earlier concepts: random recursive
+  /// tree (log-ish depth, skewed fanout).
+  kRandomAttach,
+};
+
+const char* TaxonomyShapeName(TaxonomyShape shape);
+
+struct RandomTaxonomyOptions {
+  uint64_t seed = 1;
+  /// Number of generated concepts (>= 1), excluding any synthetic root
+  /// the builder adds on top of a multi-root forest.
+  int num_concepts = 12;
+  TaxonomyShape shape = TaxonomyShape::kRandomAttach;
+  /// Branching factor of kBalanced (>= 1; ignored by other shapes).
+  int max_fanout = 3;
+  /// First `num_roots` concepts are parentless. With more than one root
+  /// TaxonomyBuilder::Build attaches the synthetic "<ROOT>" above them —
+  /// the forest case the LCA index must bridge.
+  int num_roots = 1;
+};
+
+/// Generates a random rooted tree/forest. Deterministic in the options.
+Result<Taxonomy> GenerateRandomTaxonomy(const RandomTaxonomyOptions& options);
+
+/// Generates a taxonomy plus a uniformly random node→concept assignment
+/// for `graph`, bound into a SemanticContext with Seco intrinsic IC.
+Result<SemanticContext> GenerateRandomContext(
+    const Hin& graph, const RandomTaxonomyOptions& options);
+
+/// One-line summary for harness violation reports.
+std::string DescribeOptions(const RandomTaxonomyOptions& options);
+
+}  // namespace testing
+}  // namespace semsim
+
+#endif  // SEMSIM_TESTING_RANDOM_TAXONOMY_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/metrics.h"
@@ -193,49 +194,91 @@ TEST(BatchQuery, EngineReportsResolvedThreadCount) {
   EXPECT_EQ(fixed.num_threads(), 3);
 }
 
-TEST(BatchQuery, CreateRejectsInvalidArguments) {
+// Asserts that Create fails with InvalidArgument and that the message
+// contains `needle`, so callers get an actionable diagnostic rather
+// than a bare error code.
+void ExpectCreateRejects(const Hin* graph, const SemanticMeasure* semantic,
+                         const WalkIndex* index,
+                         const BatchQueryEngineOptions& opt,
+                         const std::string& needle) {
+  auto r = BatchQueryEngine::Create(graph, semantic, index, opt);
+  ASSERT_FALSE(r.ok()) << "expected rejection mentioning '" << needle << "'";
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find(needle), std::string::npos)
+      << "status was: " << r.status().ToString();
+}
+
+TEST(BatchQuery, CreateRejectsEachNullDependencyIndividually) {
   Fixture f = Figure1Fixture();
   BatchQueryEngineOptions opt;
+  ExpectCreateRejects(nullptr, &f.lin, &f.index, opt, "required");
+  ExpectCreateRejects(&f.dataset.graph, nullptr, &f.index, opt, "required");
+  ExpectCreateRejects(&f.dataset.graph, &f.lin, nullptr, opt, "required");
+}
 
-  auto null_graph = BatchQueryEngine::Create(nullptr, &f.lin, &f.index, opt);
-  EXPECT_FALSE(null_graph.ok());
-  EXPECT_EQ(null_graph.status().code(), StatusCode::kInvalidArgument);
-
+TEST(BatchQuery, CreateRejectsNegativeNormalizerCacheCapacity) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
   opt.normalizer_cache_capacity = -1;
-  auto bad_norm = BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index,
-                                           opt);
-  EXPECT_FALSE(bad_norm.ok());
-  EXPECT_EQ(bad_norm.status().code(), StatusCode::kInvalidArgument);
+  ExpectCreateRejects(&f.dataset.graph, &f.lin, &f.index, opt,
+                      "cache capacities must be >= 0");
+}
 
-  opt.normalizer_cache_capacity = 1 << 10;
+TEST(BatchQuery, CreateRejectsNegativeSemanticCacheCapacity) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
   opt.semantic_cache_capacity = -7;
-  EXPECT_FALSE(
-      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+  ExpectCreateRejects(&f.dataset.graph, &f.lin, &f.index, opt,
+                      "cache capacities must be >= 0");
+}
 
-  opt.semantic_cache_capacity = 1 << 10;
-  opt.query.mc = SemSimMcOptions{0.6, 0.5};  // violates θ <= 1-c (Lemma 4.7)
-  EXPECT_FALSE(
-      BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+TEST(BatchQuery, CreateRejectsEachBadDecayIndividually) {
+  Fixture f = Figure1Fixture();
+  for (double decay : {0.0, 1.0, 1.2, -0.3}) {
+    BatchQueryEngineOptions opt;
+    opt.query.mc = SemSimMcOptions{decay, 0.0};
+    ExpectCreateRejects(&f.dataset.graph, &f.lin, &f.index, opt,
+                        "decay must lie in (0,1)");
+  }
+}
 
-  opt.query.mc = SemSimMcOptions{1.2, 0.0};  // decay outside (0,1)
-  EXPECT_FALSE(
+TEST(BatchQuery, CreateRejectsThetaAboveLemmaBound) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+  opt.query.mc = SemSimMcOptions{0.6, 0.5};  // violates θ <= 1-c
+  ExpectCreateRejects(&f.dataset.graph, &f.lin, &f.index, opt, "Lemma 4.7");
+  // The boundary itself is legal.
+  opt.query.mc = SemSimMcOptions{0.6, 0.4};
+  EXPECT_TRUE(
       BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
+}
 
+TEST(BatchQuery, CreateAcceptsValidOptionsAfterAllRejections) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
   opt.query.mc = SemSimMcOptions{0.6, 0.05};
   EXPECT_TRUE(
       BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
 }
 
-TEST(BatchQuery, DeprecatedConstructorStillBuildsAWorkingEngine) {
-  Fixture f = Figure1Fixture();
+TEST(BatchQuery, DeprecatedConstructorMatchesCreateBitForBit) {
+  Fixture f = AminerFixture();
   BatchQueryEngineOptions opt;
   opt.num_threads = 2;
+  opt.query.mc = SemSimMcOptions{0.6, 0.05};
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  BatchQueryEngine engine(&f.dataset.graph, &f.lin, &f.index, opt);
+  BatchQueryEngine legacy(&f.dataset.graph, &f.lin, &f.index, opt);
 #pragma GCC diagnostic pop
-  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 20);
-  EXPECT_EQ(engine.QueryBatch(pairs).size(), pairs.size());
+  BatchQueryEngine created =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 80);
+  std::vector<double> a = legacy.QueryBatch(pairs);
+  std::vector<double> b = created.QueryBatch(pairs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "item=" << i;
+  }
 }
 
 TEST(BatchQuery, NullStatsCallSitesStillPublishToRegistry) {

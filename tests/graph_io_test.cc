@@ -89,6 +89,73 @@ TEST_F(GraphIoTest, SaveRejectsWhitespaceNames) {
   std::remove(path.c_str());
 }
 
+TEST_F(GraphIoTest, DuplicateEdgeLinesBecomeParallelEdgesByDefault) {
+  // The default policy keeps repeated (src, dst, label) lines as parallel
+  // edges of the paper's weighted multigraph: multiplicity accumulates
+  // and the weights sum. This is the documented contract in graph_io.h —
+  // if it changes, SaveHin round-trips of multigraphs break.
+  std::string path = Path("dupe.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\nn b t\ne 0 1 rel 2.0\ne 0 1 rel 3.0\n";
+  }
+  Hin g = Unwrap(LoadHin(path));
+  EXPECT_EQ(g.num_edges(), 2u);
+  Hin::EdgeInfo info = g.InEdgeInfo(1, 0);
+  EXPECT_EQ(info.multiplicity, 2u);
+  EXPECT_DOUBLE_EQ(info.total_weight, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, StrictModeRejectsDuplicateEdgeLines) {
+  std::string path = Path("dupe_strict.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\nn b t\ne 0 1 rel 2.0\ne 0 1 rel 3.0\n";
+  }
+  LoadHinOptions opt;
+  opt.duplicate_edges = DuplicateEdgePolicy::kReject;
+  Result<Hin> r = LoadHin(path, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The message names the offending line so the file can be fixed.
+  EXPECT_NE(r.status().ToString().find("line 4"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, StrictModeStillAcceptsDistinctLabelParallels) {
+  // Parallel edges whose labels differ are distinct relations, never
+  // duplicates — strict mode must not reject them.
+  std::string path = Path("dupe_labels.hin");
+  {
+    std::ofstream out(path);
+    out << "n a t\nn b t\ne 0 1 writes 1.0\ne 0 1 cites 1.0\n";
+  }
+  LoadHinOptions opt;
+  opt.duplicate_edges = DuplicateEdgePolicy::kReject;
+  Hin g = Unwrap(LoadHin(path, opt));
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(GraphIoTest, ParallelEdgesSurviveSaveLoadRoundTrip) {
+  HinBuilder b;
+  b.AddNode("a", "t");
+  b.AddNode("b", "t");
+  ASSERT_TRUE(b.AddEdge(0, 1, "rel", 2.0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, "rel", 3.0).ok());
+  Hin g = Unwrap(std::move(b).Build());
+  std::string path = Path("dupe_roundtrip.hin");
+  ASSERT_TRUE(SaveHin(g, path).ok());
+  Hin loaded = Unwrap(LoadHin(path));
+  EXPECT_EQ(loaded.num_edges(), 2u);
+  Hin::EdgeInfo info = loaded.InEdgeInfo(1, 0);
+  EXPECT_EQ(info.multiplicity, 2u);
+  EXPECT_DOUBLE_EQ(info.total_weight, 5.0);
+  std::remove(path.c_str());
+}
+
 TEST_F(GraphIoTest, CommentsAreSkipped) {
   std::string path = Path("comments.hin");
   {
