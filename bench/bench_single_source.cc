@@ -100,9 +100,10 @@ void Run(int requested_threads) {
                 TablePrinter::Num(inverted_semsim_ms, 2), buf});
   table.Print(std::cout);
   std::printf("\ninverted index: built in %.2f s, %.1f MB (walk index: "
-              "%.1f MB)\n",
+              "%.1f MB = %.1f MB owned + %.1f MB mapped)\n",
               build_s, inverted.MemoryBytes() / 1e6,
-              index.MemoryBytes() / 1e6);
+              index.MemoryBytes() / 1e6, index.OwnedBytes() / 1e6,
+              index.MappedBytes() / 1e6);
 
   // Consistency spot check.
   NodeId u = queries[0];
@@ -125,8 +126,11 @@ void Run(int requested_threads) {
       .Add("requested_threads", requested_threads)
       .Add("resolved_threads", resolved)
       .Add("serial_inverted_ms_per_source", inverted_semsim_ms);
+  doc.Add("walk_index_owned_bytes", index.OwnedBytes())
+      .Add("walk_index_mapped_bytes", index.MappedBytes());
   TablePrinter batch_table({"threads", "pass", "ms/source", "sources/s",
-                            "norm cache hit%", "shared hits"});
+                            "norm cache hit%", "shared hits",
+                            "arena reuse%"});
   bool all_identical = true;
   for (int threads : resolved == 1 ? std::vector<int>{1}
                                    : std::vector<int>{1, resolved}) {
@@ -150,7 +154,8 @@ void Run(int requested_threads) {
           {std::to_string(threads), pass, TablePrinter::Num(per_source, 2),
            TablePrinter::Num(kQueries / (wall_ms / 1e3), 1),
            TablePrinter::Num(100 * engine.normalizer_cache()->hit_rate(), 1),
-           TablePrinter::Int(static_cast<long long>(stats.shared_cache_hits))});
+           TablePrinter::Int(static_cast<long long>(stats.shared_cache_hits)),
+           TablePrinter::Num(100 * engine.scratch_pool().reuse_rate(), 1)});
       doc.BeginRecord()
           .Field("threads", threads)
           .Field("pass", pass)
@@ -165,7 +170,11 @@ void Run(int requested_threads) {
                      ? engine.cached_semantic()->cache().hit_rate()
                      : 0.0)
           .Field("shared_cache_hits", stats.shared_cache_hits)
-          .Field("normalizers_computed", stats.normalizers_computed);
+          .Field("normalizers_computed", stats.normalizers_computed)
+          // Per-worker arena recycling across SingleSourceBatch chunks;
+          // first pass pays the allocations, later passes re-lease them.
+          .Field("scratch_arenas_acquired", engine.scratch_pool().acquired())
+          .Field("scratch_reuse_rate", engine.scratch_pool().reuse_rate());
     }
   }
   batch_table.Print(std::cout);

@@ -13,6 +13,12 @@
 #   metrics — bench smoke with --metrics-out, then the compare_bench
 #           metrics checker (required series present, histograms
 #           coherent, JSON and Prometheus exports agree).
+#   coldstart — the serving-artifact lane (DESIGN.md §10): save/map/query
+#           tests under AddressSanitizer (mmap lifetime, checksum
+#           rejection, buffered fallback), then the cold-start bench
+#           gated by ci/compare_bench.py --coldstart (mapped replica
+#           bit-identical, zero heap bytes, Map >= 5x faster than Load,
+#           parallel builds reproduce the serial fingerprint).
 #   verify — randomized differential sweep (DESIGN.md §9): replays
 #           identical queries through the iterative oracle, both MC
 #           kernels, the batch engine, single-source and top-k, checking
@@ -23,7 +29,7 @@
 #
 # Usage: ci/check.sh
 #   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
-#    --verify-smoke|--verify-extended]
+#    --coldstart|--verify-smoke|--verify-extended]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,20 +50,23 @@ asan() {
   cmake --build build-asan -j "${JOBS}" \
     --target flat_kernel_test transition_table_test walk_index_test \
     dynamic_walk_index_test batch_query_test \
-    walk_index_corruption_test differential_test
+    walk_index_corruption_test mapped_file_test differential_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test|walk_index_corruption_test|differential_test'
+    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test|walk_index_corruption_test|mapped_file_test|differential_test'
 }
 
 tsan() {
   echo "=== tsan: concurrency tests under ThreadSanitizer ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSEMSIM_SANITIZE=thread
+  # single_source_test covers the node-partitioned parallel
+  # SingleSourceIndex::Build (determinism across 1/2/8 threads) and the
+  # scratch-arena pool.
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_test batch_query_test concurrent_cache_test \
-    flat_kernel_test metrics_test
+    flat_kernel_test metrics_test single_source_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test'
 }
 
 bench_smoke() {
@@ -75,6 +84,26 @@ metrics_smoke() {
   (cd build && ./bench/bench_fig4_query_times --dataset=small --kernel=both \
     --metrics-out=BENCH_metrics.json)
   python3 ci/compare_bench.py --dir build --metrics build/BENCH_metrics.json
+}
+
+coldstart() {
+  echo "=== coldstart: save/map/query under ASan + open-latency gate ==="
+  # The mmap lifetime and corruption surfaces run instrumented: every
+  # section-checksum rejection, truncated-file path, buffered fallback,
+  # and map-borrowing query sweep under AddressSanitizer.
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DSEMSIM_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+    --target walk_index_test walk_index_corruption_test mapped_file_test \
+    dynamic_walk_index_test single_source_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'walk_index_test|walk_index_corruption_test|mapped_file_test|dynamic_walk_index_test|single_source_test'
+  # The perf gate runs uninstrumented (RelWithDebInfo): Load-vs-Map open
+  # latency, bit-identity flags, memory split, parallel-build sweep.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_preprocessing
+  (cd build && ./bench/bench_preprocessing --coldstart-only)
+  python3 ci/compare_bench.py --coldstart build/BENCH_coldstart.json
 }
 
 verify_smoke() {
@@ -101,9 +130,10 @@ case "${MODE}" in
   --tsan-only) tsan ;;
   --bench-smoke) bench_smoke ;;
   --metrics-smoke|metrics) metrics_smoke ;;
+  --coldstart) coldstart ;;
   --verify-smoke) verify_smoke ;;
   --verify-extended) verify_extended ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; verify_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; verify_smoke ;;
 esac
 
 echo "=== all checks passed ==="

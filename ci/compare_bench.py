@@ -17,8 +17,18 @@ the expected structure, the required instrumentation series exist, every
 histogram is coherent (ascending bounds, count == sum of buckets), and
 the Prometheus sibling (.prom) agrees with the JSON on every value.
 
+With --coldstart BENCH_coldstart.json it instead validates the
+cold-start document written by bench_preprocessing (DESIGN.md §10):
+the mapped and heap-loaded replicas must be bit-identical, every
+parallel-build fingerprint must match the serial build, the mapped
+open path must hold zero heap bytes, and opening via Map must be at
+least --min-map-speedup times faster than Load (default 5.0).
+--coldstart runs standalone: the query-bench files are not required.
+
 Usage: ci/compare_bench.py [--dir DIR] [--min-speedup X]
                            [--metrics SNAPSHOT.json]
+                           [--coldstart BENCH_coldstart.json]
+                           [--min-map-speedup X]
 """
 
 import argparse
@@ -177,6 +187,40 @@ def check_metrics(json_path):
     return failures
 
 
+def check_coldstart(json_path, min_map_speedup):
+    """Validates a BENCH_coldstart.json; returns a list of failures."""
+    failures = []
+    doc = load_json(json_path)
+    for key in ("map_speedup", "bit_identical",
+                "single_source_fingerprints_match", "mapped_owned_bytes",
+                "mapped_mapped_bytes", "load_ms", "map_ms", "records"):
+        if key not in doc:
+            failures.append(f"coldstart JSON lacks {key!r}")
+    if failures:
+        return failures, doc
+
+    if not doc["bit_identical"]:
+        failures.append("mapped replica is not bit-identical to the "
+                        "heap-loaded replica")
+    if not doc["single_source_fingerprints_match"]:
+        failures.append("single-source sweeps over Load and Map disagree")
+    # The zero-copy claim: a mapped open must not hold a heap copy of the
+    # artifact, and the mapping must cover the whole file.
+    if doc["mapped_owned_bytes"] != 0:
+        failures.append(f"Map holds {doc['mapped_owned_bytes']} heap bytes "
+                        "(expected 0 for the zero-copy path)")
+    if doc["mapped_mapped_bytes"] < doc["artifact_bytes"]:
+        failures.append("mapping smaller than the artifact")
+    if doc["map_speedup"] < min_map_speedup:
+        failures.append(f"map open speedup {doc['map_speedup']:.1f}x is "
+                        f"below the required {min_map_speedup:.1f}x")
+    for record in doc["records"]:
+        if not record.get("fingerprint_matches", 0):
+            failures.append(f"parallel build with {record.get('threads')} "
+                            "thread(s) does not reproduce the serial index")
+    return failures, doc
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".",
@@ -186,7 +230,30 @@ def main():
     ap.add_argument("--metrics", default=None,
                     help="also validate this --metrics-out JSON snapshot "
                          "(and its .prom sibling)")
+    ap.add_argument("--coldstart", default=None,
+                    help="validate this BENCH_coldstart.json instead of "
+                         "the query-bench files")
+    ap.add_argument("--min-map-speedup", type=float, default=5.0,
+                    help="required Load-vs-Map open-latency ratio for "
+                         "--coldstart")
     args = ap.parse_args()
+
+    if args.coldstart is not None:
+        failures, doc = check_coldstart(args.coldstart, args.min_map_speedup)
+        print(f"coldstart ({args.coldstart})")
+        if "load_ms" in doc and "map_ms" in doc:
+            print(f"  open latency: Load {doc['load_ms']:.3f} ms, "
+                  f"Map {doc['map_ms']:.3f} ms  ->  "
+                  f"{doc.get('map_speedup', 0):.1f}x")
+            print(f"  memory: mapped {doc.get('mapped_mapped_bytes', 0)} "
+                  f"bytes, owned {doc.get('mapped_owned_bytes', 0)} bytes")
+        for failure in failures:
+            print(f"FAIL: coldstart: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("OK: mapped serving is bit-identical and meets the open-"
+              "latency bar")
+        return 0
 
     combined = os.path.join(args.dir, "BENCH_queries.json")
     generic = os.path.join(args.dir, "BENCH_queries_generic.json")

@@ -1,0 +1,29 @@
+#ifndef SEMSIM_COMMON_FNV_H_
+#define SEMSIM_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace semsim {
+
+inline constexpr uint64_t kFnv1a64Offset = 0xCBF29CE484222325ULL;
+
+/// FNV-1a 64: dependency-free, deterministic, fast enough that checksum
+/// verification disappears next to the I/O it guards. Not cryptographic —
+/// it detects truncation and bit rot, not adversaries. The `seed`
+/// parameter chains calls: Fnv1a64(b, nb, Fnv1a64(a, na)) hashes the
+/// concatenation a||b.
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = kFnv1a64Offset) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_FNV_H_

@@ -1,0 +1,130 @@
+#include "common/mapped_file.h"
+
+#include <fstream>
+
+#include "common/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SEMSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace semsim {
+
+namespace {
+
+struct MappedFileMetrics {
+  Counter* opens;
+  Counter* mmaps;
+  Counter* fallbacks;
+};
+
+const MappedFileMetrics& Metrics() {
+  static const MappedFileMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return MappedFileMetrics{
+        reg.GetCounter("semsim_mapped_file_open_total"),
+        reg.GetCounter("semsim_mapped_file_mmap_total"),
+        reg.GetCounter("semsim_mapped_file_fallback_total"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    if (!mapped_ && !buffer_.empty()) data_ = buffer_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.buffer_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if SEMSIM_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
+  Metrics().opens->Add(1);
+  Metrics().fallbacks->Add(1);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat: " + path);
+  in.seekg(0, std::ios::beg);
+  MappedFile file;
+  file.path_ = path;
+  file.buffer_.resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(file.buffer_.data()), size);
+    if (!in || in.gcount() != size) {
+      return Status::IOError("short read: " + path);
+    }
+    file.data_ = file.buffer_.data();
+  }
+  file.size_ = static_cast<size_t>(size);
+  file.mapped_ = false;
+  return file;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if SEMSIM_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for reading: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    Metrics().opens->Add(1);
+    Metrics().mmaps->Add(1);
+    MappedFile file;
+    file.path_ = path;
+    file.mapped_ = true;  // zero-copy trivially; nothing to fault in
+    return file;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (addr == MAP_FAILED) {
+    // Graceful degradation: serve the same bytes from a heap buffer.
+    return OpenBuffered(path);
+  }
+  Metrics().opens->Add(1);
+  Metrics().mmaps->Add(1);
+  MappedFile file;
+  file.path_ = path;
+  file.data_ = static_cast<const uint8_t*>(addr);
+  file.size_ = size;
+  file.mapped_ = true;
+  return file;
+#else
+  return OpenBuffered(path);
+#endif
+}
+
+}  // namespace semsim

@@ -1,0 +1,73 @@
+#ifndef SEMSIM_COMMON_MAPPED_FILE_H_
+#define SEMSIM_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace semsim {
+
+/// Read-only view of a whole file, preferably memory-mapped (DESIGN.md
+/// §10). The mapping is private and read-only: the pages are backed by
+/// the OS page cache, so several processes serving the same artifact
+/// share one physical copy and pay no deserialization. When mmap is
+/// unavailable or fails (exotic filesystems, resource limits), Open
+/// falls back to one buffered read into an owned heap buffer — callers
+/// observe the same data() / size() surface either way and can check
+/// mapped() to learn which path was taken.
+///
+/// Lifetime: the bytes behind data() are valid exactly as long as the
+/// MappedFile lives. Anything holding views into it (e.g. a WalkIndex
+/// produced by WalkIndex::Map) must keep the MappedFile alive, which the
+/// library does by moving the MappedFile into the consuming object.
+/// Move-only; the destructor unmaps (or frees the fallback buffer).
+class MappedFile {
+ public:
+  /// An empty view (data() == nullptr, size() == 0).
+  MappedFile() = default;
+
+  /// Opens `path` read-only and maps it. Falls back to a buffered read
+  /// when mmap fails; returns an error Status only when the file cannot
+  /// be opened or read at all. A zero-byte file opens successfully with
+  /// size() == 0.
+  static Result<MappedFile> Open(const std::string& path);
+
+  /// Opens `path` through the buffered-read path unconditionally. Used
+  /// by tests to exercise the fallback deterministically and by callers
+  /// that want a private heap copy (e.g. before mutating a snapshot).
+  static Result<MappedFile> OpenBuffered(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Reset(); }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes come from an mmap'd region (zero-copy); false
+  /// for the buffered fallback (and for an empty MappedFile).
+  bool mapped() const { return mapped_; }
+  const std::string& path() const { return path_; }
+
+  /// Heap bytes owned by this object: 0 when mapped (the pages belong
+  /// to the OS page cache), the buffer size under the fallback.
+  size_t OwnedBytes() const { return buffer_.capacity(); }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string path_;
+  std::vector<uint8_t> buffer_;  // fallback storage; empty when mapped
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_MAPPED_FILE_H_

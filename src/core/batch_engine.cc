@@ -32,6 +32,7 @@ Result<BatchQueryEngine> BatchQueryEngine::Create(
       ThreadPool::ResolveThreadCount(options.num_threads);
   engine.pool_ = std::make_unique<ThreadPool>(engine.options_.num_threads);
   engine.inverted_mu_ = std::make_unique<std::mutex>();
+  engine.scratch_pool_ = std::make_unique<ScratchPool>();
   // Flat-kernel preprocessing (DESIGN.md §7): the transition table always
   // pays off; the flat semantic table only exists when the measure is one
   // of the flattenable built-ins. When it is, the devirtualized kernel
@@ -103,7 +104,7 @@ const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
   if (!inverted_) {
     SEMSIM_TRACE_SPAN("semsim_batch_inverted_index_build");
     inverted_ = std::make_unique<SingleSourceIndex>(
-        SingleSourceIndex::Build(*index_, graph_->num_nodes()));
+        SingleSourceIndex::Build(*index_, graph_->num_nodes(), pool_.get()));
   }
   return *inverted_;
 }
@@ -115,7 +116,8 @@ std::vector<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
       "semsim_batch_single_source_items_total");
   items->Add(sources.size());
   return ParallelSemSimFrom(InvertedIndex(), sources, *estimator_,
-                            options_.query.mc, *pool_, stats);
+                            options_.query.mc, *pool_, stats,
+                            scratch_pool_.get());
 }
 
 std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
@@ -125,7 +127,8 @@ std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
       "semsim_batch_topk_items_total");
   items->Add(sources.size());
   return ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_,
-                          options_.query.mc, *pool_, stats);
+                          options_.query.mc, *pool_, stats,
+                          scratch_pool_.get());
 }
 
 size_t BatchQueryEngine::MemoryBytes() const {
@@ -134,6 +137,7 @@ size_t BatchQueryEngine::MemoryBytes() const {
   if (flat_semantic_) total += flat_semantic_->MemoryBytes();
   if (normalizer_cache_) total += normalizer_cache_->MemoryBytes();
   if (cached_semantic_) total += cached_semantic_->cache().MemoryBytes();
+  if (scratch_pool_) total += scratch_pool_->MemoryBytes();
   std::lock_guard<std::mutex> lock(*inverted_mu_);
   if (inverted_) total += inverted_->MemoryBytes();
   return total;
@@ -143,18 +147,24 @@ namespace {
 
 // Shared shape of the two drivers: each source is one work item, chunks
 // are claimed dynamically (source cost is skewed by degree and semantic
-// pruning), per-thread stats partials merge commutatively.
+// pruning), per-thread stats partials merge commutatively. One scratch
+// arena is leased per chunk (not per source) so its buffers amortize
+// across the chunk's sweeps.
 template <typename Result, typename PerSource>
 std::vector<Result> PerSourceParallel(std::span<const NodeId> sources,
                                       const ThreadPool& pool,
                                       McQueryStats* stats,
+                                      ScratchPool* scratch_pool,
                                       const PerSource& per_source) {
   std::vector<Result> results(sources.size());
   std::mutex stats_mu;
   pool.ParallelFor(0, sources.size(), [&](size_t begin, size_t end) {
     McQueryStats local;
+    ScratchPool::Lease lease =
+        scratch_pool != nullptr ? scratch_pool->Acquire() : ScratchPool::Lease();
     for (size_t i = begin; i < end; ++i) {
-      results[i] = per_source(sources[i], stats ? &local : nullptr);
+      results[i] = per_source(sources[i], stats ? &local : nullptr,
+                              lease.get());
     }
     if (stats) {
       std::lock_guard<std::mutex> lock(stats_mu);
@@ -169,9 +179,15 @@ std::vector<Result> PerSourceParallel(std::span<const NodeId> sources,
 std::vector<std::vector<double>> ParallelSemSimFrom(
     const SingleSourceIndex& inverted, std::span<const NodeId> sources,
     const SemSimMcEstimator& estimator, const SemSimMcOptions& options,
-    const ThreadPool& pool, McQueryStats* stats) {
+    const ThreadPool& pool, McQueryStats* stats, ScratchPool* scratch_pool) {
   return PerSourceParallel<std::vector<double>>(
-      sources, pool, stats, [&](NodeId u, McQueryStats* local) {
+      sources, pool, stats, scratch_pool,
+      [&](NodeId u, McQueryStats* local, QueryScratch* scratch) {
+        if (scratch != nullptr) {
+          std::vector<double> out;
+          inverted.SemSimFromInto(u, estimator, options, *scratch, out, local);
+          return out;
+        }
         return inverted.SemSimFrom(u, estimator, options, local);
       });
 }
@@ -180,9 +196,13 @@ std::vector<std::vector<Scored>> ParallelTopKFrom(
     const SingleSourceIndex& inverted, std::span<const NodeId> sources,
     size_t k, const SemSimMcEstimator& estimator,
     const SemSimMcOptions& options, const ThreadPool& pool,
-    McQueryStats* stats) {
+    McQueryStats* stats, ScratchPool* scratch_pool) {
   return PerSourceParallel<std::vector<Scored>>(
-      sources, pool, stats, [&](NodeId u, McQueryStats* local) {
+      sources, pool, stats, scratch_pool,
+      [&](NodeId u, McQueryStats* local, QueryScratch* scratch) {
+        if (scratch != nullptr) {
+          return inverted.TopKFrom(u, k, estimator, options, *scratch, local);
+        }
         return inverted.TopKFrom(u, k, estimator, options, local);
       });
 }

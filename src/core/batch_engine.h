@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/concurrent_cache.h"
 #include "core/mc_semsim.h"
+#include "core/query_scratch.h"
 #include "core/single_source.h"
 #include "core/topk.h"
 #include "core/walk_index.h"
@@ -117,6 +118,10 @@ class BatchQueryEngine {
     return cached_semantic_.get();
   }
 
+  /// The per-worker arena pool behind SingleSourceBatch / TopKBatch;
+  /// exposed so benches can report the arena reuse rate.
+  const ScratchPool& scratch_pool() const { return *scratch_pool_; }
+
   /// The flat tables owned by the engine; nullptr under kGeneric (and
   /// flat_semantic_table() also when the measure is not flattenable).
   const TransitionTable* transition_table() const {
@@ -148,6 +153,9 @@ class BatchQueryEngine {
   std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
   std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
   std::unique_ptr<SemSimMcEstimator> estimator_;
+  // Pooled per-worker query arenas (leased per chunk by the single-
+  // source drivers, so steady-state sweeps are allocation-free).
+  std::unique_ptr<ScratchPool> scratch_pool_;
   // Lazily built inverted index (guarded; build is idempotent).
   mutable std::unique_ptr<std::mutex> inverted_mu_;
   mutable std::unique_ptr<SingleSourceIndex> inverted_;
@@ -155,18 +163,22 @@ class BatchQueryEngine {
 
 /// Free-standing parallel single-source driver: one SemSimFrom sweep per
 /// source, partitioned across `pool`. Usable without a BatchQueryEngine
-/// when the caller already owns an inverted index and estimator.
+/// when the caller already owns an inverted index and estimator. With a
+/// `scratch_pool`, each worker leases one arena per chunk and runs its
+/// sweeps allocation-free through it; results are bit-identical either
+/// way.
 std::vector<std::vector<double>> ParallelSemSimFrom(
     const SingleSourceIndex& inverted, std::span<const NodeId> sources,
     const SemSimMcEstimator& estimator, const SemSimMcOptions& options,
-    const ThreadPool& pool, McQueryStats* stats = nullptr);
+    const ThreadPool& pool, McQueryStats* stats = nullptr,
+    ScratchPool* scratch_pool = nullptr);
 
 /// Free-standing parallel top-k driver over the inverted index.
 std::vector<std::vector<Scored>> ParallelTopKFrom(
     const SingleSourceIndex& inverted, std::span<const NodeId> sources,
     size_t k, const SemSimMcEstimator& estimator,
     const SemSimMcOptions& options, const ThreadPool& pool,
-    McQueryStats* stats = nullptr);
+    McQueryStats* stats = nullptr, ScratchPool* scratch_pool = nullptr);
 
 }  // namespace semsim
 

@@ -17,9 +17,40 @@ DynamicWalkIndex DynamicWalkIndex::Build(const Hin* graph,
   return dyn;
 }
 
+Result<DynamicWalkIndex> DynamicWalkIndex::Adopt(const Hin* graph,
+                                                 WalkIndex index) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  size_t per_node = static_cast<size_t>(index.num_walks()) *
+                    static_cast<size_t>(index.walk_length());
+  if (per_node == 0 ||
+      index.MemoryBytes() !=
+          graph->num_nodes() * per_node * sizeof(NodeId) +
+              graph->num_nodes() * static_cast<size_t>(index.num_walks()) *
+                  sizeof(uint16_t)) {
+    return Status::InvalidArgument(
+        "walk index shape does not match the graph's node count");
+  }
+  DynamicWalkIndex dyn;
+  dyn.graph_ = graph;
+  dyn.index_ = std::move(index);
+  // Copy-on-write: a mapped artifact is read-only (and its pages are
+  // shared machine-wide through the page cache) — materialize a private
+  // heap copy before any suffix resampling can touch it.
+  dyn.index_.PromoteToOwned();
+  dyn.rng_.Seed(dyn.index_.options().seed ^ 0xD1F2C3B4A5968778ULL);
+  dyn.dirty_mark_.assign(graph->num_nodes(), 0);
+  return dyn;
+}
+
 Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
                                         std::span<const NodeId> dirty_nodes) {
   if (new_graph == nullptr) return Status::InvalidArgument("null graph");
+  if (index_.mapped()) {
+    return Status::FailedPrecondition(
+        "walk index is memory-mapped (read-only); in-place suffix "
+        "resampling would write through the shared mapping — adopt it "
+        "with DynamicWalkIndex::Adopt to get a writable copy");
+  }
   if (new_graph->num_nodes() != graph_->num_nodes()) {
     return Status::InvalidArgument(
         "Update supports edge changes only (node count differs)");
@@ -32,6 +63,8 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
 
   const Hin& g = *new_graph;
   const WalkIndexOptions& opt = index_.options_;
+  NodeId* all_steps = index_.MutableSteps();
+  uint16_t* live_lengths = index_.MutableLiveLengths();
   std::vector<double> weights;
   size_t resampled = 0;
 
@@ -39,7 +72,7 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
     for (int w = 0; w < opt.num_walks; ++w) {
       size_t base = (static_cast<size_t>(origin) * opt.num_walks + w) *
                     static_cast<size_t>(opt.walk_length);
-      NodeId* steps = index_.steps_.data() + base;
+      NodeId* steps = all_steps + base;
       // Find the first position whose outgoing choice is invalidated:
       // the step *from* node x is invalid iff x is dirty. Positions are
       // origin (step from origin) then steps[0..].
@@ -76,7 +109,7 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
         cur = in[pick].node;
         steps[s] = cur;
       }
-      index_.live_len_[static_cast<size_t>(origin) * opt.num_walks + w] =
+      live_lengths[static_cast<size_t>(origin) * opt.num_walks + w] =
           static_cast<uint16_t>(live);
     }
   }

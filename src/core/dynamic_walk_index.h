@@ -28,6 +28,15 @@ class DynamicWalkIndex {
   static DynamicWalkIndex Build(const Hin* graph,
                                 const WalkIndexOptions& options);
 
+  /// Wraps an existing index (e.g. one loaded or mapped from disk) for
+  /// incremental maintenance. A mapped read-only index is promoted to
+  /// owned heap storage first (copy-on-write) — in-place suffix
+  /// resampling cannot legally write through an mmap'd artifact, and
+  /// silently corrupting the shared page cache is the failure mode this
+  /// guards against. Fails with InvalidArgument when the index shape
+  /// does not match `graph`'s node count.
+  static Result<DynamicWalkIndex> Adopt(const Hin* graph, WalkIndex index);
+
   /// Read view usable by every estimator (SemSimMcEstimator,
   /// McSimRankQuery, SingleSourceIndex, ...). Invalidated by Update().
   const WalkIndex& view() const { return index_; }
@@ -37,8 +46,10 @@ class DynamicWalkIndex {
   /// `dirty_nodes` lists every node whose *in*-neighborhood changed.
   /// Walks are scanned; any walk visiting (or starting at) a dirty node
   /// is resampled from its first dirty visit onward. Returns the number
-  /// of resampled walk suffixes. Fails if the node count changed or a
-  /// dirty id is out of range.
+  /// of resampled walk suffixes. Fails if the node count changed, a
+  /// dirty id is out of range, or the underlying index is a mapped
+  /// read-only artifact (FailedPrecondition; route such an index
+  /// through Adopt, which promotes it to writable owned storage).
   Result<size_t> Update(const Hin* new_graph,
                         std::span<const NodeId> dirty_nodes);
 

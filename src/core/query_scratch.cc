@@ -1,0 +1,55 @@
+#include "core/query_scratch.h"
+
+#include "common/metrics.h"
+
+namespace semsim {
+
+namespace {
+
+struct ScratchMetrics {
+  Counter* acquired;
+  Counter* reused;
+};
+
+const ScratchMetrics& Metrics() {
+  static const ScratchMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return ScratchMetrics{
+        reg.GetCounter("semsim_scratch_acquired_total"),
+        reg.GetCounter("semsim_scratch_reused_total"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+ScratchPool::Lease ScratchPool::Acquire() {
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().acquired->Add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<QueryScratch> scratch = std::move(free_.back());
+      free_.pop_back();
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().reused->Add(1);
+      return Lease(this, std::move(scratch));
+    }
+  }
+  return Lease(this, std::make_unique<QueryScratch>());
+}
+
+void ScratchPool::Return(std::unique_ptr<QueryScratch> scratch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(scratch));
+}
+
+size_t ScratchPool::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& s : free_) total += s->MemoryBytes();
+  return total;
+}
+
+}  // namespace semsim

@@ -1,0 +1,181 @@
+#ifndef SEMSIM_CORE_QUERY_SCRATCH_H_
+#define SEMSIM_CORE_QUERY_SCRATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/mc_semsim.h"
+
+namespace semsim {
+
+/// A first meeting of the coupled walks from (u, v), as enumerated by
+/// the single-source sweep. Namespace-scope so the scratch arena can
+/// hold a buffer of them; SingleSourceIndex aliases it as its historical
+/// nested `Meeting` type.
+struct WalkMeeting {
+  NodeId node;  // the other endpoint v
+  int walk;
+  int step;  // 1-based first-meeting step τ
+};
+
+/// Reusable per-query scratch arena for the single-source sweeps
+/// (DESIGN.md §10). One SemSimFrom over n nodes historically allocated
+/// four O(n) vectors; with an arena those buffers persist across
+/// queries, and per-query "clearing" is an epoch bump instead of an O(n)
+/// reset:
+///
+///  - met_stamp[v] holds epoch·(n_w+1) + walk+1 when v's first meeting
+///    with that walk was already recorded this query — stale values from
+///    earlier epochs are strictly smaller and never collide.
+///  - sem_epoch[v] == epoch gates the validity of sem_ok[v]/sem_val[v]
+///    (the lazily evaluated semantic-pruning state).
+///  - scores is kept all-zero *between* queries: after a sweep copies
+///    its result out, it re-zeroes exactly the entries its meetings
+///    touched, so the next query starts clean without a memset.
+///
+/// Results are bit-identical to the allocate-per-query path: the meeting
+/// enumeration order, the accumulation order, and every intermediate
+/// value are unchanged (the normalizer memo is cleared per query, so
+/// even the stage counts match). A scratch is single-threaded state;
+/// concurrent sweeps take one each from a ScratchPool.
+class QueryScratch {
+ public:
+  /// Sizes the arrays for an index shape; no-op (and no reset) when the
+  /// shape is unchanged, which is the steady state.
+  void BindShape(size_t num_nodes, int num_walks) {
+    if (num_nodes_ == num_nodes && num_walks_ == num_walks) return;
+    num_nodes_ = num_nodes;
+    num_walks_ = num_walks;
+    epoch_ = 0;
+    met_stamp.assign(num_nodes, 0);
+    sem_epoch.assign(num_nodes, 0);
+    sem_ok.assign(num_nodes, 0);
+    sem_val.assign(num_nodes, 0.0);
+    scores.assign(num_nodes, 0.0);
+    meetings.clear();
+  }
+
+  /// Starts a query: advances the epoch (invalidating met_stamp /
+  /// sem_epoch content in O(1)) and clears the per-query buffers that
+  /// cannot be epoch-stamped. The normalizer memo is cleared — not
+  /// carried across queries — so stats and results match the historical
+  /// fresh-context-per-query behavior exactly; unordered_map::clear
+  /// keeps its bucket array, which is the allocation that mattered.
+  void BeginQuery() {
+    ++epoch_;
+    meetings.clear();
+    context.normalizers.clear();
+  }
+
+  uint64_t epoch() const { return epoch_; }
+  size_t num_nodes() const { return num_nodes_; }
+  int num_walks() const { return num_walks_; }
+
+  size_t MemoryBytes() const {
+    return met_stamp.capacity() * sizeof(uint64_t) +
+           sem_epoch.capacity() * sizeof(uint64_t) +
+           sem_ok.capacity() * sizeof(int8_t) +
+           sem_val.capacity() * sizeof(double) +
+           scores.capacity() * sizeof(double) +
+           meetings.capacity() * sizeof(WalkMeeting) +
+           result.capacity() * sizeof(double);
+  }
+
+  // Buffers, maintained by SingleSourceIndex's *Into sweeps under the
+  // invariants documented above.
+  std::vector<uint64_t> met_stamp;
+  std::vector<uint64_t> sem_epoch;
+  std::vector<int8_t> sem_ok;
+  std::vector<double> sem_val;
+  std::vector<double> scores;  // all-zero between queries
+  std::vector<WalkMeeting> meetings;
+  /// Per-source SO-normalizer memo handed to CoupledWalkScore.
+  SemSimMcEstimator::QueryContext context;
+  /// Result staging buffer for callers that consume scores in place
+  /// (top-k) instead of keeping the vector.
+  std::vector<double> result;
+
+ private:
+  size_t num_nodes_ = 0;
+  int num_walks_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+/// Thread-safe free-list of QueryScratch arenas, pooled per engine so
+/// steady-state batch queries stop allocating: a worker leases an arena
+/// for a chunk of sources, runs its sweeps through it, and the lease
+/// returns it on destruction. The pool grows to the peak concurrency of
+/// its engine (bounded by the thread count) and never shrinks.
+class ScratchPool {
+ public:
+  /// RAII lease. Default-constructed = empty (get() == nullptr), which
+  /// lets call sites thread "no pooling" through the same code path.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ScratchPool* pool, std::unique_ptr<QueryScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      scratch_ = std::move(other.scratch_);
+      other.pool_ = nullptr;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    QueryScratch* get() const { return scratch_.get(); }
+    QueryScratch* operator->() const { return scratch_.get(); }
+    QueryScratch& operator*() const { return *scratch_; }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && scratch_ != nullptr) {
+        pool_->Return(std::move(scratch_));
+      }
+      pool_ = nullptr;
+      scratch_.reset();
+    }
+
+    ScratchPool* pool_ = nullptr;
+    std::unique_ptr<QueryScratch> scratch_;
+  };
+
+  /// Takes an arena off the free list (reuse) or creates one (miss).
+  Lease Acquire();
+
+  /// Lifetime acquisition counters; reuse_rate == reused / acquired is
+  /// the bench's "arena reuse rate" (1.0 in steady state, 0 with no
+  /// traffic).
+  uint64_t acquired() const {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+  uint64_t reused() const { return reused_.load(std::memory_order_relaxed); }
+  double reuse_rate() const {
+    uint64_t a = acquired();
+    return a == 0 ? 0.0 : static_cast<double>(reused()) / a;
+  }
+
+  /// Bytes held by the arenas currently parked in the pool (leased-out
+  /// arenas are counted by their holder).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class Lease;
+  void Return(std::unique_ptr<QueryScratch> scratch);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<QueryScratch>> free_;
+  std::atomic<uint64_t> acquired_{0};
+  std::atomic<uint64_t> reused_{0};
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_QUERY_SCRATCH_H_

@@ -38,8 +38,12 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
                                         engine.transition_table_.get());
   }
   if (options.single_source) {
+    // Reuse the walk-sampling thread budget for the inverted-index
+    // build; the result is bit-identical for any thread count.
+    ThreadPool build_pool(options.walks.num_threads);
     engine.single_source_ = std::make_unique<SingleSourceIndex>(
-        SingleSourceIndex::Build(*engine.walk_index_, graph->num_nodes()));
+        SingleSourceIndex::Build(*engine.walk_index_, graph->num_nodes(),
+                                 &build_pool));
   }
   return engine;
 }

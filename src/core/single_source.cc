@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fnv.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace semsim {
 
 SingleSourceIndex SingleSourceIndex::Build(const WalkIndex& index,
-                                           size_t num_nodes) {
+                                           size_t num_nodes,
+                                           const ThreadPool* pool) {
+  SEMSIM_TRACE_SPAN("semsim_single_source_build");
   SingleSourceIndex ss;
   ss.index_ = &index;
   ss.num_nodes_ = num_nodes;
@@ -17,57 +21,139 @@ SingleSourceIndex SingleSourceIndex::Build(const WalkIndex& index,
 
   size_t num_buckets =
       static_cast<size_t>(ss.num_walks_) * static_cast<size_t>(ss.walk_length_);
-  // Counting pass: how many live positions land in each (walk, step).
-  // Both passes iterate the compact layout — exactly the live prefix of
-  // each walk, no padding scan.
   ss.bucket_offsets_.assign(num_buckets + 1, 0);
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    for (int w = 0; w < ss.num_walks_; ++w) {
-      int len = index.WalkLiveLength(v, w);
-      for (int s = 0; s < len; ++s) {
-        ++ss.bucket_offsets_[ss.BucketIndex(w, s) + 1];
+
+  int threads = pool == nullptr ? 1 : pool->num_threads();
+  if (threads <= 1 || num_nodes < 2) {
+    // Serial three-pass construction. Both data passes iterate the
+    // compact layout — exactly the live prefix of each walk, no padding
+    // scan.
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (int w = 0; w < ss.num_walks_; ++w) {
+        int len = index.WalkLiveLength(v, w);
+        for (int s = 0; s < len; ++s) {
+          ++ss.bucket_offsets_[ss.BucketIndex(w, s) + 1];
+        }
       }
     }
-  }
-  for (size_t b = 1; b <= num_buckets; ++b) {
-    ss.bucket_offsets_[b] += ss.bucket_offsets_[b - 1];
-  }
-  // Fill pass.
-  ss.entries_.resize(ss.bucket_offsets_.back());
-  std::vector<size_t> cursor(ss.bucket_offsets_.begin(),
-                             ss.bucket_offsets_.end() - 1);
-  for (NodeId v = 0; v < num_nodes; ++v) {
-    for (int w = 0; w < ss.num_walks_; ++w) {
-      const NodeId* walk = index.WalkData(v, w);
-      int len = index.WalkLiveLength(v, w);
-      for (int s = 0; s < len; ++s) {
-        ss.entries_[cursor[ss.BucketIndex(w, s)]++] = Entry{walk[s], v};
+    for (size_t b = 1; b <= num_buckets; ++b) {
+      ss.bucket_offsets_[b] += ss.bucket_offsets_[b - 1];
+    }
+    ss.entries_.resize(ss.bucket_offsets_.back());
+    std::vector<size_t> cursor(ss.bucket_offsets_.begin(),
+                               ss.bucket_offsets_.end() - 1);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (int w = 0; w < ss.num_walks_; ++w) {
+        const NodeId* walk = index.WalkData(v, w);
+        int len = index.WalkLiveLength(v, w);
+        for (int s = 0; s < len; ++s) {
+          ss.entries_[cursor[ss.BucketIndex(w, s)]++] = Entry{walk[s], v};
+        }
       }
     }
+    for (size_t b = 0; b < num_buckets; ++b) {
+      std::sort(ss.entries_.begin() +
+                    static_cast<long>(ss.bucket_offsets_[b]),
+                ss.entries_.begin() +
+                    static_cast<long>(ss.bucket_offsets_[b + 1]),
+                [](const Entry& a, const Entry& e) {
+                  return a.position != e.position ? a.position < e.position
+                                                  : a.origin < e.origin;
+                });
+    }
+    return ss;
   }
-  // Sort each bucket by position node for binary search.
+
+  // Parallel construction over fixed node partitions (one per worker;
+  // partition boundaries depend only on the resolved thread count, and
+  // the final sort canonicalizes bucket content regardless, so the
+  // result is bit-identical to the serial build for ANY thread count).
+  size_t parts = std::min(static_cast<size_t>(threads), num_nodes);
+  auto part_begin = [&](size_t p) { return p * num_nodes / parts; };
+
+  // Pass 1: per-partition bucket histograms (disjoint writes).
+  std::vector<std::vector<size_t>> hist(parts);
+  pool->ParallelFor(0, parts, [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      hist[p].assign(num_buckets, 0);
+      NodeId v_end = static_cast<NodeId>(part_begin(p + 1));
+      for (NodeId v = static_cast<NodeId>(part_begin(p)); v < v_end; ++v) {
+        for (int w = 0; w < ss.num_walks_; ++w) {
+          int len = index.WalkLiveLength(v, w);
+          for (int s = 0; s < len; ++s) {
+            ++hist[p][ss.BucketIndex(w, s)];
+          }
+        }
+      }
+    }
+  });
+
+  // Merge: global bucket offsets, plus each partition's private write
+  // cursor inside every bucket (partitions fill disjoint subranges, in
+  // ascending node order — the exact layout the serial fill produces).
+  std::vector<std::vector<size_t>> cursor(parts,
+                                          std::vector<size_t>(num_buckets));
   for (size_t b = 0; b < num_buckets; ++b) {
-    std::sort(ss.entries_.begin() +
-                  static_cast<long>(ss.bucket_offsets_[b]),
-              ss.entries_.begin() +
-                  static_cast<long>(ss.bucket_offsets_[b + 1]),
-              [](const Entry& a, const Entry& e) {
-                return a.position != e.position ? a.position < e.position
-                                                : a.origin < e.origin;
-              });
+    size_t base = ss.bucket_offsets_[b];
+    for (size_t p = 0; p < parts; ++p) {
+      cursor[p][b] = base;
+      base += hist[p][b];
+    }
+    ss.bucket_offsets_[b + 1] = base;
   }
+  ss.entries_.resize(ss.bucket_offsets_.back());
+
+  // Pass 2: parallel fill through the per-partition cursors.
+  pool->ParallelFor(0, parts, [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      std::vector<size_t>& cur = cursor[p];
+      NodeId v_end = static_cast<NodeId>(part_begin(p + 1));
+      for (NodeId v = static_cast<NodeId>(part_begin(p)); v < v_end; ++v) {
+        for (int w = 0; w < ss.num_walks_; ++w) {
+          const NodeId* walk = index.WalkData(v, w);
+          int len = index.WalkLiveLength(v, w);
+          for (int s = 0; s < len; ++s) {
+            ss.entries_[cur[ss.BucketIndex(w, s)]++] = Entry{walk[s], v};
+          }
+        }
+      }
+    }
+  });
+
+  // Pass 3: per-bucket parallel sorts (buckets are disjoint ranges).
+  pool->ParallelFor(0, num_buckets, [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      std::sort(ss.entries_.begin() +
+                    static_cast<long>(ss.bucket_offsets_[b]),
+                ss.entries_.begin() +
+                    static_cast<long>(ss.bucket_offsets_[b + 1]),
+                [](const Entry& a, const Entry& e) {
+                  return a.position != e.position ? a.position < e.position
+                                                  : a.origin < e.origin;
+                });
+    }
+  });
   return ss;
 }
 
-std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
-    NodeId u) const {
-  std::vector<Meeting> meetings;
-  // met_stamp[v] == current walk id+1 → v already met u's walk earlier.
-  std::vector<int> met_stamp(num_nodes_, 0);
+uint64_t SingleSourceIndex::Fingerprint() const {
+  uint64_t h = Fnv1a64(bucket_offsets_.data(),
+                       bucket_offsets_.size() * sizeof(size_t));
+  return Fnv1a64(entries_.data(), entries_.size() * sizeof(Entry), h);
+}
+
+void SingleSourceIndex::EnumerateMeetings(NodeId u,
+                                          QueryScratch& scratch) const {
+  // met_stamp[v] == stamp → v already met u's current walk at an earlier
+  // step. Stamps are unique per (epoch, walk), so stale entries from
+  // earlier queries are invalidated by the epoch bump alone.
+  uint64_t stamp_base =
+      scratch.epoch() * (static_cast<uint64_t>(num_walks_) + 1);
+  std::vector<WalkMeeting>& meetings = scratch.meetings;
   for (int w = 0; w < num_walks_; ++w) {
     const NodeId* walk_u = index_->WalkData(u, w);
     int len = index_->WalkLiveLength(u, w);
-    int stamp = w + 1;
+    uint64_t stamp = stamp_base + static_cast<uint64_t>(w) + 1;
     for (int s = 0; s < len; ++s) {
       NodeId pos = walk_u[s];
       size_t b = BucketIndex(w, s);
@@ -79,17 +165,30 @@ std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
       for (auto it = lo; it != end && it->position == pos; ++it) {
         NodeId v = it->origin;
         if (v == u) continue;
-        if (met_stamp[v] == stamp) continue;  // met at an earlier step
-        met_stamp[v] = stamp;
-        meetings.push_back(Meeting{v, w, s + 1});
+        if (scratch.met_stamp[v] == stamp) continue;  // met earlier
+        scratch.met_stamp[v] = stamp;
+        meetings.push_back(WalkMeeting{v, w, s + 1});
       }
     }
   }
   std::sort(meetings.begin(), meetings.end(),
-            [](const Meeting& a, const Meeting& b) {
+            [](const WalkMeeting& a, const WalkMeeting& b) {
               return a.node != b.node ? a.node < b.node : a.walk < b.walk;
             });
-  return meetings;
+}
+
+void SingleSourceIndex::FirstMeetingsInto(NodeId u,
+                                          QueryScratch& scratch) const {
+  scratch.BindShape(num_nodes_, num_walks_);
+  scratch.BeginQuery();
+  EnumerateMeetings(u, scratch);
+}
+
+std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
+    NodeId u) const {
+  QueryScratch scratch;
+  FirstMeetingsInto(u, scratch);
+  return std::move(scratch.meetings);
 }
 
 std::vector<double> SingleSourceIndex::SimRankFrom(NodeId u,
@@ -109,15 +208,18 @@ std::vector<double> SingleSourceIndex::SimRankFrom(NodeId u,
   return scores;
 }
 
-std::vector<double> SingleSourceIndex::SemSimFrom(
-    NodeId u, const SemSimMcEstimator& estimator,
-    const SemSimMcOptions& options, McQueryStats* stats) const {
+void SingleSourceIndex::SemSimFromInto(NodeId u,
+                                       const SemSimMcEstimator& estimator,
+                                       const SemSimMcOptions& options,
+                                       QueryScratch& scratch,
+                                       std::vector<double>& out,
+                                       McQueryStats* stats) const {
   SEMSIM_DCHECK(&estimator.index() == index_)
       << "estimator wraps a different walk index";
-  std::vector<double> scores(num_nodes_, 0.0);
-  // One shared normalizer memo for the whole source: coupled prefixes
-  // from the same u overlap massively across candidates.
-  SemSimMcEstimator::QueryContext context;
+  scratch.BindShape(num_nodes_, num_walks_);
+  scratch.BeginQuery();
+  EnumerateMeetings(u, scratch);
+  uint64_t epoch = scratch.epoch();
   // Stage counts for the whole sweep; published to the registry once at
   // the end (TopKFrom rides on this publish — it adds no queries of its
   // own), merged into the legacy out-param when one was passed.
@@ -126,33 +228,48 @@ std::vector<double> SingleSourceIndex::SemSimFrom(
   // lazily at the first meeting of each candidate. The sem(u,v) computed
   // for the pruning decision is kept, so the final scaling loop reads it
   // back instead of paying a second LCA/IC evaluation per candidate.
-  std::vector<int8_t> sem_ok(num_nodes_, -1);
-  std::vector<double> sem_val(num_nodes_, 0.0);
-  for (const Meeting& m : FirstMeetings(u)) {
+  // Validity of sem_ok/sem_val is gated by the epoch stamp — no O(n)
+  // reset between queries.
+  for (const WalkMeeting& m : scratch.meetings) {
     NodeId v = m.node;
-    if (sem_ok[v] < 0) {
+    if (scratch.sem_epoch[v] != epoch) {
+      scratch.sem_epoch[v] = epoch;
       double s_uv = estimator.SemValue(u, v);
-      sem_val[v] = s_uv;
+      scratch.sem_val[v] = s_uv;
       if (options.theta > 0 && s_uv <= options.theta) {
-        sem_ok[v] = 0;
+        scratch.sem_ok[v] = 0;
         local.sem_pruned = true;
         ++local.sem_pruned_queries;
       } else {
-        sem_ok[v] = 1;
+        scratch.sem_ok[v] = 1;
       }
     }
-    if (!sem_ok[v]) continue;
+    if (!scratch.sem_ok[v]) continue;
     ++local.met_walks;
-    scores[v] += estimator.CoupledWalkScore(u, v, m.walk, m.step, options,
-                                            &context, &local);
+    scratch.scores[v] += estimator.CoupledWalkScore(
+        u, v, m.walk, m.step, options, &scratch.context, &local);
   }
+  // Copy out with the final sem·(1/n_w) scaling, then restore the
+  // all-zero invariant of scratch.scores by re-zeroing exactly the
+  // entries this query's meetings touched.
   double inv = 1.0 / static_cast<double>(num_walks_);
+  out.resize(num_nodes_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    if (scores[v] > 0) scores[v] *= sem_val[v] * inv;
+    double s = scratch.scores[v];
+    out[v] = s > 0 ? s * scratch.sem_val[v] * inv : s;
   }
-  scores[u] = 1.0;
+  out[u] = 1.0;
+  for (const WalkMeeting& m : scratch.meetings) scratch.scores[m.node] = 0.0;
   PublishQueryStats(local);
   if (stats != nullptr) stats->Merge(local);
+}
+
+std::vector<double> SingleSourceIndex::SemSimFrom(
+    NodeId u, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options, McQueryStats* stats) const {
+  QueryScratch scratch;
+  std::vector<double> scores;
+  SemSimFromInto(u, estimator, options, scratch, scores, stats);
   return scores;
 }
 
@@ -162,6 +279,15 @@ std::vector<Scored> SingleSourceIndex::TopKFrom(
   std::vector<double> scores = SemSimFrom(u, estimator, options, stats);
   return CallbackTopK(num_nodes_, u, k, nullptr,
                       [&](NodeId v) { return scores[v]; });
+}
+
+std::vector<Scored> SingleSourceIndex::TopKFrom(
+    NodeId u, size_t k, const SemSimMcEstimator& estimator,
+    const SemSimMcOptions& options, QueryScratch& scratch,
+    McQueryStats* stats) const {
+  SemSimFromInto(u, estimator, options, scratch, scratch.result, stats);
+  return CallbackTopK(num_nodes_, u, k, nullptr,
+                      [&](NodeId v) { return scratch.result[v]; });
 }
 
 }  // namespace semsim

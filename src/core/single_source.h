@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/mc_semsim.h"
+#include "core/query_scratch.h"
 #include "core/topk.h"
 #include "core/walk_index.h"
 #include "graph/hin.h"
@@ -29,19 +31,28 @@ class SingleSourceIndex {
 
   /// Builds the inverted index; `index` (and the graph it was built on)
   /// must outlive the result. Memory mirrors the walk index,
-  /// O(n·n_w·t).
-  static SingleSourceIndex Build(const WalkIndex& index, size_t num_nodes);
+  /// O(n·n_w·t). With a pool the three construction passes (bucket
+  /// counting, fill, per-bucket sorts) are node- resp. bucket-
+  /// partitioned across it; the result is bit-identical for every
+  /// thread count (within a bucket, entries are canonicalized by a sort
+  /// on the strictly unique (position, origin) key, so the fill order
+  /// cannot show through). nullptr = serial.
+  static SingleSourceIndex Build(const WalkIndex& index, size_t num_nodes,
+                                 const ThreadPool* pool = nullptr);
 
   /// A detected first meeting of the coupled walks from (u, v).
-  struct Meeting {
-    NodeId node;  // the other endpoint v
-    int walk;
-    int step;  // 1-based first-meeting step τ
-  };
+  /// Historically a nested struct; now the namespace-scope WalkMeeting
+  /// so QueryScratch can buffer them.
+  using Meeting = WalkMeeting;
 
   /// All first meetings of every node's walks with u's walks. Sorted by
   /// (node, walk). O(n_w·t·log n + total collisions).
   std::vector<Meeting> FirstMeetings(NodeId u) const;
+
+  /// Allocation-free form: binds `scratch` to this index's shape,
+  /// starts a fresh query epoch, and leaves the meetings (same order as
+  /// FirstMeetings) in scratch.meetings.
+  void FirstMeetingsInto(NodeId u, QueryScratch& scratch) const;
 
   /// Single-source SimRank: scores[v] = (1/n_w)·Σ c^{τ} over the first
   /// meetings of (u, v); scores[u] = 1.
@@ -57,16 +68,41 @@ class SingleSourceIndex {
                                  const SemSimMcOptions& options,
                                  McQueryStats* stats = nullptr) const;
 
+  /// Allocation-free form of SemSimFrom: all transient state lives in
+  /// `scratch` (reusable across queries and sources), the result lands
+  /// in `out` (resized to n; its capacity is reused on repeat calls).
+  /// Scores are bit-identical to SemSimFrom — same meeting enumeration,
+  /// same accumulation order, same arithmetic — and so are the stats.
+  void SemSimFromInto(NodeId u, const SemSimMcEstimator& estimator,
+                      const SemSimMcOptions& options, QueryScratch& scratch,
+                      std::vector<double>& out,
+                      McQueryStats* stats = nullptr) const;
+
   /// Top-k via SemSimFrom. Ties broken by node id.
   std::vector<Scored> TopKFrom(NodeId u, size_t k,
                                const SemSimMcEstimator& estimator,
                                const SemSimMcOptions& options,
                                McQueryStats* stats = nullptr) const;
 
+  /// Top-k through a scratch arena; the dense score sweep stages in
+  /// scratch.result instead of a fresh vector.
+  std::vector<Scored> TopKFrom(NodeId u, size_t k,
+                               const SemSimMcEstimator& estimator,
+                               const SemSimMcOptions& options,
+                               QueryScratch& scratch,
+                               McQueryStats* stats = nullptr) const;
+
   size_t MemoryBytes() const {
     return entries_.size() * sizeof(Entry) +
            bucket_offsets_.size() * sizeof(size_t);
   }
+
+  /// FNV-1a over the bucket offsets and entry array — the whole
+  /// queryable state. Two builds over the same walk index fingerprint
+  /// equal iff their structures are byte-identical; the determinism
+  /// tests and the cold-start bench compare builds across thread counts
+  /// with this.
+  uint64_t Fingerprint() const;
 
  private:
   struct Entry {
@@ -78,6 +114,11 @@ class SingleSourceIndex {
   size_t BucketIndex(int walk, int step) const {
     return static_cast<size_t>(walk) * walk_length_ + static_cast<size_t>(step);
   }
+
+  /// Meeting enumeration into scratch.meetings under the current epoch;
+  /// shared by FirstMeetingsInto and SemSimFromInto (scratch must be
+  /// bound and BeginQuery'd).
+  void EnumerateMeetings(NodeId u, QueryScratch& scratch) const;
 
   const WalkIndex* index_ = nullptr;
   size_t num_nodes_ = 0;

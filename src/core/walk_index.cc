@@ -1,7 +1,9 @@
 #include "core/walk_index.h"
 
+#include <cstring>
 #include <fstream>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -20,10 +22,10 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
   WalkIndex index;
   index.options_ = options;
   size_t n = graph.num_nodes();
-  index.steps_.assign(n * static_cast<size_t>(options.num_walks) *
-                          static_cast<size_t>(options.walk_length),
-                      kInvalidNode);
-  index.live_len_.assign(n * static_cast<size_t>(options.num_walks), 0);
+  index.steps_owned_.assign(n * static_cast<size_t>(options.num_walks) *
+                                static_cast<size_t>(options.walk_length),
+                            kInvalidNode);
+  index.live_owned_.assign(n * static_cast<size_t>(options.num_walks), 0);
   ParallelRunner runner(options.num_threads);
   runner.ParallelFor(0, n, [&](size_t begin, size_t end) {
     std::vector<double> weights;
@@ -53,12 +55,13 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
             pick = rng.NextIndex(in.size());
           }
           cur = in[pick].node;
-          index.steps_[cursor] = cur;
+          index.steps_owned_[cursor] = cur;
         }
-        index.live_len_[len_cursor] = static_cast<uint16_t>(live);
+        index.live_owned_[len_cursor] = static_cast<uint16_t>(live);
       }
     }
   });
+  index.BindOwned();
   walks_sampled->Add(n * static_cast<uint64_t>(options.num_walks));
   index.build_seconds_ = timer.ElapsedSeconds();
   return index;
@@ -67,7 +70,7 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
 void WalkIndex::RecomputeLiveLengths(size_t num_nodes) {
   size_t walks = num_nodes * static_cast<size_t>(options_.num_walks);
   int t = options_.walk_length;
-  live_len_.assign(walks, 0);
+  live_owned_.assign(walks, 0);
   for (size_t w = 0; w < walks; ++w) {
     const NodeId* steps = steps_.data() + w * static_cast<size_t>(t);
     int live = t;
@@ -77,18 +80,71 @@ void WalkIndex::RecomputeLiveLengths(size_t num_nodes) {
         break;
       }
     }
-    live_len_[w] = static_cast<uint16_t>(live);
+    live_owned_[w] = static_cast<uint16_t>(live);
   }
+  live_len_ = live_owned_;
+}
+
+void WalkIndex::CopyFrom(const WalkIndex& other) {
+  options_ = other.options_;
+  build_seconds_ = other.build_seconds_;
+  steps_owned_.assign(other.steps_.begin(), other.steps_.end());
+  live_owned_.assign(other.live_len_.begin(), other.live_len_.end());
+  mapping_ = MappedFile();
+  borrows_mapping_ = false;
+  BindOwned();
+}
+
+void WalkIndex::PromoteToOwned() {
+  if (!borrows_mapping_) return;
+  steps_owned_.assign(steps_.begin(), steps_.end());
+  live_owned_.assign(live_len_.begin(), live_len_.end());
+  mapping_ = MappedFile();
+  borrows_mapping_ = false;
+  BindOwned();
+}
+
+NodeId* WalkIndex::MutableSteps() {
+  SEMSIM_CHECK(!borrows_mapping_)
+      << "in-place mutation of a mapped (read-only) walk index";
+  return steps_owned_.data();
+}
+
+uint16_t* WalkIndex::MutableLiveLengths() {
+  SEMSIM_CHECK(!borrows_mapping_)
+      << "in-place mutation of a mapped (read-only) walk index";
+  return live_owned_.data();
 }
 
 namespace {
 
-// Binary layout: versioned header, then the raw step array. Live lengths
-// are derived data and recomputed on load. Little-endian native; the
-// index is machine-local cache data, not an interchange format.
+// ---------------------------------------------------------------------------
+// On-disk layout (DESIGN.md §10). Little-endian native; the index is
+// machine-local cache data, not an interchange format.
+//
+// v2 serving artifact (format_version 3, written by Save):
+//   [0,   48)  WalkIndexHeader (unchanged 48-byte layout)
+//   [48,  56)  uint32 section_count (= 2), uint32 reserved
+//   [56, 120)  2 × SectionRecord{offset, size, checksum, kind, reserved}
+//   [4096, ..) steps section   (kind 1, page-aligned, n·n_w·t NodeId)
+//   [....,   ) live-len section (kind 2, page-aligned, n·n_w uint16)
+// File size == offset + size of the last section (no trailing bytes).
+//
+// legacy v1 payload (format_version 2, still accepted by Load/Map):
+//   [0, 48)  WalkIndexHeader
+//   [48, ..) raw step array; live lengths recomputed by a padding scan.
+// ---------------------------------------------------------------------------
+
 constexpr uint64_t kWalkIndexMagic = 0x5832584449574D53ULL;    // "SMWIDX2X"
 constexpr uint64_t kWalkIndexMagicV1 = 0x53454D57414C4B31ULL;  // "SEMWALK1"
-constexpr uint32_t kWalkIndexFormatVersion = 2;
+// format_version values: 2 = legacy steps-only payload ("v1 artifact"),
+// 3 = sectioned serving artifact ("v2 artifact").
+constexpr uint32_t kWalkIndexFormatLegacy = 2;
+constexpr uint32_t kWalkIndexFormatSectioned = 3;
+constexpr size_t kSectionAlignment = 4096;  // page-aligned for mmap serving
+
+constexpr uint32_t kSectionSteps = 1;
+constexpr uint32_t kSectionLiveLengths = 2;
 
 struct WalkIndexHeader {
   uint64_t magic;
@@ -103,15 +159,194 @@ struct WalkIndexHeader {
 };
 static_assert(sizeof(WalkIndexHeader) == 48, "header layout is part of the file format");
 
+struct SectionDirectoryHeader {
+  uint32_t section_count;
+  uint32_t reserved;
+};
+static_assert(sizeof(SectionDirectoryHeader) == 8,
+              "directory header layout is part of the file format");
+
+struct SectionRecord {
+  uint64_t offset;    // absolute file offset, kSectionAlignment-aligned
+  uint64_t size;      // payload bytes
+  uint64_t checksum;  // FNV-1a 64 over the payload
+  uint32_t kind;      // kSectionSteps or kSectionLiveLengths
+  uint32_t reserved;
+};
+static_assert(sizeof(SectionRecord) == 32,
+              "section record layout is part of the file format");
+
+size_t AlignUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+/// Everything ParseArtifact learns about a validated byte image. The
+/// spans point into the caller's buffer/mapping.
+struct ParsedArtifact {
+  WalkIndexOptions options;
+  size_t num_nodes = 0;
+  bool legacy = false;  // v1 payload: live span empty, recompute needed
+  std::span<const NodeId> steps;
+  std::span<const uint16_t> live;
+};
+
+/// Validates a whole-file byte image against `expected_nodes` and
+/// extracts the data sections. Shared by Load (buffered bytes) and Map
+/// (mmap'd bytes) so both paths enforce identical checks and emit
+/// identical error messages.
+Result<ParsedArtifact> ParseArtifact(const uint8_t* data, size_t size,
+                                     const std::string& path,
+                                     size_t expected_nodes,
+                                     bool verify_checksums) {
+  if (size < sizeof(WalkIndexHeader)) {
+    return Status::IOError("not a walk-index file (too short): " + path);
+  }
+  WalkIndexHeader header{};
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kWalkIndexMagic) {
+    if (header.magic == kWalkIndexMagicV1) {
+      return Status::FailedPrecondition(
+          "walk-index file uses the legacy format version 1 (unversioned "
+          "header, no live-length metadata): " + path +
+          "; rebuild the index with the current binary");
+    }
+    return Status::IOError("not a walk-index file: " + path);
+  }
+  if (header.format_version != kWalkIndexFormatLegacy &&
+      header.format_version != kWalkIndexFormatSectioned) {
+    return Status::FailedPrecondition(
+        "unsupported walk-index format version " +
+        std::to_string(header.format_version) +
+        " (this build reads versions " +
+        std::to_string(kWalkIndexFormatLegacy) + " and " +
+        std::to_string(kWalkIndexFormatSectioned) + "): " + path);
+  }
+  if (header.num_nodes != expected_nodes) {
+    return Status::FailedPrecondition(
+        "walk index was built for a graph with " +
+        std::to_string(header.num_nodes) + " nodes, expected " +
+        std::to_string(expected_nodes));
+  }
+  if (header.num_walks <= 0 || header.walk_length <= 0 ||
+      header.walk_length > 65535) {
+    return Status::IOError("corrupt walk-index header: " + path);
+  }
+
+  ParsedArtifact parsed;
+  parsed.options.num_walks = header.num_walks;
+  parsed.options.walk_length = header.walk_length;
+  parsed.options.seed = header.seed;
+  parsed.options.weighted = header.weighted != 0;
+  parsed.num_nodes = header.num_nodes;
+
+  size_t walk_count =
+      header.num_nodes * static_cast<size_t>(header.num_walks);
+  size_t step_count = walk_count * static_cast<size_t>(header.walk_length);
+  uint64_t steps_bytes = static_cast<uint64_t>(step_count) * sizeof(NodeId);
+  uint64_t live_bytes = static_cast<uint64_t>(walk_count) * sizeof(uint16_t);
+
+  if (header.format_version == kWalkIndexFormatLegacy) {
+    // v1 payload: header + raw step array, live lengths derived on load.
+    uint64_t payload = size - sizeof(WalkIndexHeader);
+    if (payload < steps_bytes) {
+      return Status::IOError("truncated walk-index file: " + path);
+    }
+    if (payload > steps_bytes) {
+      return Status::IOError(
+          "walk-index file has trailing bytes beyond the declared payload: " +
+          path);
+    }
+    parsed.legacy = true;
+    parsed.steps = {reinterpret_cast<const NodeId*>(
+                        data + sizeof(WalkIndexHeader)),
+                    step_count};
+    return parsed;
+  }
+
+  // v2 sectioned artifact: directory + page-aligned checksummed sections.
+  size_t dir_start = sizeof(WalkIndexHeader);
+  if (size < dir_start + sizeof(SectionDirectoryHeader)) {
+    return Status::IOError("truncated walk-index file: " + path);
+  }
+  SectionDirectoryHeader dir{};
+  std::memcpy(&dir, data + dir_start, sizeof(dir));
+  if (dir.section_count != 2) {
+    return Status::IOError("corrupt walk-index section directory: " + path);
+  }
+  size_t records_start = dir_start + sizeof(SectionDirectoryHeader);
+  if (size < records_start + dir.section_count * sizeof(SectionRecord)) {
+    return Status::IOError("truncated walk-index file: " + path);
+  }
+
+  const SectionRecord* steps_rec = nullptr;
+  const SectionRecord* live_rec = nullptr;
+  SectionRecord records[2];
+  uint64_t last_end = 0;
+  for (uint32_t i = 0; i < dir.section_count; ++i) {
+    std::memcpy(&records[i], data + records_start + i * sizeof(SectionRecord),
+                sizeof(SectionRecord));
+    const SectionRecord& rec = records[i];
+    if (rec.offset % kSectionAlignment != 0) {
+      return Status::IOError("corrupt walk-index section directory: " + path);
+    }
+    if (rec.offset > size || rec.size > size - rec.offset) {
+      return Status::IOError("truncated walk-index file: " + path);
+    }
+    if (rec.kind == kSectionSteps) {
+      steps_rec = &records[i];
+    } else if (rec.kind == kSectionLiveLengths) {
+      live_rec = &records[i];
+    } else {
+      return Status::IOError("corrupt walk-index section directory: " + path);
+    }
+    last_end = std::max(last_end, rec.offset + rec.size);
+  }
+  if (steps_rec == nullptr || live_rec == nullptr) {
+    return Status::IOError("corrupt walk-index section directory: " + path);
+  }
+  if (steps_rec->size != steps_bytes) {
+    return Status::IOError(
+        "walk-index steps section size disagrees with the header: " + path);
+  }
+  if (live_rec->size != live_bytes) {
+    return Status::IOError(
+        "walk-index live-length section size disagrees with the header: " +
+        path);
+  }
+  if (static_cast<uint64_t>(size) != last_end) {
+    return Status::IOError(
+        "walk-index file has trailing bytes beyond the declared payload: " +
+        path);
+  }
+  if (verify_checksums) {
+    if (Fnv1a64(data + steps_rec->offset, steps_rec->size) !=
+        steps_rec->checksum) {
+      return Status::IOError(
+          "walk-index steps section checksum mismatch: " + path);
+    }
+    if (Fnv1a64(data + live_rec->offset, live_rec->size) !=
+        live_rec->checksum) {
+      return Status::IOError(
+          "walk-index live-length section checksum mismatch: " + path);
+    }
+  }
+  parsed.steps = {reinterpret_cast<const NodeId*>(data + steps_rec->offset),
+                  step_count};
+  parsed.live = {reinterpret_cast<const uint16_t*>(data + live_rec->offset),
+                 walk_count};
+  return parsed;
+}
+
 }  // namespace
 
 Status WalkIndex::Save(const std::string& path) const {
   SEMSIM_TRACE_SPAN("semsim_walk_index_save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for writing: " + path);
+
   WalkIndexHeader header{};
   header.magic = kWalkIndexMagic;
-  header.format_version = kWalkIndexFormatVersion;
+  header.format_version = kWalkIndexFormatSectioned;
   size_t per_node = static_cast<size_t>(options_.num_walks) *
                     static_cast<size_t>(options_.walk_length);
   header.num_nodes = per_node == 0 ? 0 : steps_.size() / per_node;
@@ -119,9 +354,48 @@ Status WalkIndex::Save(const std::string& path) const {
   header.walk_length = options_.walk_length;
   header.seed = options_.seed;
   header.weighted = options_.weighted ? 1 : 0;
+
+  uint64_t steps_bytes = steps_.size() * sizeof(NodeId);
+  uint64_t live_bytes = live_len_.size() * sizeof(uint16_t);
+  SectionRecord steps_rec{};
+  steps_rec.offset = AlignUp(sizeof(WalkIndexHeader) +
+                                 sizeof(SectionDirectoryHeader) +
+                                 2 * sizeof(SectionRecord),
+                             kSectionAlignment);
+  steps_rec.size = steps_bytes;
+  steps_rec.checksum =
+      Fnv1a64(reinterpret_cast<const uint8_t*>(steps_.data()), steps_bytes);
+  steps_rec.kind = kSectionSteps;
+  SectionRecord live_rec{};
+  live_rec.offset = AlignUp(steps_rec.offset + steps_bytes, kSectionAlignment);
+  live_rec.size = live_bytes;
+  live_rec.checksum =
+      Fnv1a64(reinterpret_cast<const uint8_t*>(live_len_.data()), live_bytes);
+  live_rec.kind = kSectionLiveLengths;
+
+  SectionDirectoryHeader dir{};
+  dir.section_count = 2;
+
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(&dir), sizeof(dir));
+  out.write(reinterpret_cast<const char*>(&steps_rec), sizeof(steps_rec));
+  out.write(reinterpret_cast<const char*>(&live_rec), sizeof(live_rec));
+  // Zero padding up to each page-aligned section start.
+  auto pad_to = [&out](uint64_t target) {
+    static constexpr char kZeros[512] = {};
+    uint64_t pos = static_cast<uint64_t>(out.tellp());
+    while (pos < target) {
+      uint64_t chunk = std::min<uint64_t>(sizeof(kZeros), target - pos);
+      out.write(kZeros, static_cast<std::streamsize>(chunk));
+      pos += chunk;
+    }
+  };
+  pad_to(steps_rec.offset);
   out.write(reinterpret_cast<const char*>(steps_.data()),
-            static_cast<std::streamsize>(steps_.size() * sizeof(NodeId)));
+            static_cast<std::streamsize>(steps_bytes));
+  pad_to(live_rec.offset);
+  out.write(reinterpret_cast<const char*>(live_len_.data()),
+            static_cast<std::streamsize>(live_bytes));
   out.flush();
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -139,68 +413,70 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
 
 Result<WalkIndex> WalkIndex::LoadImpl(const std::string& path,
                                       size_t expected_nodes) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
-  WalkIndexHeader header{};
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!in) return Status::IOError("not a walk-index file (too short): " + path);
-  if (header.magic != kWalkIndexMagic) {
-    if (header.magic == kWalkIndexMagicV1) {
-      return Status::FailedPrecondition(
-          "walk-index file uses the legacy format version 1 (unversioned "
-          "header, no live-length metadata): " + path +
-          "; rebuild the index with the current binary");
-    }
-    return Status::IOError("not a walk-index file: " + path);
-  }
-  if (header.format_version != kWalkIndexFormatVersion) {
-    return Status::FailedPrecondition(
-        "unsupported walk-index format version " +
-        std::to_string(header.format_version) + " (this build reads version " +
-        std::to_string(kWalkIndexFormatVersion) + "): " + path);
-  }
-  if (header.num_nodes != expected_nodes) {
-    return Status::FailedPrecondition(
-        "walk index was built for a graph with " +
-        std::to_string(header.num_nodes) + " nodes, expected " +
-        std::to_string(expected_nodes));
-  }
-  if (header.num_walks <= 0 || header.walk_length <= 0 ||
-      header.walk_length > 65535) {
-    return Status::IOError("corrupt walk-index header: " + path);
-  }
+  // One buffered read of the whole artifact; parsing and checksum
+  // verification run over the buffer, then the sections are copied into
+  // owned storage. (A corrupted size field cannot trigger a giant
+  // allocation: ParseArtifact validates section sizes against the
+  // actual file size before anything is copied.)
+  SEMSIM_ASSIGN_OR_RETURN(MappedFile file, MappedFile::OpenBuffered(path));
+  SEMSIM_ASSIGN_OR_RETURN(
+      ParsedArtifact parsed,
+      ParseArtifact(file.data(), file.size(), path, expected_nodes,
+                    /*verify_checksums=*/true));
   WalkIndex index;
-  index.options_.num_walks = header.num_walks;
-  index.options_.walk_length = header.walk_length;
-  index.options_.seed = header.seed;
-  index.options_.weighted = header.weighted != 0;
-  size_t count = header.num_nodes * static_cast<size_t>(header.num_walks) *
-                 static_cast<size_t>(header.walk_length);
-  // Compare the declared payload against the actual file size BEFORE
-  // allocating: a corrupted count field must produce a clean error, not
-  // a multi-gigabyte resize attempt.
-  std::streamoff data_start = in.tellg();
-  in.seekg(0, std::ios::end);
-  std::streamoff file_size = in.tellg();
-  in.seekg(data_start, std::ios::beg);
-  uint64_t payload = static_cast<uint64_t>(file_size - data_start);
-  uint64_t expected_bytes = static_cast<uint64_t>(count) * sizeof(NodeId);
-  if (payload < expected_bytes) {
-    return Status::IOError("truncated walk-index file: " + path);
+  index.options_.num_walks = parsed.options.num_walks;
+  index.options_.walk_length = parsed.options.walk_length;
+  index.options_.seed = parsed.options.seed;
+  index.options_.weighted = parsed.options.weighted;
+  index.steps_owned_.assign(parsed.steps.begin(), parsed.steps.end());
+  index.steps_ = index.steps_owned_;
+  if (parsed.legacy) {
+    index.RecomputeLiveLengths(parsed.num_nodes);
+  } else {
+    index.live_owned_.assign(parsed.live.begin(), parsed.live.end());
+    index.live_len_ = index.live_owned_;
   }
-  if (payload > expected_bytes) {
-    return Status::IOError(
-        "walk-index file has trailing bytes beyond the declared payload: " +
-        path);
+  return index;
+}
+
+Result<WalkIndex> WalkIndex::Map(const std::string& path,
+                                 size_t expected_nodes,
+                                 const WalkIndexMapOptions& map_options) {
+  SEMSIM_TRACE_SPAN("semsim_walk_index_map");
+  static Counter* map_failures = MetricsRegistry::Global().GetCounter(
+      "semsim_walk_index_map_failures_total");
+  Result<WalkIndex> result = MapImpl(path, expected_nodes, map_options);
+  if (!result.ok()) map_failures->Add(1);
+  return result;
+}
+
+Result<WalkIndex> WalkIndex::MapImpl(const std::string& path,
+                                     size_t expected_nodes,
+                                     const WalkIndexMapOptions& map_options) {
+  SEMSIM_ASSIGN_OR_RETURN(MappedFile file,
+                          map_options.force_buffered
+                              ? MappedFile::OpenBuffered(path)
+                              : MappedFile::Open(path));
+  SEMSIM_ASSIGN_OR_RETURN(
+      ParsedArtifact parsed,
+      ParseArtifact(file.data(), file.size(), path, expected_nodes,
+                    map_options.verify_checksums));
+  WalkIndex index;
+  index.options_.num_walks = parsed.options.num_walks;
+  index.options_.walk_length = parsed.options.walk_length;
+  index.options_.seed = parsed.options.seed;
+  index.options_.weighted = parsed.options.weighted;
+  index.mapping_ = std::move(file);
+  index.borrows_mapping_ = true;
+  index.steps_ = parsed.steps;
+  if (parsed.legacy) {
+    // Hybrid mode for legacy files: the step array serves from the
+    // mapping, but live lengths were never persisted and must be
+    // recomputed into owned storage (one padding scan, as Load did).
+    index.RecomputeLiveLengths(parsed.num_nodes);
+  } else {
+    index.live_len_ = parsed.live;
   }
-  index.steps_.resize(count);
-  in.read(reinterpret_cast<char*>(index.steps_.data()),
-          static_cast<std::streamsize>(count * sizeof(NodeId)));
-  if (!in || in.gcount() !=
-                 static_cast<std::streamsize>(count * sizeof(NodeId))) {
-    return Status::IOError("truncated walk-index file: " + path);
-  }
-  index.RecomputeLiveLengths(header.num_nodes);
   return index;
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -178,7 +179,8 @@ namespace {
 // One differential instance: builds the shared artifacts once, then runs
 // the check catalog over them. Naming below follows DESIGN.md §9:
 // checks A-C cover the oracle, D-G the estimator kernels, H-I the batch
-// engine, J-L single-source and top-k.
+// engine, J-L single-source and top-k, M the serving-artifact
+// round-trip (Save -> Load / Map bit-identity).
 class InstanceRunner {
  public:
   InstanceRunner(const DifferentialConfig& cfg,
@@ -194,6 +196,7 @@ class InstanceRunner {
       CheckEstimatorKernels();
       CheckEngines();
       CheckSingleSourceAndTopK();
+      CheckArtifactRoundTrip();
     }
     if (!report_.ok() && !opt_.dump_dir.empty()) DumpInstance();
     return report_;
@@ -644,6 +647,85 @@ class InstanceRunner {
           "top-k rank agreement vs oracle, source " + std::to_string(u));
       if (!msg.empty()) AddViolation("topk-rank-agreement", msg);
     }
+  }
+
+  // ---- M: serving-artifact round-trip -------------------------------------
+
+  // A heap-loaded index and a zero-copy mapped index of the same saved
+  // artifact must be indistinguishable: same walk bytes, same live
+  // lengths, and bit-identical single-source sweeps through the full
+  // query stack.
+  void CheckArtifactRoundTrip() {
+    if (suppressed_) return;
+    std::error_code ec;
+    std::string path =
+        (std::filesystem::temp_directory_path(ec) /
+         ("semsim_diff_seed" + std::to_string(cfg_.seed) + ".widx"))
+            .string();
+    Status saved = walks_->Save(path);
+    if (!saved.ok()) {
+      AddViolation("artifact-roundtrip", "Save: " + saved.ToString());
+      return;
+    }
+    size_t n = hin_->num_nodes();
+    Result<WalkIndex> loaded = WalkIndex::Load(path, n);
+    WalkIndexMapOptions map_opt;
+    map_opt.verify_checksums = true;
+    Result<WalkIndex> mapped = WalkIndex::Map(path, n, map_opt);
+    if (!loaded.ok() || !mapped.ok()) {
+      AddViolation("artifact-roundtrip",
+                   (!loaded.ok() ? loaded.status() : mapped.status())
+                       .ToString());
+      std::remove(path.c_str());
+      return;
+    }
+
+    // Raw payload identity against the in-memory index the artifact was
+    // saved from, for both load paths.
+    const WalkIndex* replicas[] = {&loaded.value(), &mapped.value()};
+    const char* names[] = {"Load", "Map"};
+    for (int r = 0; r < 2; ++r) {
+      ++report_.bit_checks;
+      const WalkIndex& replica = *replicas[r];
+      size_t step_bytes = static_cast<size_t>(walks_->walk_length()) *
+                          sizeof(NodeId);
+      for (NodeId v = 0; v < n; ++v) {
+        for (int w = 0; w < walks_->num_walks(); ++w) {
+          if (std::memcmp(replica.WalkData(v, w), walks_->WalkData(v, w),
+                          step_bytes) != 0 ||
+              replica.WalkLiveLength(v, w) != walks_->WalkLiveLength(v, w)) {
+            AddViolation("artifact-roundtrip",
+                         std::string(names[r]) + ": node " +
+                             std::to_string(v) + " walk " +
+                             std::to_string(w) +
+                             " differs from the saved index");
+            std::remove(path.c_str());
+            return;
+          }
+        }
+      }
+    }
+
+    // Full query-stack identity: single-source sweeps over the mapped
+    // index must reproduce the heap-loaded index bit for bit.
+    SemSimMcEstimator est_loaded(hin_.get(), measure_.get(), &loaded.value());
+    SemSimMcEstimator est_mapped(hin_.get(), measure_.get(), &mapped.value());
+    SingleSourceIndex inv_loaded = SingleSourceIndex::Build(loaded.value(), n);
+    SingleSourceIndex inv_mapped = SingleSourceIndex::Build(mapped.value(), n);
+    ++report_.bit_checks;
+    if (inv_loaded.Fingerprint() != inv_mapped.Fingerprint()) {
+      AddViolation("artifact-roundtrip",
+                   "inverted-index fingerprints differ between Load and Map");
+    }
+    for (size_t i = 0; i < sources_.size() && !suppressed_; ++i) {
+      NodeId u = sources_[i];
+      CompareVectorsBit(
+          "artifact-roundtrip",
+          "source " + std::to_string(u) + ": mapped sweep vs loaded sweep",
+          inv_mapped.SemSimFrom(u, est_mapped, cfg_.mc),
+          inv_loaded.SemSimFrom(u, est_loaded, cfg_.mc));
+    }
+    std::remove(path.c_str());
   }
 
   // ---- failure dump --------------------------------------------------------

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+
 #include "core/mc_simrank.h"
 #include "core/mc_semsim.h"
 #include "taxonomy/semantic_measure.h"
@@ -178,6 +182,56 @@ TEST(DynamicWalkIndex, EdgeRemovalInvalidatesStaleSteps) {
       }
     }
   }
+}
+
+TEST(DynamicWalkIndex, AdoptPromotesMappedIndexToOwned) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 20;
+  opt.walk_length = 6;
+  WalkIndex built = WalkIndex::Build(w.graph, opt);
+  std::string path = ::testing::TempDir() + "semsim_dyn_mapped.widx";
+  ASSERT_TRUE(built.Save(path).ok());
+  WalkIndex mapped = Unwrap(WalkIndex::Map(path, w.graph.num_nodes()));
+  ASSERT_TRUE(mapped.mapped());
+
+  // A mapped index is read-only: Adopt must COW-promote it to owned
+  // storage before any in-place resampling is allowed.
+  DynamicWalkIndex dyn =
+      Unwrap(DynamicWalkIndex::Adopt(&w.graph, std::move(mapped)));
+  EXPECT_FALSE(dyn.view().mapped());
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    for (int k = 0; k < opt.num_walks; ++k) {
+      auto a = built.Walk(v, k);
+      auto b = dyn.view().Walk(v, k);
+      for (int s = 0; s < opt.walk_length; ++s) ASSERT_EQ(a[s], b[s]);
+    }
+  }
+
+  // After promotion, updates work against the writable copy.
+  HinBuilder builder = w.graph.ToBuilder();
+  ASSERT_TRUE(builder.AddUndirectedEdge(w.b1, w.a0, "rel", 1.0).ok());
+  Hin updated = Unwrap(std::move(builder).Build());
+  size_t resampled =
+      Unwrap(dyn.Update(&updated, std::vector<NodeId>{w.b1, w.a0}));
+  EXPECT_GT(resampled, 0u);
+  CheckWalksValid(dyn.view(), updated);
+  std::remove(path.c_str());
+}
+
+TEST(DynamicWalkIndex, AdoptRejectsShapeMismatch) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 10;
+  opt.walk_length = 5;
+  WalkIndex built = WalkIndex::Build(w.graph, opt);
+  HinBuilder b;
+  b.AddNode("only", "t");
+  b.AddNode("other", "t");
+  Hin small = Unwrap(std::move(b).Build());
+  auto result = DynamicWalkIndex::Adopt(&small, std::move(built));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(DynamicWalkIndex, RejectsInvalidUpdates) {

@@ -1,0 +1,81 @@
+#include "common/mapped_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::Unwrap;
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return path;
+}
+
+TEST(MappedFile, OpenExposesFileBytes) {
+  std::string path = WriteTemp("semsim_mf_basic.bin", "hello mapping");
+  MappedFile file = Unwrap(MappedFile::Open(path));
+  ASSERT_EQ(file.size(), 13u);
+  EXPECT_EQ(std::memcmp(file.data(), "hello mapping", 13), 0);
+  EXPECT_EQ(file.path(), path);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, BufferedFallbackExposesSameBytes) {
+  std::string path = WriteTemp("semsim_mf_buf.bin", "fallback bytes");
+  MappedFile file = Unwrap(MappedFile::OpenBuffered(path));
+  ASSERT_EQ(file.size(), 14u);
+  EXPECT_EQ(std::memcmp(file.data(), "fallback bytes", 14), 0);
+  EXPECT_FALSE(file.mapped());
+  EXPECT_GE(file.OwnedBytes(), file.size());
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, ZeroByteFileOpens) {
+  std::string path = WriteTemp("semsim_mf_empty.bin", "");
+  MappedFile mapped = Unwrap(MappedFile::Open(path));
+  EXPECT_EQ(mapped.size(), 0u);
+  MappedFile buffered = Unwrap(MappedFile::OpenBuffered(path));
+  EXPECT_EQ(buffered.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, MissingFileIsIOError) {
+  auto result = MappedFile::Open(::testing::TempDir() + "semsim_mf_none.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MappedFile, MoveTransfersTheView) {
+  std::string path = WriteTemp("semsim_mf_move.bin", "move me");
+  MappedFile a = Unwrap(MappedFile::Open(path));
+  MappedFile b = std::move(a);
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(std::memcmp(b.data(), "move me", 7), 0);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): reset state
+  std::remove(path.c_str());
+}
+
+TEST(MappedFile, MovedBufferedFallbackRebindsItsPointer) {
+  // The fallback's data() points into its own heap buffer; after a move
+  // the view must follow the buffer, not dangle into the source.
+  std::string path = WriteTemp("semsim_mf_move_buf.bin", "rebind");
+  MappedFile a = Unwrap(MappedFile::OpenBuffered(path));
+  MappedFile b = std::move(a);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(std::memcmp(b.data(), "rebind", 6), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semsim

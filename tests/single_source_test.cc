@@ -92,6 +92,106 @@ TEST_F(SingleSourceTest, MemoryIsReported) {
   EXPECT_GT(inverted_.MemoryBytes(), 0u);
 }
 
+TEST_F(SingleSourceTest, ParallelBuildIsBitIdenticalAcrossThreadCounts) {
+  // The inverted index must not depend on how construction was
+  // partitioned: 1, 2, and 8 threads (more threads than partitions on
+  // the 8-node world) all reproduce the serial structure byte for byte.
+  uint64_t serial = inverted_.Fingerprint();
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    SingleSourceIndex parallel =
+        SingleSourceIndex::Build(index_, world_.graph.num_nodes(), &pool);
+    EXPECT_EQ(parallel.Fingerprint(), serial) << "threads=" << threads;
+    EXPECT_EQ(parallel.MemoryBytes(), inverted_.MemoryBytes());
+  }
+}
+
+TEST_F(SingleSourceTest, ScratchSweepsAreBitIdenticalToFreshAllocation) {
+  LinMeasure lin(&world_.context);
+  SemSimMcEstimator estimator(&world_.graph, &lin, &index_);
+  QueryScratch scratch;
+  std::vector<double> out;
+  for (double theta : {0.0, 0.05}) {
+    SemSimMcOptions opt{0.6, theta};
+    // One scratch reused across every source and both thetas — epoch
+    // stamping must fully isolate the queries.
+    for (NodeId u = 0; u < world_.graph.num_nodes(); ++u) {
+      McQueryStats fresh_stats, scratch_stats;
+      std::vector<double> fresh =
+          inverted_.SemSimFrom(u, estimator, opt, &fresh_stats);
+      inverted_.SemSimFromInto(u, estimator, opt, scratch, out,
+                               &scratch_stats);
+      ASSERT_EQ(out.size(), fresh.size());
+      for (NodeId v = 0; v < world_.graph.num_nodes(); ++v) {
+        ASSERT_EQ(out[v], fresh[v])  // bit-identical, not just near
+            << "theta=" << theta << " u=" << u << " v=" << v;
+      }
+      EXPECT_EQ(scratch_stats.met_walks, fresh_stats.met_walks);
+      EXPECT_EQ(scratch_stats.sem_pruned_queries,
+                fresh_stats.sem_pruned_queries);
+      EXPECT_EQ(scratch_stats.normalizers_computed,
+                fresh_stats.normalizers_computed);
+    }
+  }
+}
+
+TEST_F(SingleSourceTest, ScratchTopKMatchesPlainTopK) {
+  LinMeasure lin(&world_.context);
+  SemSimMcEstimator estimator(&world_.graph, &lin, &index_);
+  SemSimMcOptions opt{0.6, 0.05};
+  QueryScratch scratch;
+  for (NodeId u = 0; u < world_.graph.num_nodes(); ++u) {
+    auto plain = inverted_.TopKFrom(u, 4, estimator, opt);
+    auto pooled = inverted_.TopKFrom(u, 4, estimator, opt, scratch);
+    ASSERT_EQ(plain.size(), pooled.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].node, pooled[i].node) << "u=" << u << " rank " << i;
+      EXPECT_EQ(plain[i].score, pooled[i].score);
+    }
+  }
+}
+
+TEST_F(SingleSourceTest, ScratchPoolLeasesAndReuses) {
+  ScratchPool pool;
+  {
+    ScratchPool::Lease a = pool.Acquire();
+    ScratchPool::Lease b = pool.Acquire();
+    ASSERT_NE(a.get(), nullptr);
+    ASSERT_NE(b.get(), nullptr);
+    ASSERT_NE(a.get(), b.get());
+  }
+  QueryScratch* first = nullptr;
+  {
+    ScratchPool::Lease c = pool.Acquire();
+    first = c.get();
+  }
+  ScratchPool::Lease d = pool.Acquire();
+  EXPECT_EQ(d.get(), first);  // freelist reuse, most-recently-returned
+  EXPECT_EQ(pool.acquired(), 4u);
+  EXPECT_EQ(pool.reused(), 2u);
+  EXPECT_DOUBLE_EQ(pool.reuse_rate(), 0.5);
+}
+
+TEST(SingleSourceGenerated, ParallelBuildMatchesSerialOnLargerGraph) {
+  AmazonOptions gen;
+  gen.num_items = 200;
+  gen.seed = 31;
+  Dataset d = Unwrap(GenerateAmazon(gen));
+  WalkIndexOptions wopt;
+  wopt.num_walks = 60;
+  wopt.walk_length = 10;
+  WalkIndex index = WalkIndex::Build(d.graph, wopt);
+  SingleSourceIndex serial =
+      SingleSourceIndex::Build(index, d.graph.num_nodes());
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    SingleSourceIndex parallel =
+        SingleSourceIndex::Build(index, d.graph.num_nodes(), &pool);
+    ASSERT_EQ(parallel.Fingerprint(), serial.Fingerprint())
+        << "threads=" << threads;
+  }
+}
+
 TEST(SingleSourceGenerated, ConsistentOnLargerGraph) {
   AmazonOptions gen;
   gen.num_items = 150;

@@ -1,10 +1,15 @@
-// Byte-level corruption coverage for WalkIndex::Load. Each mutation of a
-// specific header or payload region must surface as its own descriptive
-// Status — never a crash, never a silently wrong index. Offsets mirror
-// WalkIndexHeader in walk_index.cc (48 bytes, static_asserted there):
+// Byte-level corruption coverage for WalkIndex::Load and ::Map. Each
+// mutation of a specific header, directory, or section region must
+// surface as its own descriptive Status — never a crash, never a
+// silently wrong index. Offsets mirror WalkIndexHeader in walk_index.cc
+// (48 bytes, static_asserted there):
 //   [0,8)   magic            [8,12)  format_version   [12,16) reserved
 //   [16,24) num_nodes        [24,28) num_walks        [28,32) walk_length
 //   [32,40) seed             [40]    weighted         [41,48) padding
+// The v2 serving artifact continues with a section directory at 48
+// (uint32 count + uint32 reserved, then 32-byte records of
+// {offset u64, size u64, checksum u64, kind u32, reserved u32}) and
+// page-aligned checksummed sections for the steps and live lengths.
 #include "core/walk_index.h"
 
 #include <gtest/gtest.h>
@@ -31,6 +36,9 @@ constexpr size_t kWalkLengthOffset = 28;
 constexpr size_t kSeedOffset = 32;
 constexpr size_t kWeightedOffset = 40;
 constexpr size_t kHeaderSize = 48;
+constexpr size_t kRecordsOffset = kHeaderSize + 8;  // past the dir header
+constexpr size_t kRecordSize = 32;
+constexpr uint32_t kLegacyFormatVersion = 2;  // steps-only payload
 
 class WalkIndexCorruptionTest : public ::testing::Test {
  protected:
@@ -77,6 +85,55 @@ class WalkIndexCorruptionTest : public ::testing::Test {
         << "status was: " << r.status().ToString();
   }
 
+  // Reads a section record field from the serialized directory.
+  // record 0 = steps, record 1 = live lengths; field 0 = offset,
+  // 1 = size, 2 = checksum (all uint64_t).
+  uint64_t RecordField(int record, int field) const {
+    uint64_t value = 0;
+    std::memcpy(&value,
+                bytes_.data() + kRecordsOffset +
+                    static_cast<size_t>(record) * kRecordSize +
+                    static_cast<size_t>(field) * sizeof(uint64_t),
+                sizeof(value));
+    return value;
+  }
+
+  // Writes `bytes` to path_ and memory-maps with the correct node count.
+  Result<WalkIndex> MapMutated(const std::vector<char>& bytes,
+                               const WalkIndexMapOptions& options = {}) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    return WalkIndex::Map(path_, world_.graph.num_nodes(), options);
+  }
+
+  // Re-encodes the saved artifact as a legacy (steps-only, format
+  // version 2) payload: old header + raw step array, no directory, no
+  // live-length section.
+  std::vector<char> LegacyBytes() const {
+    std::vector<char> legacy(bytes_.begin(), bytes_.begin() + kHeaderSize);
+    uint32_t version = kLegacyFormatVersion;
+    std::memcpy(legacy.data() + kVersionOffset, &version, sizeof(version));
+    size_t steps_off = RecordField(0, 0);
+    size_t steps_size = RecordField(0, 1);
+    legacy.insert(legacy.end(), bytes_.begin() + steps_off,
+                  bytes_.begin() + steps_off + steps_size);
+    return legacy;
+  }
+
+  // Every walk and live length of `loaded` matches the built index.
+  void ExpectBitIdentical(const WalkIndex& loaded) {
+    for (NodeId v = 0; v < world_.graph.num_nodes(); ++v) {
+      for (int w = 0; w < index_.num_walks(); ++w) {
+        ASSERT_EQ(loaded.WalkLiveLength(v, w), index_.WalkLiveLength(v, w));
+        auto a = loaded.Walk(v, w);
+        auto b = index_.Walk(v, w);
+        for (size_t s = 0; s < a.size(); ++s) ASSERT_EQ(a[s], b[s]);
+      }
+    }
+  }
+
   testutil::SmallWorld world_;
   WalkIndex index_;
   std::string path_;
@@ -113,9 +170,9 @@ TEST_F(WalkIndexCorruptionTest, LegacyMagicGetsAMigrationMessage) {
 }
 
 TEST_F(WalkIndexCorruptionTest, FutureFormatVersionIsRejected) {
-  auto r = LoadWithField<uint32_t>(kVersionOffset, 3);
+  auto r = LoadWithField<uint32_t>(kVersionOffset, 4);
   ExpectStatus(r, StatusCode::kFailedPrecondition,
-               "unsupported walk-index format version 3");
+               "unsupported walk-index format version 4");
 }
 
 TEST_F(WalkIndexCorruptionTest, NodeCountMismatchNamesBothCounts) {
@@ -172,6 +229,111 @@ TEST_F(WalkIndexCorruptionTest, TrailingBytesAreRejected) {
   std::vector<char> mutated = bytes_;
   mutated.push_back('\0');
   ExpectStatus(LoadMutated(mutated), StatusCode::kIOError, "trailing bytes");
+}
+
+TEST_F(WalkIndexCorruptionTest, StepsSectionChecksumFlipIsRejected) {
+  std::vector<char> mutated = bytes_;
+  mutated[RecordField(0, 0) + 5] ^= 0x10;  // one bit inside the steps data
+  ExpectStatus(LoadMutated(mutated), StatusCode::kIOError,
+               "steps section checksum mismatch");
+  // Map verifies only on request (the default preserves lazy paging).
+  WalkIndexMapOptions verify;
+  verify.verify_checksums = true;
+  ExpectStatus(MapMutated(mutated, verify), StatusCode::kIOError,
+               "steps section checksum mismatch");
+}
+
+TEST_F(WalkIndexCorruptionTest, LiveLengthSectionChecksumFlipIsRejected) {
+  std::vector<char> mutated = bytes_;
+  mutated[RecordField(1, 0)] ^= 0x01;
+  ExpectStatus(LoadMutated(mutated), StatusCode::kIOError,
+               "live-length section checksum mismatch");
+}
+
+TEST_F(WalkIndexCorruptionTest, TruncatedLiveLengthSectionIsRejected) {
+  std::vector<char> mutated = bytes_;
+  ASSERT_EQ(mutated.size(), RecordField(1, 0) + RecordField(1, 1));
+  mutated.resize(mutated.size() - 1);
+  ExpectStatus(LoadMutated(mutated), StatusCode::kIOError,
+               "truncated walk-index file");
+  ExpectStatus(MapMutated(mutated), StatusCode::kIOError,
+               "truncated walk-index file");
+}
+
+TEST_F(WalkIndexCorruptionTest, SectionSizeMismatchIsRejected) {
+  // A directory whose declared section size disagrees with the header's
+  // walk parameters must be named explicitly, not read out of bounds.
+  std::vector<char> mutated = bytes_;
+  uint64_t bad_size = RecordField(0, 1) - sizeof(NodeId);
+  std::memcpy(mutated.data() + kRecordsOffset + sizeof(uint64_t), &bad_size,
+              sizeof(bad_size));
+  ExpectStatus(LoadMutated(mutated), StatusCode::kIOError,
+               "steps section size disagrees");
+}
+
+TEST_F(WalkIndexCorruptionTest, UnknownSectionKindIsCorrupt) {
+  std::vector<char> mutated = bytes_;
+  uint32_t bad_kind = 99;
+  std::memcpy(mutated.data() + kRecordsOffset + 3 * sizeof(uint64_t),
+              &bad_kind, sizeof(bad_kind));
+  ExpectStatus(LoadMutated(mutated), StatusCode::kIOError,
+               "corrupt walk-index section directory");
+}
+
+TEST_F(WalkIndexCorruptionTest, LegacyPayloadRoundTripsThroughRecompute) {
+  // A pre-v2 (steps-only) file still loads: live lengths come back via
+  // the padding-scan recompute and must equal the persisted ones.
+  WalkIndex loaded = Unwrap(LoadMutated(LegacyBytes()));
+  ExpectBitIdentical(loaded);
+  EXPECT_FALSE(loaded.mapped());
+}
+
+TEST_F(WalkIndexCorruptionTest, LegacyPayloadMapsInHybridMode) {
+  // Map on a legacy file serves steps from the mapping but must own the
+  // recomputed live lengths — and stay bit-identical throughout.
+  WalkIndex mapped = Unwrap(MapMutated(LegacyBytes()));
+  ExpectBitIdentical(mapped);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_GT(mapped.OwnedBytes(), 0u);  // the recomputed live lengths
+}
+
+TEST_F(WalkIndexCorruptionTest, MapAndLoadAreBitIdentical) {
+  WalkIndex loaded = Unwrap(LoadMutated(bytes_));
+  WalkIndex mapped = Unwrap(MapMutated(bytes_));
+  ExpectBitIdentical(loaded);
+  ExpectBitIdentical(mapped);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_FALSE(loaded.mapped());
+  EXPECT_EQ(loaded.MemoryBytes(), mapped.MemoryBytes());
+}
+
+TEST_F(WalkIndexCorruptionTest, BufferedFallbackMapIsBitIdentical) {
+  WalkIndexMapOptions buffered;
+  buffered.force_buffered = true;
+  buffered.verify_checksums = true;
+  WalkIndex mapped = Unwrap(MapMutated(bytes_, buffered));
+  ExpectBitIdentical(mapped);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_EQ(mapped.MappedBytes(), 0u);  // fallback buffer counts as owned
+  EXPECT_GT(mapped.OwnedBytes(), 0u);
+}
+
+TEST_F(WalkIndexCorruptionTest, EveryDirectoryByteFlipFailsCleanlyOrLoads) {
+  // Exhaustive single-byte fuzz over the section directory: no flip may
+  // crash Load or Map, and any flip that survives validation must yield
+  // a structurally sound index.
+  size_t dir_end = kRecordsOffset + 2 * kRecordSize;
+  for (size_t off = kHeaderSize; off < dir_end; ++off) {
+    std::vector<char> mutated = bytes_;
+    mutated[off] ^= 0xFF;
+    for (bool map : {false, true}) {
+      Result<WalkIndex> r = map ? MapMutated(mutated) : LoadMutated(mutated);
+      if (!r.ok()) continue;
+      const WalkIndex& loaded = r.value();
+      EXPECT_GT(loaded.num_walks(), 0) << "offset " << off;
+      EXPECT_GT(loaded.walk_length(), 0) << "offset " << off;
+    }
+  }
 }
 
 TEST_F(WalkIndexCorruptionTest, EveryHeaderByteFlipFailsCleanlyOrLoads) {

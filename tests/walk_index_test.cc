@@ -242,6 +242,72 @@ TEST(WalkIndexIo, RejectsUnsupportedFutureVersion) {
   std::remove(path.c_str());
 }
 
+TEST(WalkIndexIo, MapServesQueriesZeroCopy) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 12;
+  opt.walk_length = 6;
+  WalkIndex original = WalkIndex::Build(w.graph, opt);
+  std::string path = ::testing::TempDir() + "semsim_walks_map.bin";
+  ASSERT_TRUE(original.Save(path).ok());
+  WalkIndex mapped = Unwrap(WalkIndex::Map(path, w.graph.num_nodes()));
+  EXPECT_TRUE(mapped.mapped());
+  // v2 artifact: both sections serve from the mapping, nothing owned.
+  EXPECT_GT(mapped.MappedBytes(), 0u);
+  EXPECT_EQ(mapped.OwnedBytes(), 0u);
+  EXPECT_EQ(mapped.MemoryBytes(), original.MemoryBytes());
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    for (int k = 0; k < opt.num_walks; ++k) {
+      ASSERT_EQ(mapped.WalkLiveLength(v, k), original.WalkLiveLength(v, k));
+      auto a = mapped.Walk(v, k);
+      auto b = original.Walk(v, k);
+      for (int s = 0; s < opt.walk_length; ++s) ASSERT_EQ(a[s], b[s]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WalkIndexIo, CopyOfMappedIndexOwnsItsStorage) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 6;
+  opt.walk_length = 5;
+  WalkIndex original = WalkIndex::Build(w.graph, opt);
+  std::string path = ::testing::TempDir() + "semsim_walks_cow.bin";
+  ASSERT_TRUE(original.Save(path).ok());
+  WalkIndex copy;
+  {
+    WalkIndex mapped = Unwrap(WalkIndex::Map(path, w.graph.num_nodes()));
+    copy = mapped;  // deep copy promotes to owned storage...
+  }                 // ...so it survives the mapping's destruction
+  std::remove(path.c_str());
+  EXPECT_FALSE(copy.mapped());
+  EXPECT_EQ(copy.MappedBytes(), 0u);
+  EXPECT_GT(copy.OwnedBytes(), 0u);
+  for (NodeId v = 0; v < w.graph.num_nodes(); ++v) {
+    for (int k = 0; k < opt.num_walks; ++k) {
+      ASSERT_EQ(copy.WalkLiveLength(v, k), original.WalkLiveLength(v, k));
+      auto a = copy.Walk(v, k);
+      auto b = original.Walk(v, k);
+      for (int s = 0; s < opt.walk_length; ++s) ASSERT_EQ(a[s], b[s]);
+    }
+  }
+}
+
+TEST(WalkIndexIo, MapRejectsWrongNodeCount) {
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 2;
+  opt.walk_length = 3;
+  WalkIndex index = WalkIndex::Build(w.graph, opt);
+  std::string path = ::testing::TempDir() + "semsim_walks_mapn.bin";
+  ASSERT_TRUE(index.Save(path).ok());
+  auto result = WalkIndex::Map(path, w.graph.num_nodes() + 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
 TEST(WalkIndex, UniformProposalProbability) {
   auto w = MakeSmallWorld();
   WalkIndexOptions opt;
