@@ -14,6 +14,7 @@
 // BENCH_coldstart.json for ci/compare_bench.py --coldstart.
 // --coldstart-only skips the preprocessing tables (the CI lane).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -21,11 +22,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/single_source.h"
 #include "core/walk_index.h"
+#include "graph/node_sampler.h"
 #include "taxonomy/semantic_measure.h"
 
 namespace semsim {
@@ -202,6 +205,108 @@ void RunColdstart() {
   std::remove(path.c_str());
 }
 
+// Dense weighted graph for the walk-build gate: every in-neighborhood
+// carries log-uniform (heavy-tail) weights, so no node takes the
+// uniform fast path and the scan baseline pays its full O(in-degree)
+// weight rebuild per step.
+Hin MakeDenseWeightedGraph(size_t n, int avg_in_degree, uint64_t seed) {
+  HinBuilder b;
+  for (size_t v = 0; v < n; ++v) {
+    b.AddNode("v" + std::to_string(v), "T");
+  }
+  Rng rng(seed);
+  size_t edges = n * static_cast<size_t>(avg_in_degree);
+  for (size_t e = 0; e < edges; ++e) {
+    NodeId src = static_cast<NodeId>(rng.NextIndex(n));
+    NodeId dst = static_cast<NodeId>(rng.NextIndex(n));
+    // log-uniform in [0.05, 20]: the differential harness's heavy-tail
+    // weight regime.
+    double w = 0.05 * std::exp(std::log(400.0) * rng.NextDouble());
+    Status added = b.AddEdge(src, dst, "r", w);
+    SEMSIM_CHECK(added.ok()) << added.ToString();
+  }
+  return bench::Unwrap(std::move(b).Build());
+}
+
+// Walk-build throughput, alias vs scan sampler, on the dense weighted
+// graph. Emits BENCH_walkbuild.json for ci/compare_bench.py
+// --walkbuild, which gates the alias speedup at >= 3x.
+void RunWalkBuild() {
+  constexpr size_t kNodes = 3000;
+  constexpr int kAvgInDegree = 192;
+  std::printf(
+      "\n=== Weighted walk build: alias sampler vs legacy scan ===\n");
+  Hin graph = MakeDenseWeightedGraph(kNodes, kAvgInDegree, 17);
+  std::printf("synthetic dense graph: |V|=%zu avg in-degree=%d (heavy-tail "
+              "weights)\n",
+              graph.num_nodes(), kAvgInDegree);
+
+  WalkIndexOptions wopt;
+  wopt.num_walks = 20;
+  wopt.walk_length = 10;
+  wopt.seed = 5;
+  wopt.weighted = true;
+  wopt.num_threads = 1;
+  double total_walks =
+      static_cast<double>(kNodes) * static_cast<double>(wopt.num_walks);
+
+  constexpr int kReps = 3;
+  auto best_build_s = [&](SamplerKind kind) {
+    wopt.sampler = kind;
+    double best = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+      WalkIndex index = WalkIndex::Build(graph, wopt);
+      best = std::min(best, index.build_seconds());
+    }
+    return best;
+  };
+  double scan_s = best_build_s(SamplerKind::kScan);
+  double alias_s = best_build_s(SamplerKind::kAlias);
+  double scan_wps = total_walks / scan_s;
+  double alias_wps = total_walks / alias_s;
+  double speedup = scan_s / alias_s;
+
+  // Determinism: the alias build must be bit-identical at any thread
+  // count (per-node RNG streams + thread-invariant sampler tables).
+  wopt.sampler = SamplerKind::kAlias;
+  WalkIndex alias_one = WalkIndex::Build(graph, wopt);
+  wopt.num_threads = 4;
+  WalkIndex alias_four = WalkIndex::Build(graph, wopt);
+  bool threads_identical = BitIdentical(alias_one, alias_four, kNodes);
+
+  NodeSamplerIndex sampler =
+      NodeSamplerIndex::Build(graph, SampleDirection::kIn);
+
+  TablePrinter table({"sampler", "build s (best of 3)", "walks/s"});
+  table.AddRow({"scan (legacy)", TablePrinter::Num(scan_s, 3),
+                TablePrinter::Num(scan_wps, 0)});
+  table.AddRow({"alias", TablePrinter::Num(alias_s, 3),
+                TablePrinter::Num(alias_wps, 0)});
+  table.Print(std::cout);
+  std::printf(
+      "alias speedup: %.1fx  |  thread-count bit-identical: %s\n"
+      "sampler: build %.3f s, tables %.2f MB, %zu uniform node(s) of %zu\n",
+      speedup, threads_identical ? "yes" : "NO — BUG",
+      sampler.build_seconds(), sampler.TableBytes() / 1e6,
+      sampler.uniform_nodes(), sampler.num_nodes());
+
+  bench::JsonBenchDoc doc("walkbuild");
+  doc.Add("num_nodes", kNodes)
+      .Add("avg_in_degree", kAvgInDegree)
+      .Add("num_walks", wopt.num_walks)
+      .Add("walk_length", wopt.walk_length)
+      .Add("scan_build_s", scan_s)
+      .Add("alias_build_s", alias_s)
+      .Add("scan_walks_per_sec", scan_wps)
+      .Add("alias_walks_per_sec", alias_wps)
+      .Add("alias_speedup", speedup)
+      .Add("alias_threads_bit_identical", threads_identical ? 1 : 0)
+      .Add("sampler_build_s", sampler.build_seconds())
+      .Add("sampler_table_bytes", sampler.TableBytes())
+      .Add("sampler_uniform_nodes", sampler.uniform_nodes());
+  doc.WriteFile("BENCH_walkbuild.json");
+}
+
 void Run() {
   std::printf(
       "Preprocessing costs (n_w=150, t=15): walk sampling, taxonomy "
@@ -233,10 +338,17 @@ void Run() {
 
 int main(int argc, char** argv) {
   bool coldstart_only = false;
+  bool build_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--coldstart-only") == 0) coldstart_only = true;
+    if (std::strcmp(argv[i], "--build-only") == 0) build_only = true;
+  }
+  if (build_only) {
+    semsim::RunWalkBuild();
+    return 0;
   }
   if (!coldstart_only) semsim::Run();
   semsim::RunColdstart();
+  if (!coldstart_only) semsim::RunWalkBuild();
   return 0;
 }

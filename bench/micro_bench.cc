@@ -15,6 +15,7 @@
 #include "core/pair_graph.h"
 #include "core/sling_cache.h"
 #include "core/walk_index.h"
+#include "graph/node_sampler.h"
 #include "taxonomy/semantic_measure.h"
 
 namespace semsim {
@@ -62,6 +63,47 @@ void BM_WalkIndexBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WalkIndexBuild)->Arg(10)->Arg(50);
+
+// One weighted walk step, scan vs alias, at a controlled degree: a
+// single-node star graph whose center has `degree` skewed-weight
+// in-neighbors. Scan rebuilds the weight vector and walks the CDF
+// (O(degree)); alias is one bounded draw + one table probe (O(1)).
+Hin MakeStarGraph(int degree) {
+  HinBuilder b;
+  NodeId center = b.AddNode("center", "T");
+  Rng rng(77);
+  for (int i = 0; i < degree; ++i) {
+    NodeId leaf = b.AddNode("leaf" + std::to_string(i), "T");
+    double w = 0.1 + 10.0 * rng.NextDouble() * rng.NextDouble();
+    SEMSIM_CHECK(b.AddEdge(leaf, center, "r", w).ok());
+  }
+  (void)center;
+  return bench::Unwrap(std::move(b).Build());
+}
+
+void BM_WeightedStepScan(benchmark::State& state) {
+  Hin graph = MakeStarGraph(static_cast<int>(state.range(0)));
+  auto in = graph.InNeighbors(0);
+  Rng rng(8);
+  std::vector<double> weights;
+  for (auto _ : state) {
+    weights.clear();
+    for (const Neighbor& nb : in) weights.push_back(nb.weight);
+    benchmark::DoNotOptimize(rng.NextWeighted(weights));
+  }
+}
+BENCHMARK(BM_WeightedStepScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WeightedStepAlias(benchmark::State& state) {
+  Hin graph = MakeStarGraph(static_cast<int>(state.range(0)));
+  NodeSamplerIndex sampler =
+      NodeSamplerIndex::Build(graph, SampleDirection::kIn);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(0, rng));
+  }
+}
+BENCHMARK(BM_WeightedStepAlias)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_Normalizer(benchmark::State& state) {
   const Dataset& d = AmazonFixture();

@@ -19,6 +19,12 @@
 #           gated by ci/compare_bench.py --coldstart (mapped replica
 #           bit-identical, zero heap bytes, Map >= 5x faster than Load,
 #           parallel builds reproduce the serial fingerprint).
+#   walkbuild — the weighted walk-build lane (DESIGN.md §11): the
+#           bench_preprocessing --build-only run times WalkIndex::Build
+#           on a dense weighted graph with the alias sampler vs the
+#           legacy linear scan, gated by ci/compare_bench.py --walkbuild
+#           (alias >= 3x scan walks/sec, alias builds bit-identical
+#           across thread counts, sampler tables actually allocated).
 #   verify — randomized differential sweep (DESIGN.md §9): replays
 #           identical queries through the iterative oracle, both MC
 #           kernels, the batch engine, single-source and top-k, checking
@@ -29,7 +35,7 @@
 #
 # Usage: ci/check.sh
 #   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
-#    --coldstart|--verify-smoke|--verify-extended]
+#    --coldstart|--walkbuild|--verify-smoke|--verify-extended]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,9 +56,10 @@ asan() {
   cmake --build build-asan -j "${JOBS}" \
     --target flat_kernel_test transition_table_test walk_index_test \
     dynamic_walk_index_test batch_query_test \
-    walk_index_corruption_test mapped_file_test differential_test
+    walk_index_corruption_test mapped_file_test differential_test \
+    rng_test node_sampler_test
   ctest --test-dir build-asan --output-on-failure \
-    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test|walk_index_corruption_test|mapped_file_test|differential_test'
+    -R 'flat_kernel_test|transition_table_test|walk_index_test|batch_query_test|walk_index_corruption_test|mapped_file_test|differential_test|rng_test|node_sampler_test'
 }
 
 tsan() {
@@ -62,11 +69,13 @@ tsan() {
   # single_source_test covers the node-partitioned parallel
   # SingleSourceIndex::Build (determinism across 1/2/8 threads) and the
   # scratch-arena pool.
+  # node_sampler_test drives the parallel NodeSamplerIndex::Build fill
+  # pass (disjoint slot ranges) across thread counts.
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_test batch_query_test concurrent_cache_test \
-    flat_kernel_test metrics_test single_source_test
+    flat_kernel_test metrics_test single_source_test node_sampler_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test|node_sampler_test'
 }
 
 bench_smoke() {
@@ -106,6 +115,14 @@ coldstart() {
   python3 ci/compare_bench.py --coldstart build/BENCH_coldstart.json
 }
 
+walkbuild() {
+  echo "=== walkbuild: weighted walk-build throughput gate (alias vs scan) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_preprocessing
+  (cd build && ./bench/bench_preprocessing --build-only)
+  python3 ci/compare_bench.py --walkbuild build/BENCH_walkbuild.json
+}
+
 verify_smoke() {
   echo "=== verify smoke: 200-seed differential sweep ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -131,9 +148,10 @@ case "${MODE}" in
   --bench-smoke) bench_smoke ;;
   --metrics-smoke|metrics) metrics_smoke ;;
   --coldstart) coldstart ;;
+  --walkbuild) walkbuild ;;
   --verify-smoke) verify_smoke ;;
   --verify-extended) verify_extended ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; verify_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; verify_smoke ;;
 esac
 
 echo "=== all checks passed ==="

@@ -25,10 +25,19 @@ open path must hold zero heap bytes, and opening via Map must be at
 least --min-map-speedup times faster than Load (default 5.0).
 --coldstart runs standalone: the query-bench files are not required.
 
+With --walkbuild BENCH_walkbuild.json it instead validates the
+weighted walk-build document written by bench_preprocessing
+--build-only (DESIGN.md §11): the alias-sampled build must be
+bit-identical across thread counts and at least --min-walkbuild-speedup
+times faster than the legacy scan sampler (default 3.0) on the dense
+weighted graph. --walkbuild also runs standalone.
+
 Usage: ci/compare_bench.py [--dir DIR] [--min-speedup X]
                            [--metrics SNAPSHOT.json]
                            [--coldstart BENCH_coldstart.json]
                            [--min-map-speedup X]
+                           [--walkbuild BENCH_walkbuild.json]
+                           [--min-walkbuild-speedup X]
 """
 
 import argparse
@@ -221,6 +230,29 @@ def check_coldstart(json_path, min_map_speedup):
     return failures, doc
 
 
+def check_walkbuild(json_path, min_speedup):
+    """Validates a BENCH_walkbuild.json; returns a list of failures."""
+    failures = []
+    doc = load_json(json_path)
+    for key in ("scan_walks_per_sec", "alias_walks_per_sec", "alias_speedup",
+                "alias_threads_bit_identical", "sampler_table_bytes"):
+        if key not in doc:
+            failures.append(f"walkbuild JSON lacks {key!r}")
+    if failures:
+        return failures, doc
+
+    if not doc["alias_threads_bit_identical"]:
+        failures.append("alias-sampled walk build is not bit-identical "
+                        "across thread counts")
+    if doc["alias_speedup"] < min_speedup:
+        failures.append(f"alias walk-build speedup {doc['alias_speedup']:.1f}x "
+                        f"is below the required {min_speedup:.1f}x")
+    if doc["sampler_table_bytes"] <= 0:
+        failures.append("sampler index reports zero table bytes on the "
+                        "dense weighted graph")
+    return failures, doc
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".",
@@ -236,7 +268,33 @@ def main():
     ap.add_argument("--min-map-speedup", type=float, default=5.0,
                     help="required Load-vs-Map open-latency ratio for "
                          "--coldstart")
+    ap.add_argument("--walkbuild", default=None,
+                    help="validate this BENCH_walkbuild.json instead of "
+                         "the query-bench files")
+    ap.add_argument("--min-walkbuild-speedup", type=float, default=3.0,
+                    help="required alias-vs-scan walk-build throughput "
+                         "ratio for --walkbuild")
     args = ap.parse_args()
+
+    if args.walkbuild is not None:
+        failures, doc = check_walkbuild(args.walkbuild,
+                                        args.min_walkbuild_speedup)
+        print(f"walkbuild ({args.walkbuild})")
+        if "scan_walks_per_sec" in doc and "alias_walks_per_sec" in doc:
+            print(f"  weighted build throughput: scan "
+                  f"{doc['scan_walks_per_sec']:.0f} walks/s, alias "
+                  f"{doc['alias_walks_per_sec']:.0f} walks/s  ->  "
+                  f"{doc.get('alias_speedup', 0):.1f}x")
+            print(f"  sampler tables: {doc.get('sampler_table_bytes', 0)} "
+                  f"bytes, {doc.get('sampler_uniform_nodes', 0)} uniform "
+                  f"node(s)")
+        for failure in failures:
+            print(f"FAIL: walkbuild: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("OK: alias sampler meets the walk-build speedup bar and is "
+              "thread-count deterministic")
+        return 0
 
     if args.coldstart is not None:
         failures, doc = check_coldstart(args.coldstart, args.min_map_speedup)

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "graph/hin.h"
+#include "graph/node_sampler.h"
 #include "graph/types.h"
 
 namespace semsim {
@@ -18,6 +19,11 @@ struct PantherOptions {
   /// Path length T (their default is 5).
   int path_length = 5;
   uint64_t seed = 7;
+  /// How the weighted step distribution is drawn (DESIGN.md §11):
+  /// kAlias builds one NodeSamplerIndex over the symmetrized graph's
+  /// out-neighbors and makes every step O(1); kScan reproduces the
+  /// legacy per-step inverse-CDF scan (and its RNG stream) exactly.
+  SamplerKind sampler = SamplerKind::kAlias;
 };
 
 /// Panther (Zhang et al. [43]): fast top-k similarity by random *path*

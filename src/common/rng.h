@@ -86,6 +86,7 @@ class Rng {
   /// used only where the weight vector is tiny or changes per call;
   /// persistent distributions should use AliasTable.
   size_t NextWeighted(const std::vector<double>& weights) {
+    SEMSIM_DCHECK(!weights.empty());
     double total = 0;
     for (double w : weights) total += w;
     SEMSIM_DCHECK(total > 0);
@@ -138,15 +139,19 @@ class AliasTable {
 
   void Build(const std::vector<double>& weights) {
     size_t n = weights.size();
-    SEMSIM_CHECK(n > 0);
+    SEMSIM_CHECK(n > 0) << "alias table over an empty distribution";
     prob_.assign(n, 0.0);
     alias_.assign(n, 0);
     double total = 0;
-    for (double w : weights) {
-      SEMSIM_CHECK(w >= 0);
+    size_t fallback = n;  // first positive-weight index
+    for (size_t i = 0; i < n; ++i) {
+      double w = weights[i];
+      SEMSIM_CHECK(std::isfinite(w) && w >= 0)
+          << "weight " << w << " is not a finite non-negative number";
       total += w;
+      if (fallback == n && w > 0) fallback = i;
     }
-    SEMSIM_CHECK(total > 0);
+    SEMSIM_CHECK(total > 0) << "alias table needs a positive total weight";
     std::vector<double> scaled(n);
     for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
     std::vector<size_t> small, large;
@@ -165,8 +170,23 @@ class AliasTable {
       scaled[l] = (scaled[l] + scaled[s]) - 1.0;
       (scaled[l] < 1.0 ? small : large).push_back(l);
     }
-    for (size_t l : large) prob_[l] = 1.0;
-    for (size_t s : small) prob_[s] = 1.0;
+    for (size_t l : large) {
+      prob_[l] = 1.0;
+      alias_[l] = l;
+    }
+    // Leftovers in `small` arise from floating-point residue (extreme
+    // skew can drain `large` early). A stranded zero-weight entry must
+    // stay unsampleable: forcing prob 1.0 — the naive fixup — would
+    // hand it its full 1/n bucket.
+    for (size_t s : small) {
+      if (weights[s] > 0) {
+        prob_[s] = 1.0;
+        alias_[s] = s;
+      } else {
+        prob_[s] = 0.0;
+        alias_[s] = fallback;
+      }
+    }
   }
 
   bool empty() const { return prob_.empty(); }

@@ -65,6 +65,12 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
   const WalkIndexOptions& opt = index_.options_;
   NodeId* all_steps = index_.MutableSteps();
   uint16_t* live_lengths = index_.MutableLiveLengths();
+  // O(1) weighted resampling steps: the alias index over the *new*
+  // graph is built lazily, on the first suffix that actually needs a
+  // weighted draw — an update touching no walks pays nothing for it.
+  const bool use_alias = opt.weighted && opt.sampler == SamplerKind::kAlias;
+  NodeSamplerIndex sampler;
+  bool sampler_built = false;
   std::vector<double> weights;
   size_t resampled = 0;
 
@@ -99,7 +105,13 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
           break;
         }
         size_t pick;
-        if (opt.weighted) {
+        if (use_alias) {
+          if (!sampler_built) {
+            sampler = NodeSamplerIndex::Build(g, SampleDirection::kIn);
+            sampler_built = true;
+          }
+          pick = sampler.Sample(cur, rng_);
+        } else if (opt.weighted) {
           weights.clear();
           for (const Neighbor& nb : in) weights.push_back(nb.weight);
           pick = rng_.NextWeighted(weights);

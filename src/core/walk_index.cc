@@ -27,6 +27,15 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
                             kInvalidNode);
   index.live_owned_.assign(n * static_cast<size_t>(options.num_walks), 0);
   ParallelRunner runner(options.num_threads);
+  // O(1) weighted steps: one alias-table index per graph, built in
+  // parallel on the same pool, shared read-only by every worker. The
+  // scan path keeps the legacy RNG stream (DESIGN.md §11).
+  const bool use_alias =
+      options.weighted && options.sampler == SamplerKind::kAlias;
+  NodeSamplerIndex sampler;
+  if (use_alias) {
+    sampler = NodeSamplerIndex::Build(graph, SampleDirection::kIn, &runner);
+  }
   runner.ParallelFor(0, n, [&](size_t begin, size_t end) {
     std::vector<double> weights;
     for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
@@ -47,7 +56,9 @@ WalkIndex WalkIndex::Build(const Hin& graph, const WalkIndexOptions& options) {
             break;
           }
           size_t pick;
-          if (options.weighted) {
+          if (use_alias) {
+            pick = sampler.Sample(cur, rng);
+          } else if (options.weighted) {
             weights.clear();
             for (const Neighbor& nb : in) weights.push_back(nb.weight);
             pick = rng.NextWeighted(weights);
@@ -155,7 +166,11 @@ struct WalkIndexHeader {
   int32_t walk_length;
   uint64_t seed;
   uint8_t weighted;
-  uint8_t padding[7];
+  // SamplerKind ordinal of the build (0 = alias, 1 = scan). Pre-sampler
+  // v2 artifacts carry 0 here (it was zeroed padding), which reads back
+  // as kAlias — the current default.
+  uint8_t sampler;
+  uint8_t padding[6];
 };
 static_assert(sizeof(WalkIndexHeader) == 48, "header layout is part of the file format");
 
@@ -228,7 +243,8 @@ Result<ParsedArtifact> ParseArtifact(const uint8_t* data, size_t size,
         std::to_string(expected_nodes));
   }
   if (header.num_walks <= 0 || header.walk_length <= 0 ||
-      header.walk_length > 65535) {
+      header.walk_length > 65535 ||
+      header.sampler > static_cast<uint8_t>(SamplerKind::kScan)) {
     return Status::IOError("corrupt walk-index header: " + path);
   }
 
@@ -237,6 +253,7 @@ Result<ParsedArtifact> ParseArtifact(const uint8_t* data, size_t size,
   parsed.options.walk_length = header.walk_length;
   parsed.options.seed = header.seed;
   parsed.options.weighted = header.weighted != 0;
+  parsed.options.sampler = static_cast<SamplerKind>(header.sampler);
   parsed.num_nodes = header.num_nodes;
 
   size_t walk_count =
@@ -354,6 +371,7 @@ Status WalkIndex::Save(const std::string& path) const {
   header.walk_length = options_.walk_length;
   header.seed = options_.seed;
   header.weighted = options_.weighted ? 1 : 0;
+  header.sampler = static_cast<uint8_t>(options_.sampler);
 
   uint64_t steps_bytes = steps_.size() * sizeof(NodeId);
   uint64_t live_bytes = live_len_.size() * sizeof(uint16_t);
@@ -428,6 +446,7 @@ Result<WalkIndex> WalkIndex::LoadImpl(const std::string& path,
   index.options_.walk_length = parsed.options.walk_length;
   index.options_.seed = parsed.options.seed;
   index.options_.weighted = parsed.options.weighted;
+  index.options_.sampler = parsed.options.sampler;
   index.steps_owned_.assign(parsed.steps.begin(), parsed.steps.end());
   index.steps_ = index.steps_owned_;
   if (parsed.legacy) {
@@ -466,6 +485,7 @@ Result<WalkIndex> WalkIndex::MapImpl(const std::string& path,
   index.options_.walk_length = parsed.options.walk_length;
   index.options_.seed = parsed.options.seed;
   index.options_.weighted = parsed.options.weighted;
+  index.options_.sampler = parsed.options.sampler;
   index.mapping_ = std::move(file);
   index.borrows_mapping_ = true;
   index.steps_ = parsed.steps;

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "graph/hin.h"
+#include "graph/node_sampler.h"
 
 namespace semsim {
 
@@ -30,6 +31,13 @@ struct WalkIndexOptions {
   /// Worker threads for sampling (nodes are partitioned). <= 0 selects
   /// the hardware concurrency.
   int num_threads = 1;
+  /// How weighted steps are drawn (DESIGN.md §11). kAlias precomputes a
+  /// per-graph NodeSamplerIndex and makes every weighted step O(1);
+  /// kScan is the legacy O(degree) inverse-CDF scan, kept because the
+  /// two consume the RNG stream differently: only kScan reproduces the
+  /// exact walks of pre-sampler builds for a given seed. Irrelevant
+  /// when `weighted` is false (uniform steps always use NextIndex).
+  SamplerKind sampler = SamplerKind::kAlias;
 };
 
 /// Options of WalkIndex::Map (DESIGN.md §10).

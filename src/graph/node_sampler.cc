@@ -1,0 +1,168 @@
+#include "graph/node_sampler.h"
+
+#include <cmath>
+
+#include "common/fnv.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace semsim {
+
+namespace {
+
+/// Reusable per-worker scratch for one node's Vose construction. Sized
+/// to the largest degree a chunk encounters and reused across nodes, so
+/// the fill pass allocates O(max_degree) per worker, not per node.
+struct VoseScratch {
+  std::vector<double> scaled;
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+};
+
+/// Builds one node's alias row into prob[0..d) / alias[0..d). Follows
+/// Vose's O(d) construction with the same degenerate-input hardening as
+/// AliasTable::Build: zero-weight entries can never be returned (their
+/// residual acceptance probability is forced to 0 and their alias points
+/// at a positive-weight neighbor), and non-finite or negative weights
+/// abort — a sampler over them would silently corrupt every walk.
+void BuildAliasRow(std::span<const Neighbor> neighbors, double* prob,
+                   uint32_t* alias, VoseScratch* scratch) {
+  size_t d = neighbors.size();
+  double total = 0;
+  uint32_t fallback = 0;  // first positive-weight position
+  bool have_fallback = false;
+  for (size_t i = 0; i < d; ++i) {
+    double w = neighbors[i].weight;
+    SEMSIM_CHECK(std::isfinite(w) && w >= 0)
+        << "edge weight " << w << " is not a finite non-negative number";
+    total += w;
+    if (!have_fallback && w > 0) {
+      fallback = static_cast<uint32_t>(i);
+      have_fallback = true;
+    }
+  }
+  SEMSIM_CHECK(total > 0) << "alias row needs a positive total weight";
+
+  scratch->scaled.resize(d);
+  scratch->small.clear();
+  scratch->large.clear();
+  double scale = static_cast<double>(d) / total;
+  for (size_t i = 0; i < d; ++i) {
+    scratch->scaled[i] = neighbors[i].weight * scale;
+    (scratch->scaled[i] < 1.0 ? scratch->small : scratch->large)
+        .push_back(static_cast<uint32_t>(i));
+  }
+  while (!scratch->small.empty() && !scratch->large.empty()) {
+    uint32_t s = scratch->small.back();
+    scratch->small.pop_back();
+    uint32_t l = scratch->large.back();
+    scratch->large.pop_back();
+    prob[s] = scratch->scaled[s];
+    alias[s] = l;
+    scratch->scaled[l] = (scratch->scaled[l] + scratch->scaled[s]) - 1.0;
+    (scratch->scaled[l] < 1.0 ? scratch->small : scratch->large).push_back(l);
+  }
+  for (uint32_t l : scratch->large) {
+    prob[l] = 1.0;
+    alias[l] = l;
+  }
+  // Leftover small entries exist only through floating-point residue.
+  // A genuinely zero-weight entry stranded here must keep acceptance
+  // probability 0 (the naive `prob = 1` fixup would make it sampleable).
+  for (uint32_t s : scratch->small) {
+    if (neighbors[s].weight > 0) {
+      prob[s] = 1.0;
+      alias[s] = s;
+    } else {
+      prob[s] = 0.0;
+      alias[s] = fallback;
+    }
+  }
+}
+
+std::span<const Neighbor> NeighborsOf(const Hin& graph, NodeId v,
+                                      SampleDirection direction) {
+  return direction == SampleDirection::kIn ? graph.InNeighbors(v)
+                                           : graph.OutNeighbors(v);
+}
+
+}  // namespace
+
+NodeSamplerIndex NodeSamplerIndex::Build(const Hin& graph,
+                                         SampleDirection direction,
+                                         const ThreadPool* pool) {
+  SEMSIM_TRACE_SPAN("semsim_node_sampler_build");
+  static Gauge* table_bytes = MetricsRegistry::Global().GetGauge(
+      "semsim_node_sampler_table_bytes");
+  static Counter* uniform_fast_path = MetricsRegistry::Global().GetCounter(
+      "semsim_node_sampler_alias_fast_path_uniform_nodes_total");
+  Timer timer;
+
+  NodeSamplerIndex index;
+  index.direction_ = direction;
+  size_t n = graph.num_nodes();
+  index.degree_.resize(n);
+  index.offsets_.resize(n + 1);
+
+  // Pass 1 (serial, O(|V| + |E|)): degrees, uniformity detection, and
+  // the slot prefix sum. A node is uniform when every neighbor weight
+  // is bitwise equal to the first — the common all-unit-weight case —
+  // or when it has at most one neighbor; uniform nodes claim no slots.
+  uint64_t slots = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    index.offsets_[v] = slots;
+    auto nb = NeighborsOf(graph, v, direction);
+    index.degree_[v] = static_cast<uint32_t>(nb.size());
+    if (nb.empty()) continue;
+    bool uniform = true;
+    double w0 = nb[0].weight;
+    for (size_t i = 1; i < nb.size(); ++i) {
+      if (nb[i].weight != w0) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      ++index.uniform_nodes_;
+    } else {
+      slots += nb.size();
+    }
+  }
+  index.offsets_[n] = slots;
+  index.prob_.resize(slots);
+  index.alias_.resize(slots);
+
+  // Pass 2 (parallel): fill each non-uniform node's row. Rows land in
+  // disjoint [offsets_[v], offsets_[v+1]) ranges and depend only on
+  // that node's weights, so any chunking produces identical bytes.
+  auto fill = [&](size_t begin, size_t end) {
+    VoseScratch scratch;
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      uint64_t base = index.offsets_[v];
+      if (index.offsets_[v + 1] == base) continue;
+      BuildAliasRow(NeighborsOf(graph, v, direction), index.prob_.data() + base,
+                    index.alias_.data() + base, &scratch);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, fill);
+  } else {
+    fill(0, n);
+  }
+
+  index.build_seconds_ = timer.ElapsedSeconds();
+  table_bytes->Add(static_cast<double>(index.TableBytes()));
+  uniform_fast_path->Add(index.uniform_nodes_);
+  return index;
+}
+
+uint64_t NodeSamplerIndex::Fingerprint() const {
+  uint64_t h = Fnv1a64(offsets_.data(), offsets_.size() * sizeof(uint64_t));
+  h = Fnv1a64(degree_.data(), degree_.size() * sizeof(uint32_t), h);
+  h = Fnv1a64(prob_.data(), prob_.size() * sizeof(double), h);
+  h = Fnv1a64(alias_.data(), alias_.size() * sizeof(uint32_t), h);
+  return h;
+}
+
+}  // namespace semsim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/batch_engine.h"
 #include "core/iterative.h"
 #include "core/mc_kernels.h"
@@ -19,6 +20,7 @@
 #include "core/single_source.h"
 #include "core/topk.h"
 #include "graph/graph_io.h"
+#include "graph/node_sampler.h"
 #include "graph/transition_table.h"
 #include "taxonomy/flat_semantic_table.h"
 #include "taxonomy/taxonomy_io.h"
@@ -180,7 +182,8 @@ namespace {
 // the check catalog over them. Naming below follows DESIGN.md §9:
 // checks A-C cover the oracle, D-G the estimator kernels, H-I the batch
 // engine, J-L single-source and top-k, M the serving-artifact
-// round-trip (Save -> Load / Map bit-identity).
+// round-trip (Save -> Load / Map bit-identity), N the walk-sampler
+// equivalence (alias thread-count pin, scan-vs-alias agreement).
 class InstanceRunner {
  public:
   InstanceRunner(const DifferentialConfig& cfg,
@@ -197,6 +200,7 @@ class InstanceRunner {
       CheckEngines();
       CheckSingleSourceAndTopK();
       CheckArtifactRoundTrip();
+      CheckSamplerEquivalence();
     }
     if (!report_.ok() && !opt_.dump_dir.empty()) DumpInstance();
     return report_;
@@ -726,6 +730,98 @@ class InstanceRunner {
           inv_loaded.SemSimFrom(u, est_loaded, cfg_.mc));
     }
     std::remove(path.c_str());
+  }
+
+  // ---- N: walk-sampler equivalence ----------------------------------------
+
+  // The alias sampler index must be a pure function of the graph
+  // (thread-count invariant), must be inert when the proposal is
+  // uniform, and — on weighted instances — the legacy scan sampler must
+  // estimate the same quantity as the alias default within the
+  // statistical band (the two target the identical distribution through
+  // different RNG-stream recipes, so their walks differ bit-wise by
+  // design; check F covers the alias walks, this covers scan).
+  void CheckSamplerEquivalence() {
+    if (suppressed_) return;
+
+    // N1: serial and N-thread alias builds produce identical bytes.
+    NodeSamplerIndex serial =
+        NodeSamplerIndex::Build(*hin_, SampleDirection::kIn);
+    ThreadPool pool(cfg_.threads);
+    NodeSamplerIndex threaded =
+        NodeSamplerIndex::Build(*hin_, SampleDirection::kIn, &pool);
+    ++report_.bit_checks;
+    if (serial.Fingerprint() != threaded.Fingerprint()) {
+      AddViolation("sampler-threads",
+                   "NodeSamplerIndex fingerprint differs between the serial "
+                   "and the " +
+                       std::to_string(cfg_.threads) + "-thread build");
+    }
+
+    WalkIndexOptions scan_opt = cfg_.walks;
+    scan_opt.sampler = SamplerKind::kScan;
+    WalkIndex scan_walks = WalkIndex::Build(*hin_, scan_opt);
+    size_t n = hin_->num_nodes();
+
+    if (!cfg_.walks.weighted) {
+      // N2: with a uniform proposal the sampler choice must be inert —
+      // scan and alias builds agree bit for bit.
+      ++report_.bit_checks;
+      size_t step_bytes =
+          static_cast<size_t>(walks_->walk_length()) * sizeof(NodeId);
+      for (NodeId v = 0; v < n; ++v) {
+        for (int w = 0; w < walks_->num_walks(); ++w) {
+          if (std::memcmp(scan_walks.WalkData(v, w), walks_->WalkData(v, w),
+                          step_bytes) != 0 ||
+              scan_walks.WalkLiveLength(v, w) != walks_->WalkLiveLength(v, w)) {
+            AddViolation("sampler-uniform-identity",
+                         "uniform-Q walks differ between kScan and kAlias "
+                         "builds at node " +
+                             std::to_string(v) + " walk " + std::to_string(w));
+            return;
+          }
+        }
+      }
+      return;
+    }
+
+    // N3: the scan-sampled estimator stays within the Hoeffding/CLT
+    // band of the oracle on the replayed pairs (weighted-Q instances
+    // are always band-sound: the proposal matches the weights).
+    if (!oracle_) return;
+    SemSimMcEstimator scan_est(hin_.get(), measure_.get(), &scan_walks);
+    SemSimMcOptions unpruned{cfg_.mc.decay, 0.0};
+    double bias = DifferentialBias(cfg_.mc.decay, cfg_.walks.walk_length,
+                                   cfg_.oracle_iterations, 0.0);
+    std::vector<double> samples;
+    for (const NodePair& p : pairs_) {
+      if (suppressed_) return;
+      NodeId u = p.first, v = p.second;
+      if (u == v) continue;
+      SemSimMcEstimator::QueryContext context;
+      double sem_uv = scan_est.SemValue(u, v);
+      samples.clear();
+      double max_sample = 0.0;
+      for (int w = 0; w < scan_walks.num_walks(); ++w) {
+        int meet = FirstMeetingStep(scan_walks, u, v, w);
+        if (meet < 0) {
+          samples.push_back(0.0);
+          continue;
+        }
+        double score =
+            scan_est.CoupledWalkScore(u, v, w, meet, unpruned, &context);
+        samples.push_back(sem_uv * score);
+        max_sample = std::max(max_sample, samples.back());
+      }
+      std::string pair_tag =
+          "(" + std::to_string(u) + "," + std::to_string(v) + ")";
+      std::string msg = CheckWithinStatBand(
+          scan_est.Query(u, v, unpruned), oracle_->at(u, v), samples,
+          std::max(1.0, max_sample), opt_.delta, bias + 1e-12,
+          "scan-sampler MC vs oracle " + pair_tag);
+      ++report_.stat_checks;
+      if (!msg.empty()) AddViolation("scan-sampler-vs-oracle", msg);
+    }
   }
 
   // ---- failure dump --------------------------------------------------------

@@ -102,9 +102,12 @@ double DifferentialBias(double decay, int walk_length, int oracle_iterations,
 /// through the exact iterative oracle (naive and partial-sums sweeps, 1
 /// and N threads), the generic- and flat-kernel MC estimators, the
 /// BatchQueryEngine (generic and flat, 1 and N threads, repeated
-/// rounds), the single-source sweep and top-k, and a serving-artifact
+/// rounds), the single-source sweep and top-k, a serving-artifact
 /// round-trip (Save, then Load and zero-copy Map, compared bit for bit
-/// through the single-source stack) — asserting bit-identity where
+/// through the single-source stack), and the walk-sampler equivalence
+/// checks (alias builds thread-count-pinned by fingerprint; kScan and
+/// kAlias bit-identical under a uniform proposal and band-equivalent
+/// against the oracle under a weighted one) — asserting bit-identity where
 /// DESIGN.md promises it and Hoeffding/CLT tolerance bands where the
 /// guarantee is statistical (see DESIGN.md §9 for the full check
 /// matrix).

@@ -141,6 +141,41 @@ TEST(DynamicWalkIndex, UpdatedIndexMatchesFreshIndexStatistically) {
   }
 }
 
+TEST(DynamicWalkIndex, WeightedAliasUpdateKeepsWalksValidAndUnbiased) {
+  // Weighted proposal on the alias (default) path: Update must lazily
+  // build the sampler over the new graph, keep every resampled suffix a
+  // valid weighted walk, and stay statistically indistinguishable from
+  // a fresh weighted build.
+  auto w = MakeSmallWorld();
+  WalkIndexOptions opt;
+  opt.num_walks = 4000;
+  opt.walk_length = 10;
+  opt.seed = 33;
+  opt.weighted = true;
+  ASSERT_EQ(opt.sampler, SamplerKind::kAlias);
+  DynamicWalkIndex dyn = DynamicWalkIndex::Build(&w.graph, opt);
+
+  HinBuilder builder = w.graph.ToBuilder();
+  ASSERT_TRUE(builder.AddUndirectedEdge(w.a0, w.b1, "rel", 4.0).ok());
+  Hin updated = Unwrap(std::move(builder).Build());
+  size_t resampled =
+      Unwrap(dyn.Update(&updated, std::vector<NodeId>{w.a0, w.b1}));
+  EXPECT_GT(resampled, 0u);
+  CheckWalksValid(dyn.view(), updated);
+
+  WalkIndexOptions fresh_opt = opt;
+  fresh_opt.seed = 77;  // independent sample
+  WalkIndex fresh = WalkIndex::Build(updated, fresh_opt);
+  for (NodeId u : {w.a0, w.a1, w.b0}) {
+    for (NodeId v : {w.b1, w.a2, w.cat_a}) {
+      if (u == v) continue;
+      EXPECT_NEAR(McSimRankQuery(dyn.view(), u, v, 0.6),
+                  McSimRankQuery(fresh, u, v, 0.6), 0.03)
+          << "(" << u << "," << v << ")";
+    }
+  }
+}
+
 TEST(DynamicWalkIndex, EdgeRemovalInvalidatesStaleSteps) {
   auto w = MakeSmallWorld();
   WalkIndexOptions opt;

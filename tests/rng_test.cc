@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace semsim {
@@ -92,6 +93,62 @@ TEST(AliasTable, SingleElement) {
   AliasTable table(std::vector<double>{3.0});
   for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
 }
+
+TEST(AliasTable, ExtremeSkewNeverSamplesZeroWeight) {
+  // Extreme skew drains the `large` stack early and strands entries in
+  // `small` through floating-point residue. Zero-weight entries must
+  // stay unsampleable even when stranded (the naive `prob = 1` fixup
+  // would hand each its full 1/n bucket).
+  Rng rng(21);
+  std::vector<double> weights = {0.0, 1e-12, 1e18, 0.0, 5e-13, 1e18, 0.0};
+  AliasTable table(weights);
+  constexpr int kSamples = 50000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[table.Sample(rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_EQ(counts[6], 0);
+  // The two heavy entries absorb essentially all of the mass.
+  EXPECT_NEAR(counts[2], kSamples / 2, 1500);
+  EXPECT_NEAR(counts[5], kSamples / 2, 1500);
+}
+
+TEST(AliasTable, AllEqualWeights) {
+  Rng rng(23);
+  std::vector<double> weights(8, 2.5);
+  AliasTable table(weights);
+  std::vector<int> counts(8, 0);
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kSamples / 8, 700);
+}
+
+TEST(AliasTable, RejectsDegenerateInputs) {
+  // SEMSIM_CHECK is active in every build type, so these guard all
+  // configurations, not just debug.
+  EXPECT_DEATH(AliasTable(std::vector<double>{}), "empty distribution");
+  EXPECT_DEATH(AliasTable(std::vector<double>{0.0, 0.0}),
+               "positive total weight");
+  EXPECT_DEATH(AliasTable(std::vector<double>{1.0, -2.0}),
+               "finite non-negative");
+  EXPECT_DEATH(
+      AliasTable(std::vector<double>{
+          1.0, std::numeric_limits<double>::infinity()}),
+      "finite non-negative");
+  EXPECT_DEATH(AliasTable(std::vector<double>{
+                   std::numeric_limits<double>::quiet_NaN()}),
+               "finite non-negative");
+}
+
+#ifndef NDEBUG
+TEST(Rng, NextWeightedEmptyDiesInDebug) {
+  // SEMSIM_DCHECK-guarded: the scan sampler is a hot path, so the empty
+  // precondition is debug-only (callers check emptiness themselves).
+  Rng rng(25);
+  std::vector<double> empty;
+  EXPECT_DEATH(rng.NextWeighted(empty), "empty");
+}
+#endif
 
 }  // namespace
 }  // namespace semsim
