@@ -154,10 +154,10 @@ KernelRun RunBatchKernel(const Dataset& dataset, const LinMeasure& lin,
           .Add("engine_memory_bytes", engine.MemoryBytes());
     }
     for (const char* pass : {"cold", "warm"}) {
-      McQueryStats stats;
       Timer t;
-      std::vector<double> results = engine.QueryBatch(pairs, &stats);
+      BatchResult<double> results = engine.QueryBatch(pairs);
       double wall_ms = t.ElapsedMillis();
+      McQueryStats& stats = results.stats;
       double qps = static_cast<double>(pairs.size()) / (wall_ms / 1e3);
       double norm_rate = engine.normalizer_cache()->hit_rate();
       // The flat kernel devirtualizes sem(·,·), so there is no semantic
@@ -188,11 +188,11 @@ KernelRun RunBatchKernel(const Dataset& dataset, const LinMeasure& lin,
         } else {
           run.warm_qps_1t = qps;
           base_ms = wall_ms;
-          reference = results;
-          run.results = std::move(results);
+          reference = results.values;
+          run.results = std::move(results.values);
         }
       } else if (std::string(pass) == "warm") {
-        bool identical = results == reference;
+        bool identical = results.values == reference;
         std::printf("batch results identical across 1 and %d threads: %s\n",
                     threads, identical ? "yes" : "NO — DETERMINISM BUG");
         std::printf("warm throughput speedup at %d threads: %.2fx\n",

@@ -140,10 +140,11 @@ void Run(int requested_threads) {
     BatchQueryEngine engine = bench::Unwrap(
         BatchQueryEngine::Create(&dataset.graph, &lin, &index, opt));
     for (const char* pass : {"cold", "warm"}) {
-      McQueryStats stats;
       Timer t;
-      auto batch = engine.SingleSourceBatch(queries, &stats);
+      auto result = engine.SingleSourceBatch(queries);
       double wall_ms = t.ElapsedMillis();
+      auto& batch = result.values;
+      McQueryStats& stats = result.stats;
       for (size_t q = 0; q < queries.size(); ++q) {
         if (batch[q] != inverted.SemSimFrom(queries[q], estimator, mc)) {
           all_identical = false;

@@ -129,10 +129,11 @@ void Run(int requested_threads) {
     BatchQueryEngine engine = bench::Unwrap(
         BatchQueryEngine::Create(&dataset.graph, &lin, &index, opt));
     for (const char* pass : {"cold", "warm"}) {
-      McQueryStats stats;
       Timer t;
-      auto batch = engine.TopKBatch(queries, kK, &stats);
+      auto result = engine.TopKBatch(queries, kK);
       double wall_ms = t.ElapsedMillis();
+      auto& batch = result.values;
+      McQueryStats& stats = result.stats;
       for (size_t q = 0; q < queries.size(); ++q) {
         auto serial = inverted.TopKFrom(queries[q], kK, estimator, mc);
         if (batch[q].size() != serial.size()) batch_matches = false;

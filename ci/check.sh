@@ -25,6 +25,14 @@
 #           legacy linear scan, gated by ci/compare_bench.py --walkbuild
 #           (alias >= 3x scan walks/sec, alias builds bit-identical
 #           across thread counts, sampler tables actually allocated).
+#   service — the serving lane (DESIGN.md §12): QueryService tests
+#           (admission overflow, deadline/cancellation boundaries,
+#           degradation determinism), then bench_service — nominal
+#           closed-loop traffic plus a 2x-capacity open-loop burst —
+#           gated by ci/compare_bench.py --service (undegraded responses
+#           bit-identical to the direct engine, zero nominal rejections,
+#           bounded admitted-request p99 under overload, overload
+#           visibly shed through rejection/degradation/deadlines).
 #   verify — randomized differential sweep (DESIGN.md §9): replays
 #           identical queries through the iterative oracle, both MC
 #           kernels, the batch engine, single-source and top-k, checking
@@ -35,7 +43,8 @@
 #
 # Usage: ci/check.sh
 #   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
-#    --coldstart|--walkbuild|--verify-smoke|--verify-extended]
+#    --coldstart|--walkbuild|--service-smoke|--verify-smoke|
+#    --verify-extended]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,11 +80,14 @@ tsan() {
   # scratch-arena pool.
   # node_sampler_test drives the parallel NodeSamplerIndex::Build fill
   # pass (disjoint slot ranges) across thread counts.
+  # query_service_test exercises the scheduler thread, the admission
+  # queue, promise/future handoff, and cooperative cancellation races.
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_test batch_query_test concurrent_cache_test \
-    flat_kernel_test metrics_test single_source_test node_sampler_test
+    flat_kernel_test metrics_test single_source_test node_sampler_test \
+    query_service_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test|node_sampler_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test|node_sampler_test|query_service_test'
 }
 
 bench_smoke() {
@@ -123,6 +135,15 @@ walkbuild() {
   python3 ci/compare_bench.py --walkbuild build/BENCH_walkbuild.json
 }
 
+service_smoke() {
+  echo "=== service smoke: QueryService tests + overload bench gate ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target query_service_test bench_service
+  ctest --test-dir build --output-on-failure -R 'query_service_test'
+  (cd build && ./bench/bench_service --dataset=small)
+  python3 ci/compare_bench.py --service build/BENCH_service.json
+}
+
 verify_smoke() {
   echo "=== verify smoke: 200-seed differential sweep ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -149,9 +170,10 @@ case "${MODE}" in
   --metrics-smoke|metrics) metrics_smoke ;;
   --coldstart) coldstart ;;
   --walkbuild) walkbuild ;;
+  --service-smoke) service_smoke ;;
   --verify-smoke) verify_smoke ;;
   --verify-extended) verify_extended ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; verify_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; service_smoke; verify_smoke ;;
 esac
 
 echo "=== all checks passed ==="

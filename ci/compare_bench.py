@@ -32,12 +32,24 @@ bit-identical across thread counts and at least --min-walkbuild-speedup
 times faster than the legacy scan sampler (default 3.0) on the dense
 weighted graph. --walkbuild also runs standalone.
 
+With --service BENCH_service.json it instead validates the serving
+document written by bench_service (DESIGN.md §12): undegraded service
+responses must be bit-identical to direct engine calls, the nominal
+closed-loop phase must admit everything, the overload burst must keep
+admitted-request p99 within --max-service-p99-ratio of nominal (or
+within the per-request deadline — a successful response always
+finishes inside its deadline), and the overload must be visibly shed
+through rejections, degradations, or deadline failures rather than
+silently queued. --service also runs standalone.
+
 Usage: ci/compare_bench.py [--dir DIR] [--min-speedup X]
                            [--metrics SNAPSHOT.json]
                            [--coldstart BENCH_coldstart.json]
                            [--min-map-speedup X]
                            [--walkbuild BENCH_walkbuild.json]
                            [--min-walkbuild-speedup X]
+                           [--service BENCH_service.json]
+                           [--max-service-p99-ratio X]
 """
 
 import argparse
@@ -253,6 +265,46 @@ def check_walkbuild(json_path, min_speedup):
     return failures, doc
 
 
+def check_service(json_path, max_p99_ratio):
+    """Validates a BENCH_service.json; returns a list of failures."""
+    failures = []
+    doc = load_json(json_path)
+    for key in ("determinism_ok", "nominal_rejected", "nominal_p99_ms",
+                "burst_p99_ms", "p99_ratio", "deadline_ms", "burst_ok",
+                "burst_rejected", "burst_degraded",
+                "burst_deadline_exceeded"):
+        if key not in doc:
+            failures.append(f"service JSON lacks {key!r}")
+    if failures:
+        return failures, doc
+
+    if not doc["determinism_ok"]:
+        failures.append("undegraded service responses are not bit-identical "
+                        "to direct engine calls")
+    if doc["nominal_rejected"] != 0:
+        failures.append(f"{doc['nominal_rejected']} rejection(s) at nominal "
+                        "closed-loop load (expected 0)")
+    if doc["burst_ok"] <= 0:
+        failures.append("no request succeeded during the overload burst")
+    # Admitted-request latency must stay bounded under 2x-capacity
+    # overload: within the ratio bar, or within the per-request deadline
+    # (a successful response always completes inside its deadline, so
+    # the deadline is the honest bound when nominal p99 is tiny).
+    bound = max(max_p99_ratio * doc["nominal_p99_ms"], doc["deadline_ms"])
+    if doc["burst_p99_ms"] > bound:
+        failures.append(f"burst admitted p99 {doc['burst_p99_ms']:.3f} ms "
+                        f"exceeds the bound {bound:.3f} ms "
+                        f"(ratio {doc['p99_ratio']:.2f}x, limit "
+                        f"{max_p99_ratio:.2f}x)")
+    shed = (doc["burst_rejected"] + doc["burst_degraded"] +
+            doc["burst_deadline_exceeded"])
+    if shed == 0:
+        failures.append("overload burst shed no load (no rejections, "
+                        "degradations, or deadline failures) — the queue "
+                        "must have absorbed 2x capacity silently")
+    return failures, doc
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default=".",
@@ -274,7 +326,36 @@ def main():
     ap.add_argument("--min-walkbuild-speedup", type=float, default=3.0,
                     help="required alias-vs-scan walk-build throughput "
                          "ratio for --walkbuild")
+    ap.add_argument("--service", default=None,
+                    help="validate this BENCH_service.json instead of "
+                         "the query-bench files")
+    ap.add_argument("--max-service-p99-ratio", type=float, default=1.5,
+                    help="allowed burst/nominal admitted-request p99 ratio "
+                         "for --service")
     args = ap.parse_args()
+
+    if args.service is not None:
+        failures, doc = check_service(args.service,
+                                      args.max_service_p99_ratio)
+        print(f"service ({args.service})")
+        if "nominal_p99_ms" in doc and "burst_p99_ms" in doc:
+            print(f"  admitted-request p99: nominal "
+                  f"{doc['nominal_p99_ms']:.3f} ms, burst "
+                  f"{doc['burst_p99_ms']:.3f} ms  ->  "
+                  f"{doc.get('p99_ratio', 0):.2f}x "
+                  f"(deadline {doc.get('deadline_ms', 0):.2f} ms)")
+            print(f"  burst outcome: ok {doc.get('burst_ok', 0)} "
+                  f"(degraded {doc.get('burst_degraded', 0)}), rejected "
+                  f"{doc.get('burst_rejected', 0)}, deadline-exceeded "
+                  f"{doc.get('burst_deadline_exceeded', 0)}")
+        for failure in failures:
+            print(f"FAIL: service: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("OK: service is deterministic when undegraded, admits all "
+              "nominal traffic, and bounds p99 under overload by shedding "
+              "load")
+        return 0
 
     if args.walkbuild is not None:
         failures, doc = check_walkbuild(args.walkbuild,

@@ -1,0 +1,109 @@
+#ifndef SEMSIM_COMMON_CANCEL_H_
+#define SEMSIM_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace semsim {
+
+/// Cooperative cancellation + deadline token shared between a request
+/// owner (the serving scheduler, or any caller of the batch engine) and
+/// the estimator loops doing the work. The owner arms the token by
+/// Cancel() or SetDeadline(); workers poll ShouldStop() between work
+/// chunks and unwind without producing further results. Nothing is
+/// preempted — a loop that never polls never stops — which is exactly
+/// the contract the determinism story needs: a token that never fires
+/// has zero effect on the arithmetic.
+///
+/// Thread-safety: all members are atomics; any number of threads may
+/// poll concurrently with one (or more) threads arming the token. A
+/// token is single-shot: once fired it stays fired (there is no Reset —
+/// reuse across requests would race with stragglers of the previous
+/// one).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms the deadline: ShouldStop() returns true once the steady clock
+  /// passes `deadline`. A second call overwrites the first.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// Convenience: deadline = now + timeout.
+  void SetTimeout(Clock::duration timeout) {
+    SetDeadline(Clock::now() + timeout);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != kNoDeadline;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool deadline_exceeded() const {
+    int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != kNoDeadline && Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// Time left until the deadline; Clock::duration::max() when no
+  /// deadline is armed, zero when it already passed.
+  Clock::duration remaining() const {
+    int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    if (d == kNoDeadline) return Clock::duration::max();
+    int64_t now = Clock::now().time_since_epoch().count();
+    return Clock::duration(d > now ? d - now : 0);
+  }
+
+  /// The poll the worker loops call between chunks. Also records that
+  /// a firing was actually observed by a worker (the test hook behind
+  /// the "token observed mid-sweep" coverage) and counts polls.
+  bool ShouldStop() const {
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    bool stop = cancelled() || deadline_exceeded();
+    if (stop) observed_.store(true, std::memory_order_release);
+    return stop;
+  }
+
+  /// True once a worker poll returned true.
+  bool observed() const { return observed_.load(std::memory_order_acquire); }
+
+  /// Number of ShouldStop() polls so far (test/bench instrumentation).
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+  /// The Status a fired token maps to: explicit cancellation wins over
+  /// the deadline; an unfired token maps to OK.
+  Status ToStatus() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    if (deadline_exceeded()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> observed_{false};
+  mutable std::atomic<uint64_t> polls_{0};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_CANCEL_H_

@@ -1,0 +1,158 @@
+#ifndef SEMSIM_COMMON_FUTURE_H_
+#define SEMSIM_COMMON_FUTURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+/// Minimal one-shot promise/future pair for the async serving surface.
+/// std::future would almost do, but its broken_promise semantics arrive
+/// as exceptions and the library is exception-free by policy; this pair
+/// keeps the same shape with plain blocking accessors. Single producer
+/// (Promise::Set, exactly once), any number of consumers holding Future
+/// copies.
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+};
+
+}  // namespace internal
+
+template <typename T>
+class Future {
+ public:
+  /// Default-constructed futures are invalid; only Promise::GetFuture
+  /// mints valid ones.
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the value arrived. Non-blocking.
+  bool Ready() const {
+    SEMSIM_CHECK(valid());
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the value arrives.
+  void Wait() const {
+    SEMSIM_CHECK(valid());
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+  }
+
+  /// Blocks up to `timeout`; true when the value arrived in time.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) const {
+    SEMSIM_CHECK(valid());
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(lock, timeout,
+                               [&] { return state_->value.has_value(); });
+  }
+
+  /// Blocks until ready, then returns a reference to the value. The
+  /// reference stays valid while any Future copy holds the state.
+  T& Get() const {
+    Wait();
+    return *state_->value;
+  }
+
+  /// Blocks until ready, then moves the value out. Call at most once
+  /// across all copies of this future.
+  T Take() {
+    Wait();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    T out = std::move(*state_->value);
+    return out;
+  }
+
+ private:
+  template <typename U>
+  friend class Promise;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  /// Fulfills the promise; exactly once (checked).
+  void Set(T value) {
+    SEMSIM_CHECK(state_ != nullptr);
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      SEMSIM_CHECK(!state_->value.has_value()) << "promise set twice";
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+  bool fulfilled() const {
+    SEMSIM_CHECK(state_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Single-use countdown latch (std::latch arrived in C++20 but the
+/// libstdc++ baseline here predates universal support; this is the
+/// handful of lines the serving tests need).
+class Latch {
+ public:
+  explicit Latch(ptrdiff_t count) : count_(count) {
+    SEMSIM_CHECK(count >= 0);
+  }
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown(ptrdiff_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SEMSIM_CHECK(count_ >= n);
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  bool TryWait() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  ptrdiff_t count_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_COMMON_FUTURE_H_

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -73,14 +74,22 @@ class ThreadPool {
   /// ParallelFor calls from distinct threads serialize; a nested call
   /// from inside a chunk runs inline on the calling thread (no
   /// deadlock, no extra parallelism).
+  ///
+  /// `stop` is the cooperative chunk hook of the serving layer: when
+  /// given, the token is polled before each chunk body and fired tokens
+  /// skip the remaining bodies (skipped chunks still count toward the
+  /// completion barrier, so the call returns normally — the caller
+  /// decides what a partially filled output means). An unfired token
+  /// has no effect on scheduling or results.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t, size_t)>& chunk_fn) const {
+                   const std::function<void(size_t, size_t)>& chunk_fn,
+                   const CancelToken* stop = nullptr) const {
     SEMSIM_CHECK(begin <= end);
     size_t total = end - begin;
     if (total == 0) return;
     Metrics().parallel_for->Add(1);
     if (num_threads_ == 1 || total == 1 || InPoolRegion()) {
-      chunk_fn(begin, end);
+      if (stop == nullptr || !stop->ShouldStop()) chunk_fn(begin, end);
       return;
     }
     std::lock_guard<std::mutex> serialize(run_mu_);
@@ -95,6 +104,7 @@ class ThreadPool {
       job_chunk_size_ = (total + num_chunks - 1) / num_chunks;
       job_num_chunks_ = num_chunks;
       job_fn_ = &chunk_fn;
+      job_stop_ = stop;
       next_chunk_.store(0, std::memory_order_relaxed);
       completed_chunks_.store(0, std::memory_order_relaxed);
       ++epoch_;
@@ -107,6 +117,7 @@ class ThreadPool {
              completed_chunks_.load(std::memory_order_acquire) == num_chunks;
     });
     job_fn_ = nullptr;
+    job_stop_ = nullptr;
     Metrics().active_jobs->Sub(1);
   }
 
@@ -152,7 +163,7 @@ class ThreadPool {
       if (c >= job_num_chunks_) break;
       size_t lo = job_begin_ + c * job_chunk_size_;
       size_t hi = std::min(job_end_, lo + job_chunk_size_);
-      {
+      if (job_stop_ == nullptr || !job_stop_->ShouldStop()) {
         Timer chunk_timer;
         (*job_fn_)(lo, hi);
         Metrics().chunk_seconds->Observe(chunk_timer.ElapsedSeconds());
@@ -199,6 +210,7 @@ class ThreadPool {
   mutable size_t job_chunk_size_ = 0;
   mutable size_t job_num_chunks_ = 0;
   mutable const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  mutable const CancelToken* job_stop_ = nullptr;
   mutable std::atomic<size_t> next_chunk_{0};
   mutable std::atomic<size_t> completed_chunks_{0};
 };

@@ -74,29 +74,26 @@ Result<BatchQueryEngine> BatchQueryEngine::Create(
   return engine;
 }
 
-BatchQueryEngine::BatchQueryEngine(const Hin* graph,
-                                   const SemanticMeasure* semantic,
-                                   const WalkIndex* index,
-                                   const BatchQueryEngineOptions& options,
-                                   const PairNormalizerCache* static_cache) {
-  Result<BatchQueryEngine> created =
-      Create(graph, semantic, index, options, static_cache);
-  SEMSIM_CHECK(created.ok()) << created.status().ToString();
-  *this = std::move(created).value();
-}
-
 std::string BatchQueryEngine::kernel_name() const {
   if (options_.query.kernel == QueryKernel::kGeneric) return "generic";
   return "flat+" + std::string(estimator_->sem_kernel_name());
 }
 
-std::vector<double> BatchQueryEngine::QueryBatch(
-    std::span<const NodePair> pairs, McQueryStats* stats) const {
+BatchResult<double> BatchQueryEngine::QueryBatch(
+    std::span<const NodePair> pairs) const {
+  return QueryBatch(pairs, options_.query.mc);
+}
+
+BatchResult<double> BatchQueryEngine::QueryBatch(
+    std::span<const NodePair> pairs, const SemSimMcOptions& mc) const {
   SEMSIM_TRACE_SPAN("semsim_batch_query_batch");
+  SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
   static Counter* items = MetricsRegistry::Global().GetCounter(
       "semsim_batch_query_items_total");
   items->Add(pairs.size());
-  return estimator_->QueryBatch(pairs, options_.query.mc, *pool_, stats);
+  BatchResult<double> result;
+  result.values = estimator_->QueryBatch(pairs, mc, *pool_, &result.stats);
+  return result;
 }
 
 const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
@@ -111,24 +108,62 @@ const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
 
 std::vector<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
     std::span<const NodeId> sources, McQueryStats* stats) const {
-  SEMSIM_TRACE_SPAN("semsim_batch_single_source_batch");
-  static Counter* items = MetricsRegistry::Global().GetCounter(
-      "semsim_batch_single_source_items_total");
-  items->Add(sources.size());
-  return ParallelSemSimFrom(InvertedIndex(), sources, *estimator_,
-                            options_.query.mc, *pool_, stats,
-                            scratch_pool_.get());
+  BatchResult<std::vector<double>> result = SingleSourceBatch(sources);
+  if (stats != nullptr) stats->Merge(result.stats);
+  return std::move(result.values);
 }
 
 std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> sources, size_t k, McQueryStats* stats) const {
+  BatchResult<std::vector<Scored>> result = TopKBatch(sources, k);
+  if (stats != nullptr) stats->Merge(result.stats);
+  return std::move(result.values);
+}
+
+std::vector<double> BatchQueryEngine::QueryBatch(
+    std::span<const NodePair> pairs, McQueryStats* stats) const {
+  BatchResult<double> result = QueryBatch(pairs);
+  if (stats != nullptr) stats->Merge(result.stats);
+  return std::move(result.values);
+}
+
+BatchResult<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
+    std::span<const NodeId> sources) const {
+  return SingleSourceBatch(sources, options_.query.mc);
+}
+
+BatchResult<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
+    std::span<const NodeId> sources, const SemSimMcOptions& mc) const {
+  SEMSIM_TRACE_SPAN("semsim_batch_single_source_batch");
+  SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
+  static Counter* items = MetricsRegistry::Global().GetCounter(
+      "semsim_batch_single_source_items_total");
+  items->Add(sources.size());
+  BatchResult<std::vector<double>> result;
+  result.values =
+      ParallelSemSimFrom(InvertedIndex(), sources, *estimator_, mc, *pool_,
+                         &result.stats, scratch_pool_.get());
+  return result;
+}
+
+BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
+    std::span<const NodeId> sources, size_t k) const {
+  return TopKBatch(sources, k, options_.query.mc);
+}
+
+BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
+    std::span<const NodeId> sources, size_t k,
+    const SemSimMcOptions& mc) const {
   SEMSIM_TRACE_SPAN("semsim_batch_topk_batch");
+  SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
   static Counter* items = MetricsRegistry::Global().GetCounter(
       "semsim_batch_topk_items_total");
   items->Add(sources.size());
-  return ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_,
-                          options_.query.mc, *pool_, stats,
-                          scratch_pool_.get());
+  BatchResult<std::vector<Scored>> result;
+  result.values =
+      ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_, mc, *pool_,
+                       &result.stats, scratch_pool_.get());
+  return result;
 }
 
 size_t BatchQueryEngine::MemoryBytes() const {
@@ -155,22 +190,30 @@ std::vector<Result> PerSourceParallel(std::span<const NodeId> sources,
                                       const ThreadPool& pool,
                                       McQueryStats* stats,
                                       ScratchPool* scratch_pool,
+                                      const CancelToken* cancel,
                                       const PerSource& per_source) {
   std::vector<Result> results(sources.size());
   std::mutex stats_mu;
-  pool.ParallelFor(0, sources.size(), [&](size_t begin, size_t end) {
-    McQueryStats local;
-    ScratchPool::Lease lease =
-        scratch_pool != nullptr ? scratch_pool->Acquire() : ScratchPool::Lease();
-    for (size_t i = begin; i < end; ++i) {
-      results[i] = per_source(sources[i], stats ? &local : nullptr,
-                              lease.get());
-    }
-    if (stats) {
-      std::lock_guard<std::mutex> lock(stats_mu);
-      stats->Merge(local);
-    }
-  });
+  pool.ParallelFor(
+      0, sources.size(),
+      [&](size_t begin, size_t end) {
+        McQueryStats local;
+        ScratchPool::Lease lease = scratch_pool != nullptr
+                                       ? scratch_pool->Acquire()
+                                       : ScratchPool::Lease();
+        for (size_t i = begin; i < end; ++i) {
+          // Between-sources poll; each sweep also polls internally
+          // through the options' own token.
+          if (cancel != nullptr && cancel->ShouldStop()) break;
+          results[i] = per_source(sources[i], stats ? &local : nullptr,
+                                  lease.get());
+        }
+        if (stats) {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          stats->Merge(local);
+        }
+      },
+      cancel);
   return results;
 }
 
@@ -181,7 +224,7 @@ std::vector<std::vector<double>> ParallelSemSimFrom(
     const SemSimMcEstimator& estimator, const SemSimMcOptions& options,
     const ThreadPool& pool, McQueryStats* stats, ScratchPool* scratch_pool) {
   return PerSourceParallel<std::vector<double>>(
-      sources, pool, stats, scratch_pool,
+      sources, pool, stats, scratch_pool, options.cancel,
       [&](NodeId u, McQueryStats* local, QueryScratch* scratch) {
         if (scratch != nullptr) {
           std::vector<double> out;
@@ -198,7 +241,7 @@ std::vector<std::vector<Scored>> ParallelTopKFrom(
     const SemSimMcOptions& options, const ThreadPool& pool,
     McQueryStats* stats, ScratchPool* scratch_pool) {
   return PerSourceParallel<std::vector<Scored>>(
-      sources, pool, stats, scratch_pool,
+      sources, pool, stats, scratch_pool, options.cancel,
       [&](NodeId u, McQueryStats* local, QueryScratch* scratch) {
         if (scratch != nullptr) {
           return inverted.TopKFrom(u, k, estimator, options, *scratch, local);

@@ -69,33 +69,53 @@ class BatchQueryEngine {
       const WalkIndex* index, const BatchQueryEngineOptions& options = {},
       const PairNormalizerCache* static_cache = nullptr);
 
-  /// Legacy constructor; aborts on the inputs Create() rejects.
-  [[deprecated("use BatchQueryEngine::Create, which validates instead of "
-               "aborting")]]
-  BatchQueryEngine(const Hin* graph, const SemanticMeasure* semantic,
-                   const WalkIndex* index,
-                   const BatchQueryEngineOptions& options = {},
-                   const PairNormalizerCache* static_cache = nullptr);
-
+  // Construction is Create-only, the same surface as SemSimEngine (the
+  // legacy aborting constructor is gone).
   BatchQueryEngine(BatchQueryEngine&&) = default;
   BatchQueryEngine& operator=(BatchQueryEngine&&) = default;
 
-  /// results[i] == estimator().Query(pairs[i], ...) for every i.
-  std::vector<double> QueryBatch(std::span<const NodePair> pairs,
-                                 McQueryStats* stats = nullptr) const;
+  /// result.values[i] == estimator().Query(pairs[i], ...) for every i;
+  /// result.stats carries the merged instrumentation of the batch.
+  BatchResult<double> QueryBatch(std::span<const NodePair> pairs) const;
+
+  /// Per-request estimator override: same batch, but run with `mc`
+  /// instead of the engine's configured options. This is the serving
+  /// layer's entry point — it threads a shrunken walk_budget and a
+  /// CancelToken through here. `mc` must satisfy ValidateMcOptions
+  /// (checked in debug builds); with the engine's own mc the result is
+  /// bit-identical to the override-free overload.
+  BatchResult<double> QueryBatch(std::span<const NodePair> pairs,
+                                 const SemSimMcOptions& mc) const;
 
   /// Full single-source sweeps, one per requested source, partitioned
   /// across the pool (each source is one work item; the inverted index
-  /// is built lazily on first use). results[i][v] == sim(sources[i], v).
-  std::vector<std::vector<double>> SingleSourceBatch(
-      std::span<const NodeId> sources, McQueryStats* stats = nullptr) const;
+  /// is built lazily on first use). result.values[i][v] ==
+  /// sim(sources[i], v).
+  BatchResult<std::vector<double>> SingleSourceBatch(
+      std::span<const NodeId> sources) const;
+  BatchResult<std::vector<double>> SingleSourceBatch(
+      std::span<const NodeId> sources, const SemSimMcOptions& mc) const;
 
   /// Top-k per requested source through the inverted single-source
   /// sweep. Ties broken by node id, as everywhere in the library.
+  BatchResult<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
+                                             size_t k) const;
+  BatchResult<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
+                                             size_t k,
+                                             const SemSimMcOptions& mc) const;
+
+  /// Legacy out-param overloads, kept as thin shims for one release.
+  /// Deprecated: read `.values` / `.stats` off the BatchResult instead.
+  [[deprecated("use the BatchResult-returning overload")]]
+  std::vector<double> QueryBatch(std::span<const NodePair> pairs,
+                                 McQueryStats* stats) const;
+  [[deprecated("use the BatchResult-returning overload")]]
+  std::vector<std::vector<double>> SingleSourceBatch(
+      std::span<const NodeId> sources, McQueryStats* stats) const;
+  [[deprecated("use the BatchResult-returning overload")]]
   std::vector<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
                                              size_t k,
-                                             McQueryStats* stats =
-                                                 nullptr) const;
+                                             McQueryStats* stats) const;
 
   const SemSimMcEstimator& estimator() const { return *estimator_; }
   const ThreadPool& pool() const { return *pool_; }

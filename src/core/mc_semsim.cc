@@ -1,5 +1,6 @@
 #include "core/mc_semsim.h"
 
+#include <cmath>
 #include <mutex>
 #include <vector>
 
@@ -17,6 +18,10 @@ Status ValidateMcOptions(const SemSimMcOptions& options) {
     // Lemma 4.7: scores stay in [0,1] only for θ ≤ 1 - c.
     return Status::InvalidArgument(
         "pruning threshold must satisfy theta <= 1 - decay (Lemma 4.7)");
+  }
+  if (options.walk_budget < 0) {
+    return Status::InvalidArgument(
+        "walk_budget must be >= 0 (0 = the full walk index)");
   }
   return Status::OK();
 }
@@ -283,14 +288,24 @@ double SemSimMcEstimator::QueryT(const Sem& sem, const Edges& edges, NodeId u,
 
   QueryContext context;
   double total = 0;
-  for (int w = 0; w < index_->num_walks(); ++w) {
+  // Graceful degradation (serving layer): estimate only the first n_b
+  // walks and average over n_b. Identical loop and divisor when the
+  // budget is 0 or covers the whole index.
+  const int budget = EffectiveWalkBudget(options, index_->num_walks());
+  for (int w = 0; w < budget; ++w) {
+    // Cooperative cancellation between walks: a fired token stops
+    // refining and the partial value is discarded by whoever armed it.
+    if (options.cancel != nullptr && (w & 31) == 0 &&
+        options.cancel->ShouldStop()) {
+      break;
+    }
     int meet = FirstMeetingStep(*index_, u, v, w);
     if (meet < 0) continue;
     if (stats) ++stats->met_walks;
     total += CoupledWalkScoreT(sem, edges, u, v, w, meet, options, &context,
                                stats);
   }
-  return sem_uv * total / static_cast<double>(index_->num_walks());
+  return sem_uv * total / static_cast<double>(budget);
 }
 
 double SemSimMcEstimator::Query(NodeId u, NodeId v,
@@ -316,19 +331,27 @@ std::vector<double> SemSimMcEstimator::QueryBatch(
   // One dispatch per worker chunk, not per pair: the chunk loop runs
   // entirely inside the selected instantiation.
   Dispatch([&](const auto& sem, const auto& edges) {
-    pool.ParallelFor(0, pairs.size(), [&](size_t begin, size_t end) {
-      McQueryStats local;
-      for (size_t i = begin; i < end; ++i) {
-        results[i] = QueryT(sem, edges, pairs[i].first, pairs[i].second,
-                            options, &local);
-      }
-      // Registry totals accumulate per chunk regardless of `stats`.
-      PublishQueryStats(local);
-      if (stats) {
-        std::lock_guard<std::mutex> lock(stats_mu);
-        stats->Merge(local);
-      }
-    });
+    pool.ParallelFor(
+        0, pairs.size(),
+        [&](size_t begin, size_t end) {
+          McQueryStats local;
+          for (size_t i = begin; i < end; ++i) {
+            // Per-item poll inside a chunk; whole chunks are skipped by
+            // the pool's own stop hook below.
+            if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+              break;
+            }
+            results[i] = QueryT(sem, edges, pairs[i].first, pairs[i].second,
+                                options, &local);
+          }
+          // Registry totals accumulate per chunk regardless of `stats`.
+          PublishQueryStats(local);
+          if (stats) {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            stats->Merge(local);
+          }
+        },
+        options.cancel);
     return 0.0;
   });
   return results;
@@ -350,6 +373,15 @@ WalkAccuracy RequiredWalkParameters(double epsilon, double delta,
                  (std::log(2.0 / delta) + 2.0 * std::log(n));
   acc.num_walks = static_cast<int>(std::ceil(walks));
   return acc;
+}
+
+double WalkBudgetErrorBand(int walk_budget, double delta, size_t num_nodes) {
+  SEMSIM_CHECK(walk_budget > 0);
+  SEMSIM_CHECK(delta > 0 && delta < 1);
+  SEMSIM_CHECK(num_nodes > 0);
+  double n = static_cast<double>(num_nodes);
+  return std::sqrt(14.0 * (std::log(2.0 / delta) + 2.0 * std::log(n)) /
+                   (3.0 * static_cast<double>(walk_budget)));
 }
 
 double NaiveSemSimMcQuery(const Hin& graph, const SemanticMeasure& semantic,

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/concurrent_cache.h"
@@ -17,7 +18,10 @@
 
 namespace semsim {
 
-/// Options of the IS-based MC estimator (Algorithm 1).
+/// Options of the IS-based MC estimator (Algorithm 1). The last two
+/// fields are request-scoped: the serving layer's graceful-degradation
+/// and cancellation knobs, defaulted off so every existing aggregate
+/// initializer keeps its meaning.
 struct SemSimMcOptions {
   /// Decay factor c.
   double decay = 0.6;
@@ -25,7 +29,33 @@ struct SemSimMcOptions {
   /// the paper's default with pruning is 0.05 and Lemma 4.7 requires
   /// θ ≤ 1 - c for scores to stay in [0,1].
   double theta = 0.0;
+  /// Per-query walk budget n_b: only the first n_b walks of the index
+  /// are estimated and the average is taken over n_b. 0 (or any value
+  /// >= the index's n_w) means the full index — bit-identical to the
+  /// pre-budget behavior. Smaller budgets keep the estimator unbiased
+  /// with fewer samples; the widened Hoeffding band is
+  /// WalkBudgetErrorBand(n_b, ...). Negative values are rejected by
+  /// ValidateMcOptions.
+  int walk_budget = 0;
+  /// Cooperative cancellation/deadline token polled between work chunks
+  /// (per pair in batches, every few walks inside a pair, every few
+  /// meetings inside a single-source sweep). When it fires, loops stop
+  /// refining and return partial values — the caller that armed the
+  /// token is expected to discard them (the serving layer reports
+  /// token->ToStatus() instead of the scores). nullptr = never stops.
+  /// Not an estimator parameter: results are bit-identical for any
+  /// token that never fires.
+  const CancelToken* cancel = nullptr;
 };
+
+/// The walk budget a query over an index with `index_walks` walks
+/// actually runs with.
+inline int EffectiveWalkBudget(const SemSimMcOptions& options,
+                               int index_walks) {
+  return options.walk_budget > 0 && options.walk_budget < index_walks
+             ? options.walk_budget
+             : index_walks;
+}
 
 /// Domain check shared by SemSimEngine::Create, BatchQueryEngine::Create
 /// and the differential verification harness: decay must lie in (0,1)
@@ -79,6 +109,16 @@ struct McQueryStats {
     normalizer_cache_hits += other.normalizer_cache_hits;
     shared_cache_hits += other.shared_cache_hits;
   }
+};
+
+/// Typed result of the batch entry points: the per-item values plus the
+/// instrumentation of the whole batch. Replaces the legacy
+/// `McQueryStats* stats = nullptr` out-param idiom — callers that want
+/// the counters read `.stats`, callers that don't simply ignore it.
+template <typename T>
+struct BatchResult {
+  std::vector<T> values;
+  McQueryStats stats;
 };
 
 /// Adds one stats record to the global MetricsRegistry's
@@ -235,6 +275,17 @@ struct WalkAccuracy {
 };
 WalkAccuracy RequiredWalkParameters(double epsilon, double delta,
                                     size_t num_nodes, double decay);
+
+/// Inverse of the n_w bound of Prop. 4.2: the additive error eps that a
+/// budget of `walk_budget` walks still guarantees with probability
+/// 1 - delta on a graph of `num_nodes` nodes,
+///   eps(n_b) = sqrt(14 (log(2/delta) + 2 log n) / (3 n_b)).
+/// This is the error band the serving layer reports when graceful
+/// degradation shrinks a request's walk budget. Monotone: fewer walks,
+/// wider band. Not clamped — budgets far below the Prop. 4.2
+/// requirement yield bands above 1, which is honest (the bound is
+/// vacuous there).
+double WalkBudgetErrorBand(int walk_budget, double delta, size_t num_nodes);
 
 /// The naive MC framework of Sec. 4.2: samples `num_walks` coupled SARWs
 /// of at most `walk_length` steps directly from the semantic-aware

@@ -142,7 +142,8 @@ uint64_t SingleSourceIndex::Fingerprint() const {
   return Fnv1a64(entries_.data(), entries_.size() * sizeof(Entry), h);
 }
 
-void SingleSourceIndex::EnumerateMeetings(NodeId u,
+void SingleSourceIndex::EnumerateMeetings(NodeId u, int walk_cap,
+                                          const CancelToken* cancel,
                                           QueryScratch& scratch) const {
   // met_stamp[v] == stamp → v already met u's current walk at an earlier
   // step. Stamps are unique per (epoch, walk), so stale entries from
@@ -150,7 +151,8 @@ void SingleSourceIndex::EnumerateMeetings(NodeId u,
   uint64_t stamp_base =
       scratch.epoch() * (static_cast<uint64_t>(num_walks_) + 1);
   std::vector<WalkMeeting>& meetings = scratch.meetings;
-  for (int w = 0; w < num_walks_; ++w) {
+  for (int w = 0; w < walk_cap; ++w) {
+    if (cancel != nullptr && cancel->ShouldStop()) break;
     const NodeId* walk_u = index_->WalkData(u, w);
     int len = index_->WalkLiveLength(u, w);
     uint64_t stamp = stamp_base + static_cast<uint64_t>(w) + 1;
@@ -181,7 +183,7 @@ void SingleSourceIndex::FirstMeetingsInto(NodeId u,
                                           QueryScratch& scratch) const {
   scratch.BindShape(num_nodes_, num_walks_);
   scratch.BeginQuery();
-  EnumerateMeetings(u, scratch);
+  EnumerateMeetings(u, num_walks_, nullptr, scratch);
 }
 
 std::vector<SingleSourceIndex::Meeting> SingleSourceIndex::FirstMeetings(
@@ -218,7 +220,12 @@ void SingleSourceIndex::SemSimFromInto(NodeId u,
       << "estimator wraps a different walk index";
   scratch.BindShape(num_nodes_, num_walks_);
   scratch.BeginQuery();
-  EnumerateMeetings(u, scratch);
+  // Walk-budget degradation: enumerate (and later average over) only the
+  // first n_b walks. Same enumeration, same order, same divisor as the
+  // full sweep when the budget covers the index.
+  const int budget = EffectiveWalkBudget(options, num_walks_);
+  const CancelToken* cancel = options.cancel;
+  EnumerateMeetings(u, budget, cancel, scratch);
   uint64_t epoch = scratch.epoch();
   // Stage counts for the whole sweep; published to the registry once at
   // the end (TopKFrom rides on this publish — it adds no queries of its
@@ -230,7 +237,14 @@ void SingleSourceIndex::SemSimFromInto(NodeId u,
   // back instead of paying a second LCA/IC evaluation per candidate.
   // Validity of sem_ok/sem_val is gated by the epoch stamp — no O(n)
   // reset between queries.
+  size_t processed = 0;
   for (const WalkMeeting& m : scratch.meetings) {
+    // Mid-sweep cancellation poll: cheap relative to the per-meeting
+    // IS reweighting (each CoupledWalkScore pays d²-cost normalizers).
+    if (cancel != nullptr && (processed++ & 255) == 0 &&
+        cancel->ShouldStop()) {
+      break;
+    }
     NodeId v = m.node;
     if (scratch.sem_epoch[v] != epoch) {
       scratch.sem_epoch[v] = epoch;
@@ -252,7 +266,7 @@ void SingleSourceIndex::SemSimFromInto(NodeId u,
   // Copy out with the final sem·(1/n_w) scaling, then restore the
   // all-zero invariant of scratch.scores by re-zeroing exactly the
   // entries this query's meetings touched.
-  double inv = 1.0 / static_cast<double>(num_walks_);
+  double inv = 1.0 / static_cast<double>(budget);
   out.resize(num_nodes_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
     double s = scratch.scores[v];

@@ -117,8 +117,12 @@ class SingleSourceIndex {
 
   /// Meeting enumeration into scratch.meetings under the current epoch;
   /// shared by FirstMeetingsInto and SemSimFromInto (scratch must be
-  /// bound and BeginQuery'd).
-  void EnumerateMeetings(NodeId u, QueryScratch& scratch) const;
+  /// bound and BeginQuery'd). Only walks < walk_cap are enumerated (the
+  /// serving layer's walk-budget degradation; pass num_walks_ for the
+  /// full index) and a fired `cancel` token stops the enumeration
+  /// between walks.
+  void EnumerateMeetings(NodeId u, int walk_cap, const CancelToken* cancel,
+                         QueryScratch& scratch) const;
 
   const WalkIndex* index_ = nullptr;
   size_t num_nodes_ = 0;

@@ -240,7 +240,7 @@ Result<ParsedArtifact> ParseArtifact(const uint8_t* data, size_t size,
     return Status::FailedPrecondition(
         "walk index was built for a graph with " +
         std::to_string(header.num_nodes) + " nodes, expected " +
-        std::to_string(expected_nodes));
+        std::to_string(expected_nodes) + ": " + path);
   }
   if (header.num_walks <= 0 || header.walk_length <= 0 ||
       header.walk_length > 65535 ||

@@ -12,10 +12,13 @@
 ///   taxonomy/  concept taxonomies, IC, LCA, semantic measures
 ///   core/      SemSim itself: exact solvers, G²/G²_θ, MC estimators,
 ///              indexes, query engines
+///   serving/   deadline-aware async query service over the batch engine
 ///   baselines/ every competitor of the paper's evaluation
 ///   datasets/  synthetic benchmark generators + serialization
 ///   eval/      task protocols and metrics
 
+#include "common/cancel.h"    // IWYU pragma: export
+#include "common/future.h"    // IWYU pragma: export
 #include "common/result.h"    // IWYU pragma: export
 #include "common/rng.h"       // IWYU pragma: export
 #include "common/stats.h"     // IWYU pragma: export
@@ -45,6 +48,9 @@
 #include "core/sling_cache.h"         // IWYU pragma: export
 #include "core/topk.h"                // IWYU pragma: export
 #include "core/walk_index.h"          // IWYU pragma: export
+
+#include "serving/admission_queue.h"  // IWYU pragma: export
+#include "serving/query_service.h"    // IWYU pragma: export
 
 #include "baselines/hetesim.h"        // IWYU pragma: export
 #include "baselines/line.h"           // IWYU pragma: export

@@ -1,0 +1,98 @@
+#ifndef SEMSIM_SERVING_ADMISSION_QUEUE_H_
+#define SEMSIM_SERVING_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+/// Bounded MPSC-ish FIFO behind QueryService: producers TryPush (never
+/// block — a full queue is an explicit admission failure, the load-
+/// shedding half of the overload story), the scheduler thread Pop-blocks
+/// for work. Close() wakes the popper and turns the drained queue into
+/// the shutdown signal. Any number of producers and consumers are safe;
+/// the service happens to use one consumer.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {
+    SEMSIM_CHECK(capacity > 0);
+  }
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed. On success the
+  /// item is moved in and true returned; on failure the item is left
+  /// untouched in the caller's hands (so the caller can still fail its
+  /// promise).
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed; nullopt
+  /// means closed-and-drained (the consumer's exit signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes blocked poppers. Items already
+  /// admitted remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Removes and returns everything currently queued (shutdown drain).
+  std::vector<T> DrainNow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return out;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_SERVING_ADMISSION_QUEUE_H_

@@ -546,7 +546,7 @@ class InstanceRunner {
 
     // H: the engine's batch answer equals its own estimator queried
     // serially, pair by pair (the QueryBatch contract).
-    std::vector<double> reference = gen1_->QueryBatch(pairs_);
+    std::vector<double> reference = gen1_->QueryBatch(pairs_).values;
     for (size_t i = 0; i < pairs_.size() && !suppressed_; ++i) {
       CheckBit("engine-batch-vs-serial",
                "QueryBatch[" + std::to_string(i) + "] vs estimator().Query",
@@ -559,7 +559,7 @@ class InstanceRunner {
     // results. Two rounds per engine exercise warm-cache replays; the
     // self-test hook perturbs the first flat round so harness unit tests
     // can prove a deviation is caught and reported with a repro line.
-    std::vector<double> flat_round1 = flat1_->QueryBatch(pairs_);
+    std::vector<double> flat_round1 = flat1_->QueryBatch(pairs_).values;
     if (opt_.self_test_perturbation != 0.0 && !flat_round1.empty()) {
       flat_round1[0] += opt_.self_test_perturbation;
     }
@@ -568,13 +568,13 @@ class InstanceRunner {
                       reference);
     CompareVectorsBit("engine-equivalence",
                       "flat 1-thread round 2 (warm caches) vs generic",
-                      flat1_->QueryBatch(pairs_), reference);
+                      flat1_->QueryBatch(pairs_).values, reference);
     CompareVectorsBit("engine-equivalence",
                       "flat N-thread round 1 vs generic",
-                      flatN_->QueryBatch(pairs_), reference);
+                      flatN_->QueryBatch(pairs_).values, reference);
     CompareVectorsBit("engine-equivalence",
                       "flat N-thread round 2 (warm caches) vs generic",
-                      flatN_->QueryBatch(pairs_), reference);
+                      flatN_->QueryBatch(pairs_).values, reference);
   }
 
   // ---- J-L: single-source and top-k ---------------------------------------
@@ -583,11 +583,11 @@ class InstanceRunner {
     if (!gen1_ || !flat1_ || !flatN_) return;
 
     std::vector<std::vector<double>> rows_gen =
-        gen1_->SingleSourceBatch(sources_);
+        gen1_->SingleSourceBatch(sources_).values;
     std::vector<std::vector<double>> rows_flat1 =
-        flat1_->SingleSourceBatch(sources_);
+        flat1_->SingleSourceBatch(sources_).values;
     std::vector<std::vector<double>> rows_flatN =
-        flatN_->SingleSourceBatch(sources_);
+        flatN_->SingleSourceBatch(sources_).values;
 
     for (size_t i = 0; i < sources_.size() && !suppressed_; ++i) {
       NodeId u = sources_[i];
@@ -618,7 +618,8 @@ class InstanceRunner {
     // K: TopKBatch is exactly the top-k extraction of the single-source
     // rows (score descending, node ascending, query excluded).
     size_t k = static_cast<size_t>(cfg_.top_k);
-    std::vector<std::vector<Scored>> topk = flatN_->TopKBatch(sources_, k);
+    std::vector<std::vector<Scored>> topk =
+        flatN_->TopKBatch(sources_, k).values;
     for (size_t i = 0; i < sources_.size() && !suppressed_; ++i) {
       ++report_.bit_checks;
       std::string msg = CheckTopKMatchesScores(

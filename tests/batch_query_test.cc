@@ -72,7 +72,7 @@ void ExpectBatchDeterministic(const Fixture& f, const SemSimMcOptions& mc) {
       Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
     // Two rounds: the second runs against a warm cross-query cache.
     for (int round = 0; round < 2; ++round) {
-      std::vector<double> got = engine.QueryBatch(pairs);
+      std::vector<double> got = engine.QueryBatch(pairs).values;
       ASSERT_EQ(got.size(), expected.size());
       for (size_t i = 0; i < got.size(); ++i) {
         ASSERT_EQ(got[i], expected[i])
@@ -118,7 +118,7 @@ TEST(BatchQuery, SingleSourceBatchMatchesSerialSweeps) {
       SingleSourceIndex::Build(f.index, f.dataset.graph.num_nodes());
 
   std::vector<NodeId> sources = {0, 3, 7, 11, 0, 3};
-  auto batch = engine.SingleSourceBatch(sources);
+  auto batch = engine.SingleSourceBatch(sources).values;
   ASSERT_EQ(batch.size(), sources.size());
   for (size_t i = 0; i < sources.size(); ++i) {
     std::vector<double> serial = inverted.SemSimFrom(sources[i], plain, mc);
@@ -146,7 +146,7 @@ TEST(BatchQuery, TopKBatchMatchesSerialTopK) {
   for (NodeId v = 0; v < f.dataset.graph.num_nodes(); ++v) {
     sources.push_back(v);
   }
-  auto batch = engine.TopKBatch(sources, 3);
+  auto batch = engine.TopKBatch(sources, 3).values;
   ASSERT_EQ(batch.size(), sources.size());
   for (size_t i = 0; i < sources.size(); ++i) {
     std::vector<Scored> serial = inverted.TopKFrom(sources[i], 3, plain, mc);
@@ -167,13 +167,11 @@ TEST(BatchQuery, SharedCacheHitsAccumulateAcrossRepeatedSingleSource) {
       Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
 
   std::vector<NodeId> sources = {1, 2, 5};
-  McQueryStats first;
-  engine.SingleSourceBatch(sources, &first);
+  McQueryStats first = engine.SingleSourceBatch(sources).stats;
   // Repeating the same sources must be answered largely from the
   // cross-query normalizer cache: nonzero hits, and strictly fewer d²
   // computations than a cold engine performed.
-  McQueryStats second;
-  engine.SingleSourceBatch(sources, &second);
+  McQueryStats second = engine.SingleSourceBatch(sources).stats;
   EXPECT_GT(second.shared_cache_hits, 0);
   EXPECT_LT(second.normalizers_computed, first.normalizers_computed);
   EXPECT_GT(engine.normalizer_cache()->hits(), 0u);
@@ -261,24 +259,127 @@ TEST(BatchQuery, CreateAcceptsValidOptionsAfterAllRejections) {
       BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt).ok());
 }
 
-TEST(BatchQuery, DeprecatedConstructorMatchesCreateBitForBit) {
+TEST(BatchQuery, CreateRejectsNegativeWalkBudget) {
+  Fixture f = Figure1Fixture();
+  BatchQueryEngineOptions opt;
+  opt.query.mc.walk_budget = -1;
+  ExpectCreateRejects(&f.dataset.graph, &f.lin, &f.index, opt,
+                      "walk_budget must be >= 0");
+}
+
+// The legacy `McQueryStats*` out-param overloads are thin shims over the
+// BatchResult API: same values, same stats.
+TEST(BatchQuery, DeprecatedStatsOutParamShimsMatchBatchResult) {
   Fixture f = AminerFixture();
   BatchQueryEngineOptions opt;
   opt.num_threads = 2;
   opt.query.mc = SemSimMcOptions{0.6, 0.05};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  BatchQueryEngine legacy(&f.dataset.graph, &f.lin, &f.index, opt);
-#pragma GCC diagnostic pop
-  BatchQueryEngine created =
+  BatchQueryEngine engine =
       Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
   std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 80);
-  std::vector<double> a = legacy.QueryBatch(pairs);
-  std::vector<double> b = created.QueryBatch(pairs);
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i], b[i]) << "item=" << i;
+  std::vector<NodeId> sources = {0, 3, 7};
+
+  BatchResult<double> q = engine.QueryBatch(pairs);
+  BatchResult<std::vector<double>> ss = engine.SingleSourceBatch(sources);
+  BatchResult<std::vector<Scored>> tk = engine.TopKBatch(sources, 5);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  McQueryStats q_stats;
+  std::vector<double> q_legacy = engine.QueryBatch(pairs, &q_stats);
+  McQueryStats ss_stats;
+  std::vector<std::vector<double>> ss_legacy =
+      engine.SingleSourceBatch(sources, &ss_stats);
+  McQueryStats tk_stats;
+  std::vector<std::vector<Scored>> tk_legacy =
+      engine.TopKBatch(sources, 5, &tk_stats);
+#pragma GCC diagnostic pop
+
+  EXPECT_EQ(q_legacy, q.values);
+  EXPECT_EQ(ss_legacy, ss.values);
+  ASSERT_EQ(tk_legacy.size(), tk.values.size());
+  for (size_t i = 0; i < tk_legacy.size(); ++i) {
+    ASSERT_EQ(tk_legacy[i].size(), tk.values[i].size());
+    for (size_t j = 0; j < tk_legacy[i].size(); ++j) {
+      EXPECT_EQ(tk_legacy[i][j].node, tk.values[i][j].node);
+      EXPECT_EQ(tk_legacy[i][j].score, tk.values[i][j].score);
+    }
   }
+  EXPECT_EQ(q_stats.met_walks, q.stats.met_walks);
+  EXPECT_GT(ss_stats.met_walks, 0);
+  EXPECT_EQ(ss_stats.met_walks, ss.stats.met_walks);
+  EXPECT_EQ(tk_stats.met_walks, tk.stats.met_walks);
+}
+
+// A full (or zero) walk_budget override and an unfired cancel token are
+// both bit-exact no-ops relative to the engine's own options.
+TEST(BatchQuery, FullWalkBudgetAndUnfiredTokenAreBitExactNoOps) {
+  Fixture f = AminerFixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 2;
+  opt.query.mc = SemSimMcOptions{0.6, 0.05};
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
+  std::vector<NodePair> pairs = MakePairs(f.dataset.graph.num_nodes(), 120);
+  std::vector<double> want = engine.QueryBatch(pairs).values;
+
+  CancelToken token;  // never fired
+  SemSimMcOptions mc = opt.query.mc;
+  mc.walk_budget = f.index.num_walks();
+  mc.cancel = &token;
+  EXPECT_EQ(engine.QueryBatch(pairs, mc).values, want);
+  EXPECT_GT(token.polls(), 0u);
+  EXPECT_FALSE(token.observed());
+
+  mc.walk_budget = 0;  // 0 = the full index
+  EXPECT_EQ(engine.QueryBatch(pairs, mc).values, want);
+}
+
+// A reduced walk budget means the same thing on every query path: the
+// pair estimator, the single-source sweep, and top-k all restrict to the
+// first n_b walks and average over n_b. Pair vs sweep agree up to the
+// documented summation-order band; top-k is exactly the budgeted rows.
+TEST(BatchQuery, WalkBudgetConsistentAcrossPairSweepAndTopK) {
+  Fixture f = AminerFixture();
+  BatchQueryEngineOptions opt;
+  opt.num_threads = 2;
+  opt.query.mc = SemSimMcOptions{0.6, 0.05};
+  BatchQueryEngine engine =
+      Unwrap(BatchQueryEngine::Create(&f.dataset.graph, &f.lin, &f.index, opt));
+  SemSimMcOptions budgeted = opt.query.mc;
+  budgeted.walk_budget = 10;
+
+  std::vector<NodeId> sources = {0, 5, 9};
+  auto rows = engine.SingleSourceBatch(sources, budgeted).values;
+  ASSERT_EQ(rows.size(), sources.size());
+  size_t n = f.dataset.graph.num_nodes();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::vector<NodePair> pairs;
+    for (NodeId v = 0; v < n; ++v) pairs.push_back({sources[i], v});
+    std::vector<double> got = engine.QueryBatch(pairs, budgeted).values;
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_NEAR(rows[i][v], got[v], 1e-10)
+          << "source=" << sources[i] << " v=" << v;
+    }
+  }
+  // Top-k over the budgeted sweep is the top-k of the budgeted rows.
+  auto topk = engine.TopKBatch(sources, 4, budgeted).values;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (const Scored& s : topk[i]) {
+      EXPECT_EQ(s.score, rows[i][s.node]);
+    }
+  }
+}
+
+TEST(BatchQuery, WalkBudgetErrorBandWidensAsBudgetShrinks) {
+  size_t n = 1000;
+  double full_band = WalkBudgetErrorBand(150, 0.05, n);
+  double degraded_band = WalkBudgetErrorBand(10, 0.05, n);
+  EXPECT_GT(degraded_band, full_band);
+  // Round trip with Prop. 4.2: the budget RequiredWalkParameters picks
+  // for a target eps guarantees a band no wider than eps.
+  WalkAccuracy acc = RequiredWalkParameters(0.3, 0.05, n, 0.6);
+  EXPECT_LE(WalkBudgetErrorBand(acc.num_walks, 0.05, n), 0.3 + 1e-12);
 }
 
 TEST(BatchQuery, NullStatsCallSitesStillPublishToRegistry) {
@@ -295,7 +396,7 @@ TEST(BatchQuery, NullStatsCallSitesStillPublishToRegistry) {
       "semsim_query_published_total");
   uint64_t met_before = met->Value();
   uint64_t published_before = published->Value();
-  engine.QueryBatch(pairs);  // legacy stats = nullptr
+  engine.QueryBatch(pairs);  // result (and its stats) dropped on the floor
   EXPECT_GT(met->Value(), met_before);
   EXPECT_GT(published->Value(), published_before);
 }

@@ -236,9 +236,9 @@ TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
         BatchQueryEngine::Create(&d.graph, &lin, &index, generic_opt));
     EXPECT_EQ(reference.kernel_name(), "generic");
     EXPECT_EQ(reference.transition_table(), nullptr);
-    std::vector<double> want = reference.QueryBatch(pairs);
-    auto want_sources = reference.SingleSourceBatch(sources);
-    auto want_topk = reference.TopKBatch(sources, 10);
+    std::vector<double> want = reference.QueryBatch(pairs).values;
+    auto want_sources = reference.SingleSourceBatch(sources).values;
+    auto want_topk = reference.TopKBatch(sources, 10).values;
 
     for (int threads : {1, 2, 8}) {
       BatchQueryEngineOptions opt;
@@ -253,7 +253,7 @@ TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
       EXPECT_EQ(engine.cached_semantic(), nullptr);
 
       for (int round = 0; round < 2; ++round) {
-        std::vector<double> got = engine.QueryBatch(pairs);
+        std::vector<double> got = engine.QueryBatch(pairs).values;
         ASSERT_EQ(got.size(), want.size());
         for (size_t i = 0; i < got.size(); ++i) {
           ASSERT_EQ(got[i], want[i])
@@ -261,14 +261,14 @@ TEST(FlatKernelEngine, BatchesBitIdenticalAcrossKernelsAndThreads) {
               << round;
         }
       }
-      auto got_sources = engine.SingleSourceBatch(sources);
+      auto got_sources = engine.SingleSourceBatch(sources).values;
       ASSERT_EQ(got_sources.size(), want_sources.size());
       for (size_t i = 0; i < got_sources.size(); ++i) {
         for (size_t v = 0; v < got_sources[i].size(); ++v) {
           ASSERT_EQ(got_sources[i][v], want_sources[i][v]);
         }
       }
-      auto got_topk = engine.TopKBatch(sources, 10);
+      auto got_topk = engine.TopKBatch(sources, 10).values;
       for (size_t i = 0; i < got_topk.size(); ++i) {
         ASSERT_EQ(got_topk[i].size(), want_topk[i].size());
         for (size_t j = 0; j < got_topk[i].size(); ++j) {
@@ -301,8 +301,8 @@ TEST(FlatKernelEngine, ConstantMeasureFallsBackToVirtual) {
       BatchQueryEngine::Create(&d.graph, &constant, &index, generic_opt));
 
   std::vector<NodePair> pairs = MakePairs(d.graph.num_nodes(), 120);
-  std::vector<double> got = flat_engine.QueryBatch(pairs);
-  std::vector<double> want = generic_engine.QueryBatch(pairs);
+  std::vector<double> got = flat_engine.QueryBatch(pairs).values;
+  std::vector<double> want = generic_engine.QueryBatch(pairs).values;
   for (size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], want[i]);
 }
 
