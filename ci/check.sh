@@ -40,11 +40,19 @@
 #           (<60s); extended = 1000 further seeds for the nightly lane.
 #           Failing seeds dump replayable artifacts under
 #           build/verify-artifacts/.
+#   stress — fault-injection + stress harness (DESIGN.md §13): the
+#           failpoint registry and per-site tests, then semsim_stress
+#           seed sweeps replaying randomized schedules (overload bursts,
+#           deadline mixes, cancel storms, mid-flight shutdown, armed
+#           failpoints) against the QueryService under both ASan and
+#           TSan. Failing seeds dump replayable schedules under
+#           build-{asan,tsan}/stress-artifacts/; replay any of them with
+#           semsim_stress --seed=<N>.
 #
 # Usage: ci/check.sh
 #   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
 #    --coldstart|--walkbuild|--service-smoke|--verify-smoke|
-#    --verify-extended]
+#    --verify-extended|--stress-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,12 +90,18 @@ tsan() {
   # pass (disjoint slot ranges) across thread counts.
   # query_service_test exercises the scheduler thread, the admission
   # queue, promise/future handoff, and cooperative cancellation races.
+  # admission_queue_test / future_test / cancel_test cover the queue's
+  # multi-producer contention and Close wakeups, promise/future handoff,
+  # and shared-token cancellation; failpoint_test arms registry sites
+  # concurrently with evaluation; stress_test replays one seed per
+  # stress scenario in-process.
   cmake --build build-tsan -j "${JOBS}" \
     --target parallel_test batch_query_test concurrent_cache_test \
     flat_kernel_test metrics_test single_source_test node_sampler_test \
-    query_service_test
+    query_service_test admission_queue_test future_test cancel_test \
+    failpoint_test stress_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test|node_sampler_test|query_service_test'
+    -R 'parallel_test|batch_query_test|concurrent_cache_test|flat_kernel_test|metrics_test|single_source_test|node_sampler_test|query_service_test|admission_queue_test|future_test|cancel_test|failpoint_test|stress_test'
 }
 
 bench_smoke() {
@@ -162,6 +176,28 @@ verify_extended() {
     --dump-dir=build/verify-artifacts
 }
 
+stress_smoke() {
+  echo "=== stress smoke: fault-injection + service stress under ASan/TSan ==="
+  # ASan half: the failpoint/queue/future/cancel unit surface plus a
+  # 30-seed sweep (5 rotations of the 6-scenario matrix).
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DSEMSIM_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+    --target semsim_stress failpoint_test admission_queue_test \
+    future_test cancel_test mapped_file_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'failpoint_test|admission_queue_test|future_test|cancel_test|mapped_file_test'
+  ./build-asan/src/testing/semsim_stress --start-seed=1 --instances=30 \
+    --dump-dir=build-asan/stress-artifacts
+  # TSan half: a shorter sweep — the schedules are identical (pure
+  # functions of the seed), the interleavings are what TSan adds.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSEMSIM_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target semsim_stress
+  ./build-tsan/src/testing/semsim_stress --start-seed=1 --instances=12 \
+    --dump-dir=build-tsan/stress-artifacts
+}
+
 case "${MODE}" in
   --tier1-only) tier1 ;;
   --asan-only) asan ;;
@@ -173,7 +209,8 @@ case "${MODE}" in
   --service-smoke) service_smoke ;;
   --verify-smoke) verify_smoke ;;
   --verify-extended) verify_extended ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; service_smoke; verify_smoke ;;
+  --stress-smoke) stress_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; service_smoke; verify_smoke; stress_smoke ;;
 esac
 
 echo "=== all checks passed ==="

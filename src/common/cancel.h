@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 
 namespace semsim {
@@ -75,6 +76,11 @@ class CancelToken {
   bool ShouldStop() const {
     polls_.fetch_add(1, std::memory_order_relaxed);
     bool stop = cancelled() || deadline_exceeded();
+    // Injected stop: drives the cooperative-unwind path without arming
+    // the token itself, so a test can force a loop to observe a stop at
+    // a chosen poll. The token's own state (cancelled / deadline) stays
+    // unfired — only the poll result is flipped.
+    if (!stop && SEMSIM_FAILPOINT_TRIGGERED("cancel/should_stop")) stop = true;
     if (stop) observed_.store(true, std::memory_order_release);
     return stop;
   }

@@ -1,0 +1,155 @@
+#include "common/failpoint.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace semsim {
+
+std::atomic<uint64_t> FailPoints::armed_count_{0};
+
+FailPoints& FailPoints::Global() {
+  // Leaked like MetricsRegistry::Global(): sites may be evaluated from
+  // worker threads during static teardown.
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+void FailPoints::Arm(std::string_view site, Site state) {
+  SEMSIM_CHECK(!site.empty()) << "failpoint site name must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    sites_.emplace(std::string(site), std::move(state));
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-arming replaces the policy and restarts the counters.
+    it->second = std::move(state);
+  }
+}
+
+void FailPoints::ArmError(std::string_view site, Status status,
+                          uint64_t skip_hits, uint64_t max_fires) {
+  SEMSIM_CHECK(!status.ok()) << "failpoint error policy needs a non-OK status";
+  Site s;
+  s.mode = FailPointMode::kError;
+  s.status = std::move(status);
+  s.skip_hits = skip_hits;
+  s.max_fires = max_fires;
+  Arm(site, std::move(s));
+}
+
+void FailPoints::ArmDelay(std::string_view site,
+                          std::chrono::nanoseconds delay) {
+  SEMSIM_CHECK(delay.count() >= 0);
+  Site s;
+  s.mode = FailPointMode::kDelay;
+  s.delay = delay;
+  Arm(site, std::move(s));
+}
+
+void FailPoints::ArmNthHit(std::string_view site, uint64_t nth,
+                           Status status) {
+  SEMSIM_CHECK(nth >= 1) << "hit counts are 1-based";
+  SEMSIM_CHECK(!status.ok()) << "failpoint error policy needs a non-OK status";
+  Site s;
+  s.mode = FailPointMode::kNthHit;
+  s.nth = nth;
+  s.status = std::move(status);
+  Arm(site, std::move(s));
+}
+
+void FailPoints::ArmProbability(std::string_view site, double p, uint64_t seed,
+                                Status status) {
+  SEMSIM_CHECK(p >= 0.0 && p <= 1.0) << "probability " << p;
+  SEMSIM_CHECK(!status.ok()) << "failpoint error policy needs a non-OK status";
+  Site s;
+  s.mode = FailPointMode::kProbability;
+  s.probability = p;
+  s.rng.Seed(seed);
+  s.status = std::move(status);
+  Arm(site, std::move(s));
+}
+
+void FailPoints::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  sites_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailPoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(sites_.size(), std::memory_order_relaxed);
+  sites_.clear();
+}
+
+uint64_t FailPoints::Hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::Fires(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::vector<FailPointInfo> FailPoints::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailPointInfo> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, s] : sites_) {
+    FailPointInfo info;
+    info.site = name;
+    info.mode = s.mode;
+    info.hits = s.hits;
+    info.fires = s.fires;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status FailPoints::Evaluate(const char* site) {
+  std::chrono::nanoseconds delay{0};
+  Status fired;  // OK = pass through
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(std::string_view(site));
+    if (it == sites_.end()) return Status::OK();
+    Site& s = it->second;
+    ++s.hits;
+    delay = s.delay;
+    bool fire = false;
+    switch (s.mode) {
+      case FailPointMode::kError:
+        fire = s.hits > s.skip_hits && s.fires < s.max_fires;
+        break;
+      case FailPointMode::kDelay:
+        // The armed action (the sleep) is taken on every hit; count it
+        // as a fire so tests can assert the delay actually applied. The
+        // status stays OK — a delay never fails the seam.
+        ++s.fires;
+        break;
+      case FailPointMode::kNthHit:
+        fire = s.hits == s.nth;
+        break;
+      case FailPointMode::kProbability:
+        fire = s.rng.NextDouble() < s.probability;
+        break;
+    }
+    if (fire) {
+      ++s.fires;
+      fired = s.status;
+    }
+  }
+  // Sleep outside the registry lock so a delay site cannot serialize
+  // unrelated sites (the whole point of a delay is concurrency).
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return fired;
+}
+
+}  // namespace semsim

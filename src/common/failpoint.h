@@ -1,0 +1,197 @@
+#ifndef SEMSIM_COMMON_FAILPOINT_H_
+#define SEMSIM_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+/// Fault-injection sites (DESIGN.md §13). A FailPoint is a named hook
+/// compiled into an error-handling seam (artifact open, section parse,
+/// queue admission, scheduler dispatch, cancellation poll). Tests and
+/// the stress harness arm a site with a policy — return an error, sleep,
+/// fire on the N-th hit, fire with a seeded probability — and the code
+/// under test takes its real failure path without any filesystem or
+/// scheduler contortions.
+///
+/// Cost model:
+///   - disarmed (the always state in production): every site is one
+///     relaxed atomic load of a process-wide armed-site count — no lock,
+///     no lookup, no string touch;
+///   - compiled out (SEMSIM_FAILPOINTS == 0): the macros expand to
+///     nothing / `false`, so release binaries carry zero residue.
+///
+/// SEMSIM_FAILPOINTS defaults to 1 in debug builds and 0 under NDEBUG;
+/// the build overrides it explicitly (the repo's CMake passes
+/// -DSEMSIM_FAILPOINTS=1 in every preset so the RelWithDebInfo test
+/// builds keep their sites; ship builds pass 0).
+#if !defined(SEMSIM_FAILPOINTS)
+#if defined(NDEBUG)
+#define SEMSIM_FAILPOINTS 0
+#else
+#define SEMSIM_FAILPOINTS 1
+#endif
+#endif
+
+namespace semsim {
+
+/// What an armed site does when a hit fires. Policies are single-shot
+/// state machines over the site's hit counter; see the Arm* calls.
+enum class FailPointMode {
+  kError,        // return the armed Status on every firing hit
+  kDelay,        // sleep; never returns an error
+  kNthHit,       // return the armed Status exactly once, on hit #n
+  kProbability,  // return the armed Status with probability p (seeded)
+};
+
+/// Observable state of one site (test assertions, stress reports).
+struct FailPointInfo {
+  std::string site;
+  FailPointMode mode = FailPointMode::kError;
+  uint64_t hits = 0;   // evaluations while armed
+  uint64_t fires = 0;  // evaluations that took the armed action
+};
+
+/// Process-wide registry of armed sites. All members are thread-safe;
+/// arming/disarming concurrently with evaluations is the expected use
+/// (the stress harness arms sites while the service scheduler runs).
+///
+/// Site naming convention: "<module>/<seam>", lower_snake within each
+/// half — e.g. "mapped_file/mmap", "admission_queue/try_push". The
+/// canonical site list lives in DESIGN.md §13; grep for
+/// SEMSIM_FAILPOINT to enumerate them in code.
+class FailPoints {
+ public:
+  /// The registry every compiled-in site evaluates against.
+  static FailPoints& Global();
+
+  /// True when at least one site is armed anywhere in the process. This
+  /// is the only check a disarmed site performs (relaxed load).
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms `site` to return `status` on every hit after skipping the
+  /// first `skip_hits`, for at most `max_fires` firings (and every hit
+  /// afterwards passes through). `status` must not be OK.
+  void ArmError(std::string_view site, Status status, uint64_t skip_hits = 0,
+                uint64_t max_fires = kUnlimited);
+
+  /// Arms `site` to sleep `delay` on every hit. Never returns an error;
+  /// used to widen race windows deterministically.
+  void ArmDelay(std::string_view site, std::chrono::nanoseconds delay);
+
+  /// Arms `site` to return `status` exactly once, on the `nth` hit
+  /// (1-based) counted from arming.
+  void ArmNthHit(std::string_view site, uint64_t nth, Status status);
+
+  /// Arms `site` to return `status` on each hit independently with
+  /// probability `p`, drawn from a PRNG seeded with `seed` (so a given
+  /// evaluation order reproduces the same firing pattern).
+  void ArmProbability(std::string_view site, double p, uint64_t seed,
+                      Status status);
+
+  /// Disarms one site / every site. Counters are discarded with the
+  /// site; Disarm of an unarmed site is a no-op.
+  void Disarm(std::string_view site);
+  void DisarmAll();
+
+  /// Hits/fires of an armed site; zero for unarmed sites (sites only
+  /// count while armed — the disarmed path never reaches the registry).
+  uint64_t Hits(std::string_view site) const;
+  uint64_t Fires(std::string_view site) const;
+
+  /// Snapshot of every armed site, name-sorted.
+  std::vector<FailPointInfo> ArmedSites() const;
+
+  /// Evaluates `site`: counts the hit, applies an armed delay, and
+  /// returns the armed Status when the policy fires (OK otherwise, and
+  /// always OK for unarmed sites). Call through the macros below so the
+  /// disarmed fast path and the compiled-out build stay zero-cost.
+  Status Evaluate(const char* site);
+
+  /// Evaluate() reduced to "did it fire" — for seams that synthesize a
+  /// failure themselves (a bool return, a forced branch) instead of
+  /// propagating a Status.
+  bool EvaluateTriggered(const char* site) { return !Evaluate(site).ok(); }
+
+ private:
+  static constexpr uint64_t kUnlimited = ~uint64_t{0};
+
+  /// One armed site's policy + counters, all guarded by mu_.
+  struct Site {
+    FailPointMode mode = FailPointMode::kError;
+    Status status;
+    std::chrono::nanoseconds delay{0};
+    uint64_t skip_hits = 0;
+    uint64_t max_fires = kUnlimited;
+    uint64_t nth = 0;
+    double probability = 0.0;
+    Rng rng;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  static std::atomic<uint64_t> armed_count_;
+
+  void Arm(std::string_view site, Site state);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+}  // namespace semsim
+
+// ---------------------------------------------------------------------------
+// Site macros. `site` must be a string literal.
+//
+//   SEMSIM_FAILPOINT(site)            void; applies delay / counts a hit
+//   SEMSIM_FAILPOINT_RETURN(site)     returns the armed Status from the
+//                                     enclosing function when the site
+//                                     fires (works in functions returning
+//                                     Status or Result<T>)
+//   SEMSIM_FAILPOINT_TRIGGERED(site)  bool expression: did the site fire
+// ---------------------------------------------------------------------------
+
+#if SEMSIM_FAILPOINTS
+
+#define SEMSIM_FAILPOINT(site)                                   \
+  do {                                                           \
+    if (::semsim::FailPoints::AnyArmed()) {                      \
+      (void)::semsim::FailPoints::Global().Evaluate(site);       \
+    }                                                            \
+  } while (false)
+
+#define SEMSIM_FAILPOINT_RETURN(site)                            \
+  do {                                                           \
+    if (::semsim::FailPoints::AnyArmed()) {                      \
+      ::semsim::Status _semsim_fp_status =                       \
+          ::semsim::FailPoints::Global().Evaluate(site);         \
+      if (!_semsim_fp_status.ok()) return _semsim_fp_status;     \
+    }                                                            \
+  } while (false)
+
+#define SEMSIM_FAILPOINT_TRIGGERED(site)                         \
+  (::semsim::FailPoints::AnyArmed() &&                           \
+   ::semsim::FailPoints::Global().EvaluateTriggered(site))
+
+#else  // !SEMSIM_FAILPOINTS
+
+#define SEMSIM_FAILPOINT(site) \
+  do {                         \
+  } while (false)
+#define SEMSIM_FAILPOINT_RETURN(site) \
+  do {                                \
+  } while (false)
+#define SEMSIM_FAILPOINT_TRIGGERED(site) (false)
+
+#endif  // SEMSIM_FAILPOINTS
+
+#endif  // SEMSIM_COMMON_FAILPOINT_H_

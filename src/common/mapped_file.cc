@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -66,6 +67,9 @@ void MappedFile::Reset() {
 }
 
 Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
+  // Simulated mid-read I/O failure (a disk error after a successful
+  // open — the path no plain test fixture can hit).
+  SEMSIM_FAILPOINT_RETURN("mapped_file/read");
   Metrics().opens->Add(1);
   Metrics().fallbacks->Add(1);
   std::ifstream in(path, std::ios::binary);
@@ -90,6 +94,7 @@ Result<MappedFile> MappedFile::OpenBuffered(const std::string& path) {
 }
 
 Result<MappedFile> MappedFile::Open(const std::string& path) {
+  SEMSIM_FAILPOINT_RETURN("mapped_file/open");
 #if SEMSIM_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError("cannot open for reading: " + path);
@@ -107,6 +112,12 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
     file.path_ = path;
     file.mapped_ = true;  // zero-copy trivially; nothing to fault in
     return file;
+  }
+  // Simulated mmap failure: the buffered fallback is otherwise only
+  // reachable on filesystems that refuse MAP_PRIVATE.
+  if (SEMSIM_FAILPOINT_TRIGGERED("mapped_file/mmap")) {
+    ::close(fd);
+    return OpenBuffered(path);
   }
   void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps its own reference to the file

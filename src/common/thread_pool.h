@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -161,6 +162,9 @@ class ThreadPool {
     while (true) {
       size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
       if (c >= job_num_chunks_) break;
+      // Delay-only site: staggers chunk dispatch so races between
+      // workers and cancellation/shutdown get a wider window.
+      SEMSIM_FAILPOINT("thread_pool/dispatch");
       size_t lo = job_begin_ + c * job_chunk_size_;
       size_t hi = std::min(job_end_, lo + job_chunk_size_);
       if (job_stop_ == nullptr || !job_stop_->ShouldStop()) {

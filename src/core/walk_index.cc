@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "common/fnv.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -213,6 +214,9 @@ Result<ParsedArtifact> ParseArtifact(const uint8_t* data, size_t size,
                                      const std::string& path,
                                      size_t expected_nodes,
                                      bool verify_checksums) {
+  // Simulated section-read failure, shared by Load and Map (a page of
+  // the artifact going bad between open and parse).
+  SEMSIM_FAILPOINT_RETURN("walk_index/section");
   if (size < sizeof(WalkIndexHeader)) {
     return Status::IOError("not a walk-index file (too short): " + path);
   }
@@ -431,6 +435,7 @@ Result<WalkIndex> WalkIndex::Load(const std::string& path,
 
 Result<WalkIndex> WalkIndex::LoadImpl(const std::string& path,
                                       size_t expected_nodes) {
+  SEMSIM_FAILPOINT_RETURN("walk_index/load");
   // One buffered read of the whole artifact; parsing and checksum
   // verification run over the buffer, then the sections are copied into
   // owned storage. (A corrupted size field cannot trigger a giant
@@ -472,6 +477,7 @@ Result<WalkIndex> WalkIndex::Map(const std::string& path,
 Result<WalkIndex> WalkIndex::MapImpl(const std::string& path,
                                      size_t expected_nodes,
                                      const WalkIndexMapOptions& map_options) {
+  SEMSIM_FAILPOINT_RETURN("walk_index/map");
   SEMSIM_ASSIGN_OR_RETURN(MappedFile file,
                           map_options.force_buffered
                               ? MappedFile::OpenBuffered(path)

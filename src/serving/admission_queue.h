@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace semsim {
@@ -33,6 +34,10 @@ class AdmissionQueue {
   /// untouched in the caller's hands (so the caller can still fail its
   /// promise).
   bool TryPush(T& item) {
+    // Injected admission failure: behaves exactly like a full queue
+    // (item untouched, caller fails its promise) without needing the
+    // queue to actually fill — the load-shedding path under test.
+    if (SEMSIM_FAILPOINT_TRIGGERED("admission_queue/try_push")) return false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -45,6 +50,10 @@ class AdmissionQueue {
   /// Blocks until an item is available or the queue is closed; nullopt
   /// means closed-and-drained (the consumer's exit signal).
   std::optional<T> Pop() {
+    // Delay-only site: widens the window between a consumer deciding to
+    // block and Close()'s wakeup (the lost-notify race the stress
+    // schedules hunt for).
+    SEMSIM_FAILPOINT("admission_queue/pop");
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;

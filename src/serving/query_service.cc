@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "serving/admission_queue.h"
@@ -93,6 +94,10 @@ void QueryService::Impl::Run() {
   while (true) {
     std::optional<PendingRequest> item = queue.Pop();
     if (!item.has_value()) break;  // closed and drained
+    // Delay-only site: holds a popped request between dequeue and
+    // execution, widening the race against Shutdown's `stopping` flag
+    // and against caller-side cancellation.
+    SEMSIM_FAILPOINT("query_service/scheduler");
     metrics.queue_depth->Sub(1);
     QueryResponse resp;
     if (stopping.load(std::memory_order_acquire)) {
@@ -303,14 +308,23 @@ Future<QueryResponse> QueryService::Submit(QueryRequest request,
     return future;
   }
   if (!impl.queue.TryPush(item)) {
-    // Explicit rejection: bounded queue, bounded queueing delay. The
-    // caller sees kResourceExhausted immediately instead of a request
-    // that ages out in line.
-    impl.metrics.rejected->Add(1);
     QueryResponse resp;
-    resp.status = Status::ResourceExhausted(
-        "admission queue full (capacity " +
-        std::to_string(impl.queue.capacity()) + ")");
+    if (impl.stopping.load(std::memory_order_acquire)) {
+      // Shutdown landed between the stopping check above and the push:
+      // the queue is closed, not full. Report what actually happened
+      // instead of a capacity rejection (the admission-queue mutex
+      // orders Close()'s critical section before this failed push, so
+      // a closed-queue failure always observes stopping == true).
+      resp.status = Status::FailedPrecondition("service is shut down");
+    } else {
+      // Explicit rejection: bounded queue, bounded queueing delay. The
+      // caller sees kResourceExhausted immediately instead of a request
+      // that ages out in line.
+      impl.metrics.rejected->Add(1);
+      resp.status = Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(impl.queue.capacity()) + ")");
+    }
     item.promise.Set(std::move(resp));
     return future;
   }

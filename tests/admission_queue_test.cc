@@ -1,0 +1,180 @@
+#include "serving/admission_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/future.h"
+
+namespace semsim {
+namespace {
+
+TEST(AdmissionQueue, FifoWithinCapacity) {
+  AdmissionQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) {
+    int item = i;
+    EXPECT_TRUE(queue.TryPush(item));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(overflow)) << "push beyond capacity must fail";
+  EXPECT_EQ(overflow, 99) << "a rejected item is left in the caller's hands";
+  for (int i = 0; i < 4; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(AdmissionQueue, RejectedPushLeavesMoveOnlyItemIntact) {
+  AdmissionQueue<std::string> queue(1);
+  std::string first = "one";
+  ASSERT_TRUE(queue.TryPush(first));
+  std::string second = "two";
+  EXPECT_FALSE(queue.TryPush(second));
+  EXPECT_EQ(second, "two") << "failed TryPush must not move the item out";
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(second)) << "closed queue rejects pushes";
+  EXPECT_EQ(second, "two");
+}
+
+TEST(AdmissionQueue, MultiProducerContentionAdmitsExactlyCapacity) {
+  // Far more producers than slots: exactly `capacity` pushes may win,
+  // every loser keeps its item, and the admitted set pops out intact.
+  constexpr size_t kCapacity = 8;
+  constexpr int kProducers = 16;
+  constexpr int kPerProducer = 4;
+  AdmissionQueue<int> queue(kCapacity);
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  Latch start(1);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      start.Wait();
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        if (queue.TryPush(item)) {
+          admitted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+          EXPECT_EQ(item, p * kPerProducer + i);
+        }
+      }
+    });
+  }
+  start.CountDown();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(admitted.load(), static_cast<int>(kCapacity));
+  EXPECT_EQ(admitted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.size(), kCapacity);
+  // Every admitted item pops exactly once.
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (size_t i = 0; i < kCapacity; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_GE(*item, 0);
+    ASSERT_LT(*item, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[static_cast<size_t>(*item)]) << "duplicate pop";
+    seen[static_cast<size_t>(*item)] = true;
+  }
+}
+
+TEST(AdmissionQueue, CloseWakesABlockedPopper) {
+  AdmissionQueue<int> queue(2);
+  Latch popping(1);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    popping.CountDown();
+    auto item = queue.Pop();  // blocks: queue is empty
+    EXPECT_FALSE(item.has_value()) << "closed-and-drained pops nullopt";
+    woke.store(true);
+  });
+  popping.Wait();
+  // Give the popper time to actually block on the condition variable —
+  // the lost-notify bug this guards against needs the wait to be real.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  queue.Close();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(AdmissionQueue, BacklogDrainsFifoAfterClose) {
+  AdmissionQueue<int> queue(4);
+  for (int i = 0; i < 3; ++i) {
+    int item = i;
+    ASSERT_TRUE(queue.TryPush(item));
+  }
+  queue.Close();
+  // Items admitted before Close remain poppable, in order; only then
+  // does Pop signal the drained shutdown.
+  for (int i = 0; i < 3; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(AdmissionQueue, MultiConsumerCloseWithBacklogWakesEveryone) {
+  // Several consumers blocked on an empty queue, a backlog pushed, then
+  // Close: every backlog item must reach exactly one consumer and every
+  // consumer must wake and exit. Guards the notify_all in Close and the
+  // notify_one per push against consumer starvation.
+  constexpr int kConsumers = 4;
+  constexpr int kItems = 2;  // fewer items than consumers: some pop nullopt
+  AdmissionQueue<int> queue(8);
+  std::atomic<int> popped{0};
+  std::atomic<int> drained{0};
+  Latch ready(kConsumers);
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      ready.CountDown();
+      while (true) {
+        auto item = queue.Pop();
+        if (!item.has_value()) {
+          drained.fetch_add(1);
+          return;
+        }
+        popped.fetch_add(1);
+      }
+    });
+  }
+  ready.Wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int i = 0; i < kItems; ++i) {
+    int item = i;
+    ASSERT_TRUE(queue.TryPush(item));
+  }
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kItems);
+  EXPECT_EQ(drained.load(), kConsumers);
+}
+
+TEST(AdmissionQueue, DrainNowEmptiesTheQueue) {
+  AdmissionQueue<int> queue(4);
+  for (int i = 0; i < 3; ++i) {
+    int item = i * 10;
+    ASSERT_TRUE(queue.TryPush(item));
+  }
+  std::vector<int> drained = queue.DrainNow();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0], 0);
+  EXPECT_EQ(drained[1], 10);
+  EXPECT_EQ(drained[2], 20);
+  EXPECT_EQ(queue.size(), 0u);
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+}  // namespace
+}  // namespace semsim

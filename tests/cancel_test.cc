@@ -1,0 +1,107 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace semsim {
+namespace {
+
+using Clock = CancelToken::Clock;
+
+TEST(CancelToken, FreshTokenNeverStops) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.observed());
+  EXPECT_EQ(token.remaining(), Clock::duration::max());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancelToken, ExplicitCancelIsStickyAndIdempotent) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_TRUE(token.observed());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, DeadlineExpiryFires) {
+  CancelToken token;
+  token.SetTimeout(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_GT(token.remaining(), Clock::duration::zero());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.remaining(), Clock::duration::zero());
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, AlreadyExpiredDeadlineStopsImmediately) {
+  CancelToken token;
+  token.SetDeadline(Clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+TEST(CancelToken, SecondDeadlineOverwritesTheFirst) {
+  CancelToken token;
+  token.SetDeadline(Clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(token.deadline_exceeded());
+  token.SetDeadline(Clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_GT(token.remaining(), std::chrono::minutes(59));
+}
+
+TEST(CancelToken, CancelWinsOverDeadlineInToStatus) {
+  CancelToken token;
+  token.SetDeadline(Clock::now() - std::chrono::seconds(1));
+  token.Cancel();
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, SharedTokenObservedAcrossThreads) {
+  // The serving pattern: the caller holds one end of a shared token,
+  // worker loops poll the other. A cancel from the caller thread must be
+  // observed by a polling worker, and the observation must flow back.
+  auto token = std::make_shared<CancelToken>();
+  std::thread worker([token] {
+    while (!token->ShouldStop()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  token->Cancel();
+  worker.join();
+  EXPECT_TRUE(token->observed());
+  EXPECT_GT(token->polls(), 0u);
+}
+
+TEST(CancelToken, PollsAreCounted) {
+  CancelToken token;
+  uint64_t before = token.polls();
+  token.ShouldStop();
+  token.ShouldStop();
+  EXPECT_EQ(token.polls(), before + 2);
+}
+
+TEST(CancelToken, UnfiredDeadlineDoesNotStop) {
+  CancelToken token;
+  token.SetTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.observed());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+}  // namespace
+}  // namespace semsim

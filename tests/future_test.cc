@@ -1,0 +1,122 @@
+#include "common/future.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace semsim {
+namespace {
+
+TEST(Future, SetThenGet) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.Ready());
+  EXPECT_FALSE(promise.fulfilled());
+  promise.Set(42);
+  EXPECT_TRUE(promise.fulfilled());
+  EXPECT_TRUE(future.Ready());
+  EXPECT_EQ(future.Get(), 42);
+  EXPECT_EQ(future.Get(), 42) << "Get is repeatable";
+}
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  Future<int> future;
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(Future, CrossThreadGetBlocksUntilSet) {
+  Promise<std::string> promise;
+  Future<std::string> future = promise.GetFuture();
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(future.Get(), "delivered");
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.load()) << "Get must block until the value arrives";
+  promise.Set("delivered");
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Future, WaitForTimesOutThenSucceeds) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  EXPECT_FALSE(future.WaitFor(std::chrono::milliseconds(5)));
+  promise.Set(7);
+  EXPECT_TRUE(future.WaitFor(std::chrono::milliseconds(5)));
+}
+
+TEST(Future, ManyConsumersSeeTheSameValue) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  std::vector<std::thread> consumers;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 4; ++i) {
+    Future<int> copy = future;  // copies share the state
+    consumers.emplace_back([&sum, copy] { sum.fetch_add(copy.Get()); });
+  }
+  promise.Set(5);
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(sum.load(), 20);
+}
+
+TEST(Future, TakeMovesTheValueOut) {
+  Promise<std::vector<int>> promise;
+  Future<std::vector<int>> future = promise.GetFuture();
+  promise.Set({1, 2, 3});
+  std::vector<int> value = future.Take();
+  EXPECT_EQ(value.size(), 3u);
+}
+
+TEST(Future, FutureOutlivesThePromise) {
+  Future<int> future;
+  {
+    Promise<int> promise;
+    future = promise.GetFuture();
+    promise.Set(11);
+  }  // promise destroyed; the shared state lives on in the future
+  EXPECT_EQ(future.Get(), 11);
+}
+
+using FutureDeathTest = ::testing::Test;
+
+TEST(FutureDeathTest, DoubleSetAborts) {
+  // Exactly-once resolution is load-bearing for the serving stack: a
+  // double Set means two code paths both think they own the response.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Promise<int> promise;
+  promise.Set(1);
+  EXPECT_DEATH(promise.Set(2), "promise set twice");
+}
+
+TEST(Latch, CountDownReleasesWaiters) {
+  Latch latch(2);
+  EXPECT_FALSE(latch.TryWait());
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  latch.CountDown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_TRUE(latch.TryWait());
+}
+
+TEST(Latch, ZeroLatchIsAlreadyOpen) {
+  Latch latch(0);
+  EXPECT_TRUE(latch.TryWait());
+  latch.Wait();  // must not block
+}
+
+}  // namespace
+}  // namespace semsim

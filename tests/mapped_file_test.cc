@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "tests/test_util.h"
 
 namespace semsim {
@@ -39,6 +40,35 @@ TEST(MappedFile, BufferedFallbackExposesSameBytes) {
   EXPECT_FALSE(file.mapped());
   EXPECT_GE(file.OwnedBytes(), file.size());
   std::remove(path.c_str());
+}
+
+TEST(MappedFile, MmapFailureFallsBackToIdenticalBytes) {
+  // Open() with the mmap seam armed must silently take the buffered
+  // path and expose byte-identical content — the transparency promise
+  // callers (WalkIndex::Map among them) rely on.
+#if !SEMSIM_FAILPOINTS
+  GTEST_SKIP() << "failpoint sites compiled out";
+#else
+  std::string content(8192, '\0');
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<char>((i * 131 + 17) & 0xff);
+  }
+  std::string path = WriteTemp("semsim_mf_fp.bin", content);
+  MappedFile plain = Unwrap(MappedFile::Open(path));
+  ASSERT_TRUE(plain.mapped()) << "baseline Open should mmap on this host";
+
+  FailPoints::Global().ArmError("mapped_file/mmap",
+                                Status::IOError("injected mmap failure"));
+  MappedFile fallback = Unwrap(MappedFile::Open(path));
+  FailPoints::Global().DisarmAll();
+
+  EXPECT_FALSE(fallback.mapped());
+  EXPECT_GE(fallback.OwnedBytes(), fallback.size());
+  ASSERT_EQ(fallback.size(), plain.size());
+  EXPECT_EQ(std::memcmp(fallback.data(), plain.data(), plain.size()), 0)
+      << "fallback must be byte-identical to the mapped view";
+  std::remove(path.c_str());
+#endif
 }
 
 TEST(MappedFile, ZeroByteFileOpens) {

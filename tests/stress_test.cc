@@ -1,0 +1,81 @@
+#include "testing/stress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace semsim {
+namespace testing {
+namespace {
+
+// One seed per scenario (seed % 6 picks it), exercised in-process so the
+// tier-1 suite itself guards the serving invariants, not just the
+// semsim_stress binary. Seeds chosen to match the scenario rotation:
+// 6 -> kDeterministicReplay, 1 -> kOverloadBurst, 2 -> kDeadlineMix,
+// 3 -> kCancelStorm, 4 -> kMidflightShutdown, 5 -> kFailpointChaos.
+class StressInstanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressInstanceTest, InstancePassesAllInvariants) {
+  StressConfig config = MakeStressConfig(GetParam());
+  StressOptions options;  // no dump dir, quiet
+  StressReport report = RunStressInstance(config, options);
+  EXPECT_GT(report.checks, 0);
+  EXPECT_TRUE(report.ok()) << ::testing::PrintToString(report.violations);
+  EXPECT_EQ(report.outcome.unresolved, 0u);
+  EXPECT_EQ(report.outcome.unexpected_status, 0u);
+  EXPECT_EQ(report.outcome.submitted,
+            static_cast<size_t>(BuildStressSchedule(config).size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ScenarioRotation, StressInstanceTest,
+                         ::testing::Values(6u, 1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           StressConfig c = MakeStressConfig(info.param);
+                           return std::string(StressScenarioName(c.scenario));
+                         });
+
+TEST(StressConfigDeterminism, ConfigIsAPureFunctionOfTheSeed) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    StressConfig a = MakeStressConfig(seed);
+    StressConfig b = MakeStressConfig(seed);
+    EXPECT_EQ(a.scenario, b.scenario);
+    EXPECT_EQ(a.num_ops, b.num_ops);
+    EXPECT_EQ(a.num_producers, b.num_producers);
+    EXPECT_EQ(a.hin.num_nodes, b.hin.num_nodes);
+    EXPECT_EQ(a.service.queue_capacity, b.service.queue_capacity);
+    EXPECT_EQ(a.Describe(), b.Describe());
+  }
+}
+
+TEST(StressConfigDeterminism, ScheduleFingerprintIsStable) {
+  StressConfig config = MakeStressConfig(11);
+  std::vector<StressOp> first = BuildStressSchedule(config);
+  std::vector<StressOp> second = BuildStressSchedule(config);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(StressScheduleFingerprint(first),
+            StressScheduleFingerprint(second));
+  // Different seeds must not collide on the trivial fingerprints.
+  StressConfig other = MakeStressConfig(12);
+  EXPECT_NE(StressScheduleFingerprint(first),
+            StressScheduleFingerprint(BuildStressSchedule(other)));
+}
+
+TEST(StressConfigDeterminism, ScenarioRotatesWithTheSeed) {
+  EXPECT_EQ(MakeStressConfig(6).scenario,
+            StressScenario::kDeterministicReplay);
+  EXPECT_EQ(MakeStressConfig(1).scenario, StressScenario::kOverloadBurst);
+  EXPECT_EQ(MakeStressConfig(2).scenario, StressScenario::kDeadlineMix);
+  EXPECT_EQ(MakeStressConfig(3).scenario, StressScenario::kCancelStorm);
+  EXPECT_EQ(MakeStressConfig(4).scenario, StressScenario::kMidflightShutdown);
+  EXPECT_EQ(MakeStressConfig(5).scenario, StressScenario::kFailpointChaos);
+}
+
+TEST(StressConfigDeterminism, ReproCommandNamesTheSeed) {
+  EXPECT_EQ(StressReproCommand(17),
+            "./build/src/testing/semsim_stress --seed=17");
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace semsim
