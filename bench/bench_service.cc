@@ -7,13 +7,18 @@
 // open-loop burst at 2x capacity with per-request deadlines; the service
 // must keep admitted-request latency bounded by visibly shedding load
 // (admission rejections, walk-budget degradation, deadline failures)
-// instead of letting the queue age out.
+// instead of letting the queue age out. Phase 3 reloads the engine
+// snapshot under closed-loop traffic: a background thread rebuilds and
+// publishes fresh snapshots through a SnapshotManager while requests
+// keep flowing — zero failures allowed, every response tagged with
+// exactly one published version, and swap latency is reported.
 //
 // Emits BENCH_service.json, gated by `ci/compare_bench.py --service`.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,8 +26,10 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "core/batch_engine.h"
+#include "core/engine_snapshot.h"
 #include "core/walk_index.h"
 #include "serving/query_service.h"
+#include "serving/snapshot_manager.h"
 #include "taxonomy/semantic_measure.h"
 
 namespace semsim {
@@ -194,6 +201,111 @@ int Run(int argc, char** argv) {
               "(%.2fx nominal p99); load visibly shed on %d requests\n",
               burst_p50, burst_p99, p99_ratio, shed);
 
+  // ---- Phase 3: hot reload under load -----------------------------------
+  // Closed-loop traffic against a hot-swap service while a background
+  // thread rebuilds the snapshot (fresh sampling seed each time) and
+  // publishes it. The contract under test: zero failed queries, every
+  // response served wholly by one published snapshot version, and the
+  // swap itself is one atomic pointer exchange (its latency is the
+  // publish seam, not a service pause).
+  const int reload_requests =
+      bench::ParseIntFlag(argc, argv, "--reload-requests", nominal_requests);
+  const int reload_swaps = bench::ParseIntFlag(argc, argv, "--swaps", 3);
+
+  SnapshotManager manager =
+      bench::Unwrap(SnapshotManager::Create(engine.snapshot()));
+  QueryServiceOptions reload_sopt;
+  reload_sopt.queue_capacity = 16;
+  QueryService reload_service =
+      bench::Unwrap(QueryService::Create(&engine, &manager, reload_sopt));
+
+  std::vector<EngineSnapshotPtr> published = {engine.snapshot()};
+  std::vector<double> swap_publish_seconds;
+  std::vector<double> swap_build_seconds;
+  int swap_failed = 0;
+  std::atomic<bool> swaps_done{false};
+  // Spread the swaps across the expected traffic window.
+  const auto swap_gap = std::chrono::nanoseconds(static_cast<int64_t>(
+      nominal_mean * 1e9 * reload_requests / (reload_swaps + 1)));
+  std::thread swapper([&] {
+    for (int s = 0; s < reload_swaps; ++s) {
+      std::this_thread::sleep_for(swap_gap);
+      WalkIndexOptions walks = index.options();
+      walks.seed = index.options().seed + static_cast<uint64_t>(s) + 1;
+      Timer build_timer;
+      Result<EngineSnapshotPtr> next = EngineSnapshot::Build(
+          Unowned(&dataset.graph), Unowned<SemanticMeasure>(&lin), walks,
+          engine.snapshot()->options(), manager.NextVersion());
+      if (!next.ok()) {
+        ++swap_failed;
+        continue;
+      }
+      swap_build_seconds.push_back(build_timer.ElapsedSeconds());
+      published.push_back(next.value());
+      Timer publish_timer;
+      if (manager.Publish(next.value()).ok()) {
+        swap_publish_seconds.push_back(publish_timer.ElapsedSeconds());
+      } else {
+        ++swap_failed;
+      }
+    }
+    swaps_done.store(true, std::memory_order_release);
+  });
+
+  // Closed-loop traffic for at least --reload-requests, and in any case
+  // until every swap has been published — the phase exists to overlap
+  // queries with swaps, and snapshot builds can outlast a short request
+  // budget. A generous cap keeps a wedged swapper from hanging the
+  // bench.
+  std::vector<double> reload_lat;
+  std::set<uint64_t> reload_versions;
+  int reload_sent = 0, reload_failed = 0;
+  bool reload_versions_ok = true;
+  const int reload_cap = reload_requests * 200;
+  for (int i = 0;
+       (i < reload_requests || !swaps_done.load(std::memory_order_acquire)) &&
+       i < reload_cap;
+       ++i) {
+    QueryRequest req;
+    req.kind = QueryRequestKind::kPairs;
+    req.pairs = MakePairs(n, pairs_per_request, 9000 + i);
+    QueryResponse resp = reload_service.Submit(req).Take();
+    ++reload_sent;
+    if (!resp.ok()) {
+      ++reload_failed;
+      continue;
+    }
+    reload_lat.push_back(resp.queue_seconds + resp.run_seconds);
+    reload_versions.insert(resp.snapshot_version);
+  }
+  swapper.join();
+  for (uint64_t v : reload_versions) {
+    bool known = false;
+    for (const EngineSnapshotPtr& snap : published) {
+      known = known || snap->version() == v;
+    }
+    reload_versions_ok = reload_versions_ok && known;
+  }
+  double swap_publish_mean = 0, swap_publish_max = 0, swap_build_mean = 0;
+  for (double s : swap_publish_seconds) {
+    swap_publish_mean += s;
+    swap_publish_max = std::max(swap_publish_max, s);
+  }
+  swap_publish_mean /=
+      swap_publish_seconds.empty() ? 1 : swap_publish_seconds.size();
+  for (double s : swap_build_seconds) swap_build_mean += s;
+  swap_build_mean /= swap_build_seconds.empty() ? 1 : swap_build_seconds.size();
+  const double reload_p50 = PercentileMs(reload_lat, 0.50);
+  const double reload_p99 = PercentileMs(reload_lat, 0.99);
+  std::printf("reload (closed loop, %d requests, %zu swaps published): "
+              "failed=%d versions_served=%zu versions_ok=%s\n",
+              reload_sent, swap_publish_seconds.size(), reload_failed,
+              reload_versions.size(), reload_versions_ok ? "yes" : "NO");
+  std::printf("reload latency: p50=%.3fms p99=%.3fms; swap build "
+              "mean=%.3fms, publish mean=%.3fms max=%.3fms\n",
+              reload_p50, reload_p99, swap_build_mean * 1e3,
+              swap_publish_mean * 1e3, swap_publish_max * 1e3);
+
   doc.Add("determinism_ok", determinism_ok ? 1 : 0)
       .Add("nominal_requests", nominal_requests)
       .Add("nominal_rejected", nominal_rejected)
@@ -211,7 +323,18 @@ int Run(int argc, char** argv) {
       .Add("burst_other", burst_other)
       .Add("burst_p50_ms", burst_p50)
       .Add("burst_p99_ms", burst_p99)
-      .Add("p99_ratio", p99_ratio);
+      .Add("p99_ratio", p99_ratio)
+      .Add("reload_requests", reload_sent)
+      .Add("reload_failed", reload_failed)
+      .Add("reload_swaps", swap_publish_seconds.size())
+      .Add("reload_swap_failed", swap_failed)
+      .Add("reload_versions_served", reload_versions.size())
+      .Add("reload_versions_ok", reload_versions_ok ? 1 : 0)
+      .Add("reload_p50_ms", reload_p50)
+      .Add("reload_p99_ms", reload_p99)
+      .Add("swap_build_mean_ms", swap_build_mean * 1e3)
+      .Add("swap_publish_mean_ms", swap_publish_mean * 1e3)
+      .Add("swap_publish_max_ms", swap_publish_max * 1e3);
   doc.WriteFile("BENCH_service.json");
 
   bench::MaybeWriteMetrics(

@@ -44,15 +44,24 @@
 #           failpoint registry and per-site tests, then semsim_stress
 #           seed sweeps replaying randomized schedules (overload bursts,
 #           deadline mixes, cancel storms, mid-flight shutdown, armed
-#           failpoints) against the QueryService under both ASan and
-#           TSan. Failing seeds dump replayable schedules under
-#           build-{asan,tsan}/stress-artifacts/; replay any of them with
-#           semsim_stress --seed=<N>.
+#           failpoints, snapshot swap storms) against the QueryService
+#           under both ASan and TSan. Failing seeds dump replayable
+#           schedules under build-{asan,tsan}/stress-artifacts/; replay
+#           any of them with semsim_stress --seed=<N>.
+#   reload — the hot-swap lane (DESIGN.md §14): snapshot lifetime and
+#           swap-during-query tests under ASan (use-after-free /
+#           destruction-order half), the same surface plus the
+#           swap-storm stress seeds under TSan (publication-race half),
+#           then bench_service's reload phase — background snapshot
+#           publishes racing live traffic — gated by
+#           ci/compare_bench.py --service (zero failed queries, every
+#           response tagged with a published version, bounded p99
+#           during the swap window).
 #
 # Usage: ci/check.sh
 #   [--tier1-only|--asan-only|--tsan-only|--bench-smoke|--metrics-smoke|
 #    --coldstart|--walkbuild|--service-smoke|--verify-smoke|
-#    --verify-extended|--stress-smoke]
+#    --verify-extended|--stress-smoke|--reload-smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -179,7 +188,7 @@ verify_extended() {
 stress_smoke() {
   echo "=== stress smoke: fault-injection + service stress under ASan/TSan ==="
   # ASan half: the failpoint/queue/future/cancel unit surface plus a
-  # 30-seed sweep (5 rotations of the 6-scenario matrix).
+  # 35-seed sweep (5 rotations of the 7-scenario matrix).
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DSEMSIM_SANITIZE=address
   cmake --build build-asan -j "${JOBS}" \
@@ -187,15 +196,50 @@ stress_smoke() {
     future_test cancel_test mapped_file_test
   ctest --test-dir build-asan --output-on-failure \
     -R 'failpoint_test|admission_queue_test|future_test|cancel_test|mapped_file_test'
-  ./build-asan/src/testing/semsim_stress --start-seed=1 --instances=30 \
+  ./build-asan/src/testing/semsim_stress --start-seed=1 --instances=35 \
     --dump-dir=build-asan/stress-artifacts
   # TSan half: a shorter sweep — the schedules are identical (pure
   # functions of the seed), the interleavings are what TSan adds.
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSEMSIM_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target semsim_stress
-  ./build-tsan/src/testing/semsim_stress --start-seed=1 --instances=12 \
+  ./build-tsan/src/testing/semsim_stress --start-seed=1 --instances=14 \
     --dump-dir=build-tsan/stress-artifacts
+}
+
+reload_smoke() {
+  echo "=== reload smoke: snapshot hot-swap under ASan/TSan + bench gate ==="
+  # ASan half: snapshot lifetime, destruction ordering, and the
+  # mapped->owned promotion seam. A displaced snapshot freed while a
+  # reader still serves from it is a use-after-free here, not a flake.
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DSEMSIM_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+    --target engine_snapshot_test snapshot_manager_test
+  ctest --test-dir build-asan --output-on-failure \
+    -R 'engine_snapshot_test|snapshot_manager_test'
+  # TSan half: the same surface plus the swap-storm stress seeds
+  # (seed % 7 == 6), which race concurrent publishes against live
+  # traffic and replay every response against an engine bound to its
+  # reported snapshot version.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSEMSIM_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" \
+    --target engine_snapshot_test snapshot_manager_test semsim_stress
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'engine_snapshot_test|snapshot_manager_test'
+  for s in 6 13 20 27 34 41; do
+    ./build-tsan/src/testing/semsim_stress --seed="${s}" \
+      --dump-dir=build-tsan/stress-artifacts
+  done
+  # The perf gate runs uninstrumented: bench_service's reload phase
+  # publishes snapshots behind live traffic; compare_bench.py requires
+  # zero failed queries, only published versions served, and a bounded
+  # reload p99.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "${JOBS}" --target bench_service
+  (cd build && ./bench/bench_service --dataset=small)
+  python3 ci/compare_bench.py --service build/BENCH_service.json
 }
 
 case "${MODE}" in
@@ -210,7 +254,8 @@ case "${MODE}" in
   --verify-smoke) verify_smoke ;;
   --verify-extended) verify_extended ;;
   --stress-smoke) stress_smoke ;;
-  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; service_smoke; verify_smoke; stress_smoke ;;
+  --reload-smoke) reload_smoke ;;
+  all|*) tier1; asan; tsan; bench_smoke; metrics_smoke; coldstart; walkbuild; service_smoke; verify_smoke; stress_smoke; reload_smoke ;;
 esac
 
 echo "=== all checks passed ==="

@@ -272,7 +272,9 @@ def check_service(json_path, max_p99_ratio):
     for key in ("determinism_ok", "nominal_rejected", "nominal_p99_ms",
                 "burst_p99_ms", "p99_ratio", "deadline_ms", "burst_ok",
                 "burst_rejected", "burst_degraded",
-                "burst_deadline_exceeded"):
+                "burst_deadline_exceeded", "reload_requests",
+                "reload_failed", "reload_swaps", "reload_swap_failed",
+                "reload_versions_ok", "reload_p99_ms"):
         if key not in doc:
             failures.append(f"service JSON lacks {key!r}")
     if failures:
@@ -302,6 +304,29 @@ def check_service(json_path, max_p99_ratio):
         failures.append("overload burst shed no load (no rejections, "
                         "degradations, or deadline failures) — the queue "
                         "must have absorbed 2x capacity silently")
+    # Hot reload under load: at least one background swap must have
+    # published during closed-loop traffic, with zero failed queries or
+    # publishes, and every response tagged with a published snapshot
+    # version. The latency bound is deliberately lenient — snapshot
+    # builds run concurrently with traffic on a shared small machine —
+    # but a reload must never stall the serving path outright.
+    if doc["reload_swaps"] < 1:
+        failures.append("no snapshot swap published during the reload phase")
+    if doc["reload_swap_failed"] != 0:
+        failures.append(f"{doc['reload_swap_failed']} snapshot build/publish "
+                        "failure(s) during the reload phase")
+    if doc["reload_failed"] != 0:
+        failures.append(f"{doc['reload_failed']} failed query(ies) during "
+                        "the reload phase (expected 0: a hot swap must not "
+                        "drop or fail traffic)")
+    if not doc["reload_versions_ok"]:
+        failures.append("a response reported a snapshot version that was "
+                        "never published (torn or mixed-version read)")
+    reload_bound = max(4.0 * max_p99_ratio * doc["nominal_p99_ms"], 10.0)
+    if doc["reload_p99_ms"] > reload_bound:
+        failures.append(f"reload p99 {doc['reload_p99_ms']:.3f} ms exceeds "
+                        f"the lenient bound {reload_bound:.3f} ms — the "
+                        "swap stalled the serving path")
     return failures, doc
 
 
@@ -348,13 +373,19 @@ def main():
                   f"(degraded {doc.get('burst_degraded', 0)}), rejected "
                   f"{doc.get('burst_rejected', 0)}, deadline-exceeded "
                   f"{doc.get('burst_deadline_exceeded', 0)}")
+            print(f"  reload: {doc.get('reload_swaps', 0)} swap(s) over "
+                  f"{doc.get('reload_requests', 0)} request(s), "
+                  f"{doc.get('reload_versions_served', 0)} version(s) "
+                  f"served, failed {doc.get('reload_failed', 0)}, "
+                  f"p99 {doc.get('reload_p99_ms', 0):.3f} ms, publish "
+                  f"mean {doc.get('swap_publish_mean_ms', 0):.3f} ms")
         for failure in failures:
             print(f"FAIL: service: {failure}", file=sys.stderr)
         if failures:
             return 1
         print("OK: service is deterministic when undegraded, admits all "
-              "nominal traffic, and bounds p99 under overload by shedding "
-              "load")
+              "nominal traffic, bounds p99 under overload by shedding "
+              "load, and hot-swaps snapshots without failing a query")
         return 0
 
     if args.walkbuild is not None:

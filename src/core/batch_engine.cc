@@ -16,143 +16,100 @@ Result<BatchQueryEngine> BatchQueryEngine::Create(
     return Status::InvalidArgument(
         "graph, semantic measure, and walk index are required");
   }
-  if (options.normalizer_cache_capacity < 0 ||
-      options.semantic_cache_capacity < 0) {
-    return Status::InvalidArgument(
-        "cache capacities must be >= 0 (0 disables the cache)");
-  }
-  SEMSIM_RETURN_NOT_OK(ValidateMcOptions(options.query.mc));
   SEMSIM_TRACE_SPAN("semsim_batch_engine_create");
-  BatchQueryEngine engine;
-  engine.graph_ = graph;
-  engine.semantic_ = semantic;
-  engine.index_ = index;
-  engine.options_ = options;
-  engine.options_.num_threads =
-      ThreadPool::ResolveThreadCount(options.num_threads);
-  engine.pool_ = std::make_unique<ThreadPool>(engine.options_.num_threads);
-  engine.inverted_mu_ = std::make_unique<std::mutex>();
-  engine.scratch_pool_ = std::make_unique<ScratchPool>();
-  // Flat-kernel preprocessing (DESIGN.md §7): the transition table always
-  // pays off; the flat semantic table only exists when the measure is one
-  // of the flattenable built-ins. When it is, the devirtualized kernel
-  // replaces every sem(·,·) call, so the memoizing CachedSemanticMeasure
-  // wrapper would only add shard locks in front of a few array reads —
-  // skip building it entirely.
-  bool sem_devirtualized = false;
-  if (engine.options_.query.kernel == QueryKernel::kFlat) {
-    engine.transition_table_ =
-        std::make_unique<TransitionTable>(TransitionTable::Build(*graph));
-    kernels::SemInfo info = kernels::ClassifyMeasure(semantic);
-    if (info.kind != kernels::SemKind::kVirtual) {
-      engine.flat_semantic_ = std::make_unique<FlatSemanticTable>(
-          FlatSemanticTable::Build(*info.context));
-      sem_devirtualized = true;
-    }
-  }
-  const SemanticMeasure* measure = semantic;
-  if (engine.options_.semantic_cache_capacity > 0 && !sem_devirtualized) {
-    engine.cached_semantic_ = std::make_unique<CachedSemanticMeasure>(
-        semantic,
-        static_cast<size_t>(engine.options_.semantic_cache_capacity));
-    engine.cached_semantic_->cache().BindMetrics("semantic");
-    measure = engine.cached_semantic_.get();
-  }
-  engine.estimator_ = std::make_unique<SemSimMcEstimator>(
-      graph, measure, index, static_cache);
-  if (engine.options_.query.kernel == QueryKernel::kFlat) {
-    bool engaged = engine.estimator_->AttachFlatKernel(
-        engine.flat_semantic_.get(), engine.transition_table_.get());
-    SEMSIM_CHECK(engaged == sem_devirtualized);
-  }
-  if (engine.options_.normalizer_cache_capacity > 0) {
-    engine.normalizer_cache_ = std::make_unique<ConcurrentPairCache>(
-        static_cast<size_t>(engine.options_.normalizer_cache_capacity));
-    engine.normalizer_cache_->BindMetrics("normalizer");
-    engine.estimator_->set_shared_cache(engine.normalizer_cache_.get());
-  }
+  EngineSnapshotOptions snap_options;
+  snap_options.query = options.query;
+  snap_options.normalizer_cache_capacity = options.normalizer_cache_capacity;
+  snap_options.semantic_cache_capacity = options.semantic_cache_capacity;
+  SEMSIM_ASSIGN_OR_RETURN(
+      EngineSnapshotPtr snapshot,
+      EngineSnapshot::Create(Unowned(graph), Unowned(semantic), Unowned(index),
+                             snap_options, /*version=*/0, static_cache));
+  SEMSIM_ASSIGN_OR_RETURN(
+      BatchQueryEngine engine,
+      CreateFromSnapshot(std::move(snapshot), options.num_threads));
   return engine;
 }
 
-std::string BatchQueryEngine::kernel_name() const {
-  if (options_.query.kernel == QueryKernel::kGeneric) return "generic";
-  return "flat+" + std::string(estimator_->sem_kernel_name());
+Result<BatchQueryEngine> BatchQueryEngine::CreateFromSnapshot(
+    EngineSnapshotPtr snapshot, int num_threads) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot is required");
+  }
+  BatchQueryEngine engine;
+  engine.options_.query = snapshot->options().query;
+  engine.options_.normalizer_cache_capacity =
+      snapshot->options().normalizer_cache_capacity;
+  engine.options_.semantic_cache_capacity =
+      snapshot->options().semantic_cache_capacity;
+  engine.options_.num_threads = ThreadPool::ResolveThreadCount(num_threads);
+  engine.snapshot_ = std::move(snapshot);
+  engine.pool_ = std::make_unique<ThreadPool>(engine.options_.num_threads);
+  engine.scratch_pool_ = std::make_unique<ScratchPool>();
+  return engine;
 }
 
 BatchResult<double> BatchQueryEngine::QueryBatch(
     std::span<const NodePair> pairs) const {
-  return QueryBatch(pairs, options_.query.mc);
+  return QueryBatch(*snapshot_, pairs, snapshot_->options().query.mc);
 }
 
 BatchResult<double> BatchQueryEngine::QueryBatch(
     std::span<const NodePair> pairs, const SemSimMcOptions& mc) const {
+  return QueryBatch(*snapshot_, pairs, mc);
+}
+
+BatchResult<double> BatchQueryEngine::QueryBatch(
+    const EngineSnapshot& snap, std::span<const NodePair> pairs,
+    const SemSimMcOptions& mc) const {
   SEMSIM_TRACE_SPAN("semsim_batch_query_batch");
   SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
   static Counter* items = MetricsRegistry::Global().GetCounter(
       "semsim_batch_query_items_total");
   items->Add(pairs.size());
   BatchResult<double> result;
-  result.values = estimator_->QueryBatch(pairs, mc, *pool_, &result.stats);
+  result.values = snap.estimator().QueryBatch(pairs, mc, *pool_, &result.stats);
   return result;
-}
-
-const SingleSourceIndex& BatchQueryEngine::InvertedIndex() const {
-  std::lock_guard<std::mutex> lock(*inverted_mu_);
-  if (!inverted_) {
-    SEMSIM_TRACE_SPAN("semsim_batch_inverted_index_build");
-    inverted_ = std::make_unique<SingleSourceIndex>(
-        SingleSourceIndex::Build(*index_, graph_->num_nodes(), pool_.get()));
-  }
-  return *inverted_;
-}
-
-std::vector<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
-    std::span<const NodeId> sources, McQueryStats* stats) const {
-  BatchResult<std::vector<double>> result = SingleSourceBatch(sources);
-  if (stats != nullptr) stats->Merge(result.stats);
-  return std::move(result.values);
-}
-
-std::vector<std::vector<Scored>> BatchQueryEngine::TopKBatch(
-    std::span<const NodeId> sources, size_t k, McQueryStats* stats) const {
-  BatchResult<std::vector<Scored>> result = TopKBatch(sources, k);
-  if (stats != nullptr) stats->Merge(result.stats);
-  return std::move(result.values);
-}
-
-std::vector<double> BatchQueryEngine::QueryBatch(
-    std::span<const NodePair> pairs, McQueryStats* stats) const {
-  BatchResult<double> result = QueryBatch(pairs);
-  if (stats != nullptr) stats->Merge(result.stats);
-  return std::move(result.values);
 }
 
 BatchResult<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
     std::span<const NodeId> sources) const {
-  return SingleSourceBatch(sources, options_.query.mc);
+  return SingleSourceBatch(*snapshot_, sources, snapshot_->options().query.mc);
 }
 
 BatchResult<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
     std::span<const NodeId> sources, const SemSimMcOptions& mc) const {
+  return SingleSourceBatch(*snapshot_, sources, mc);
+}
+
+BatchResult<std::vector<double>> BatchQueryEngine::SingleSourceBatch(
+    const EngineSnapshot& snap, std::span<const NodeId> sources,
+    const SemSimMcOptions& mc) const {
   SEMSIM_TRACE_SPAN("semsim_batch_single_source_batch");
   SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
   static Counter* items = MetricsRegistry::Global().GetCounter(
       "semsim_batch_single_source_items_total");
   items->Add(sources.size());
   BatchResult<std::vector<double>> result;
-  result.values =
-      ParallelSemSimFrom(InvertedIndex(), sources, *estimator_, mc, *pool_,
-                         &result.stats, scratch_pool_.get());
+  result.values = ParallelSemSimFrom(snap.InvertedIndex(pool_.get()), sources,
+                                     snap.estimator(), mc, *pool_,
+                                     &result.stats, scratch_pool_.get());
   return result;
 }
 
 BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> sources, size_t k) const {
-  return TopKBatch(sources, k, options_.query.mc);
+  return TopKBatch(*snapshot_, sources, k, snapshot_->options().query.mc);
 }
 
 BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
     std::span<const NodeId> sources, size_t k,
+    const SemSimMcOptions& mc) const {
+  return TopKBatch(*snapshot_, sources, k, mc);
+}
+
+BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
+    const EngineSnapshot& snap, std::span<const NodeId> sources, size_t k,
     const SemSimMcOptions& mc) const {
   SEMSIM_TRACE_SPAN("semsim_batch_topk_batch");
   SEMSIM_DCHECK(ValidateMcOptions(mc).ok());
@@ -160,22 +117,18 @@ BatchResult<std::vector<Scored>> BatchQueryEngine::TopKBatch(
       "semsim_batch_topk_items_total");
   items->Add(sources.size());
   BatchResult<std::vector<Scored>> result;
-  result.values =
-      ParallelTopKFrom(InvertedIndex(), sources, k, *estimator_, mc, *pool_,
-                       &result.stats, scratch_pool_.get());
+  result.values = ParallelTopKFrom(snap.InvertedIndex(pool_.get()), sources, k,
+                                   snap.estimator(), mc, *pool_, &result.stats,
+                                   scratch_pool_.get());
   return result;
 }
 
 size_t BatchQueryEngine::MemoryBytes() const {
-  size_t total = 0;
-  if (transition_table_) total += transition_table_->MemoryBytes();
-  if (flat_semantic_) total += flat_semantic_->MemoryBytes();
-  if (normalizer_cache_) total += normalizer_cache_->MemoryBytes();
-  if (cached_semantic_) total += cached_semantic_->cache().MemoryBytes();
-  if (scratch_pool_) total += scratch_pool_->MemoryBytes();
-  std::lock_guard<std::mutex> lock(*inverted_mu_);
-  if (inverted_) total += inverted_->MemoryBytes();
-  return total;
+  // The engine never owned the walk index (it is borrowed into the
+  // snapshot), so its footprint reports the derived artifacts only —
+  // the same accounting the pre-snapshot engine used.
+  return snapshot_->MemoryBytes() - snapshot_->walk_index().MemoryBytes() +
+         scratch_pool_->MemoryBytes();
 }
 
 namespace {

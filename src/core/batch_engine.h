@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/concurrent_cache.h"
+#include "core/engine_snapshot.h"
 #include "core/mc_semsim.h"
 #include "core/query_scratch.h"
 #include "core/single_source.h"
@@ -41,33 +42,43 @@ struct BatchQueryEngineOptions {
 };
 
 /// The parallel batch query engine: owns a persistent ThreadPool and the
-/// two cross-query concurrent caches, and drives single-pair, full
-/// single-source, and top-k SemSim workloads over them. This is the
-/// serving substrate the ROADMAP's scaling PRs (sharding, async) build
-/// on: queries arrive as batches, the pool partitions them with dynamic
-/// chunking, and per-pair state (SO normalizers, sem values) is reused
-/// across queries and threads instead of dying with each QueryContext.
+/// per-worker scratch arenas, and drives single-pair, full
+/// single-source, and top-k SemSim workloads over an EngineSnapshot —
+/// the immutable artifact bundle of DESIGN.md §14. The engine's own
+/// snapshot backs the convenience overloads; the serving layer passes
+/// an explicit `const EngineSnapshot&` per request instead, which is
+/// what makes RCU-style hot swaps possible: a request runs start to
+/// finish against the snapshot it was handed, while the manager
+/// publishes the next one underneath.
 ///
-/// Determinism contract: for a fixed graph/measure/walk index and fixed
-/// batch, every result vector is bit-identical for every thread count
-/// and regardless of prior cache contents. This holds because (a) each
-/// item is computed in isolation and written to its own slot, (b) the
-/// estimator draws no randomness at query time (all sampling happened
-/// at walk-index build, seeded per node), and (c) both caches store
-/// values that are bit-exact functions of their canonical pair key.
+/// Determinism contract: for a fixed snapshot and fixed batch, every
+/// result vector is bit-identical for every thread count and regardless
+/// of prior cache contents. This holds because (a) each item is
+/// computed in isolation and written to its own slot, (b) the estimator
+/// draws no randomness at query time (all sampling happened at
+/// walk-index build, seeded per node), and (c) the snapshot's caches
+/// store values that are bit-exact functions of their canonical pair
+/// key.
 class BatchQueryEngine {
  public:
   /// Validating factory, the counterpart of SemSimEngine::Create.
   /// `graph`, `semantic`, and `index` must be non-null and outlive the
-  /// engine; decay must lie in (0,1) and θ ≤ 1 - decay (Lemma 4.7);
-  /// negative cache capacities are rejected. `num_threads <= 0` is
-  /// resolved here (the returned engine's options report the resolved
-  /// count). The optional SLING-style `static_cache` is consulted
-  /// before the concurrent caches, exactly as in SemSimMcEstimator.
+  /// engine (they are borrowed into the engine's snapshot); decay must
+  /// lie in (0,1) and θ ≤ 1 - decay (Lemma 4.7); negative cache
+  /// capacities are rejected. `num_threads <= 0` is resolved here (the
+  /// returned engine's options report the resolved count). The optional
+  /// SLING-style `static_cache` is consulted before the concurrent
+  /// caches, exactly as in SemSimMcEstimator.
   static Result<BatchQueryEngine> Create(
       const Hin* graph, const SemanticMeasure* semantic,
       const WalkIndex* index, const BatchQueryEngineOptions& options = {},
       const PairNormalizerCache* static_cache = nullptr);
+
+  /// Binds a pool + scratch arenas over an existing snapshot. This is
+  /// how the stress harness replays a response against the exact
+  /// snapshot version that produced it.
+  static Result<BatchQueryEngine> CreateFromSnapshot(EngineSnapshotPtr snapshot,
+                                                     int num_threads = 0);
 
   // Construction is Create-only, the same surface as SemSimEngine (the
   // legacy aborting constructor is gone).
@@ -87,6 +98,14 @@ class BatchQueryEngine {
   BatchResult<double> QueryBatch(std::span<const NodePair> pairs,
                                  const SemSimMcOptions& mc) const;
 
+  /// Per-snapshot form: runs the batch against `snap` instead of the
+  /// engine's own snapshot (RCU read side — the caller acquired `snap`
+  /// once and the whole request resolves on it). Bit-identical to an
+  /// engine created from `snap` directly.
+  BatchResult<double> QueryBatch(const EngineSnapshot& snap,
+                                 std::span<const NodePair> pairs,
+                                 const SemSimMcOptions& mc) const;
+
   /// Full single-source sweeps, one per requested source, partitioned
   /// across the pool (each source is one work item; the inverted index
   /// is built lazily on first use). result.values[i][v] ==
@@ -95,6 +114,9 @@ class BatchQueryEngine {
       std::span<const NodeId> sources) const;
   BatchResult<std::vector<double>> SingleSourceBatch(
       std::span<const NodeId> sources, const SemSimMcOptions& mc) const;
+  BatchResult<std::vector<double>> SingleSourceBatch(
+      const EngineSnapshot& snap, std::span<const NodeId> sources,
+      const SemSimMcOptions& mc) const;
 
   /// Top-k per requested source through the inverted single-source
   /// sweep. Ties broken by node id, as everywhere in the library.
@@ -103,25 +125,22 @@ class BatchQueryEngine {
   BatchResult<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
                                              size_t k,
                                              const SemSimMcOptions& mc) const;
-
-  /// Legacy out-param overloads, kept as thin shims for one release.
-  /// Deprecated: read `.values` / `.stats` off the BatchResult instead.
-  [[deprecated("use the BatchResult-returning overload")]]
-  std::vector<double> QueryBatch(std::span<const NodePair> pairs,
-                                 McQueryStats* stats) const;
-  [[deprecated("use the BatchResult-returning overload")]]
-  std::vector<std::vector<double>> SingleSourceBatch(
-      std::span<const NodeId> sources, McQueryStats* stats) const;
-  [[deprecated("use the BatchResult-returning overload")]]
-  std::vector<std::vector<Scored>> TopKBatch(std::span<const NodeId> sources,
+  BatchResult<std::vector<Scored>> TopKBatch(const EngineSnapshot& snap,
+                                             std::span<const NodeId> sources,
                                              size_t k,
-                                             McQueryStats* stats) const;
+                                             const SemSimMcOptions& mc) const;
 
-  const SemSimMcEstimator& estimator() const { return *estimator_; }
+  /// The snapshot backing the convenience overloads. Copying the
+  /// shared_ptr is the read-side acquire of the RCU protocol.
+  EngineSnapshotPtr snapshot() const { return snapshot_; }
+
+  const SemSimMcEstimator& estimator() const { return snapshot_->estimator(); }
   const ThreadPool& pool() const { return *pool_; }
   /// Resolved worker count (satellite of the num_threads <= 0 contract).
   int num_threads() const { return pool_->num_threads(); }
-  const QueryOptions& query_options() const { return options_.query; }
+  const QueryOptions& query_options() const {
+    return snapshot_->options().query;
+  }
   /// The options the engine runs with; num_threads holds the resolved
   /// count.
   const BatchQueryEngineOptions& options() const { return options_; }
@@ -130,55 +149,43 @@ class BatchQueryEngine {
   /// normalizer cache also counts per-query-context misses it could not
   /// see; rates below are lifetime shard-level hit fractions.
   const ConcurrentPairCache* normalizer_cache() const {
-    return normalizer_cache_.get();
+    return snapshot_->normalizer_cache();
   }
   /// nullptr when no memoizing wrapper was built (capacity 0, or the
   /// flat kernel devirtualized the measure).
   const CachedSemanticMeasure* cached_semantic() const {
-    return cached_semantic_.get();
+    return snapshot_->cached_semantic();
   }
 
   /// The per-worker arena pool behind SingleSourceBatch / TopKBatch;
   /// exposed so benches can report the arena reuse rate.
   const ScratchPool& scratch_pool() const { return *scratch_pool_; }
 
-  /// The flat tables owned by the engine; nullptr under kGeneric (and
+  /// The flat tables owned by the snapshot; nullptr under kGeneric (and
   /// flat_semantic_table() also when the measure is not flattenable).
   const TransitionTable* transition_table() const {
-    return transition_table_.get();
+    return snapshot_->transition_table();
   }
   const FlatSemanticTable* flat_semantic_table() const {
-    return flat_semantic_.get();
+    return snapshot_->flat_semantic_table();
   }
   /// "generic", or "flat+<sem kernel name>" (e.g. "flat+flat-lin",
   /// "flat+virtual" when only edge acceleration applies).
-  std::string kernel_name() const;
+  std::string kernel_name() const { return snapshot_->kernel_name(); }
 
   size_t MemoryBytes() const;
 
  private:
-  // Result<BatchQueryEngine> requires a movable engine, so the pool and
-  // the inverted-index mutex live behind unique_ptr.
+  // Result<BatchQueryEngine> requires a movable engine, so the pool
+  // lives behind unique_ptr.
   BatchQueryEngine() = default;
 
-  const SingleSourceIndex& InvertedIndex() const;
-
-  const Hin* graph_ = nullptr;
-  const SemanticMeasure* semantic_ = nullptr;
-  const WalkIndex* index_ = nullptr;
+  EngineSnapshotPtr snapshot_;
   BatchQueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<TransitionTable> transition_table_;
-  std::unique_ptr<FlatSemanticTable> flat_semantic_;
-  std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
-  std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
-  std::unique_ptr<SemSimMcEstimator> estimator_;
   // Pooled per-worker query arenas (leased per chunk by the single-
   // source drivers, so steady-state sweeps are allocation-free).
   std::unique_ptr<ScratchPool> scratch_pool_;
-  // Lazily built inverted index (guarded; build is idempotent).
-  mutable std::unique_ptr<std::mutex> inverted_mu_;
-  mutable std::unique_ptr<SingleSourceIndex> inverted_;
 };
 
 /// Free-standing parallel single-source driver: one SemSimFrom sweep per

@@ -1,5 +1,7 @@
 #include "core/dynamic_walk_index.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace semsim {
@@ -9,7 +11,7 @@ DynamicWalkIndex DynamicWalkIndex::Build(const Hin* graph,
   SEMSIM_CHECK(graph != nullptr);
   DynamicWalkIndex dyn;
   dyn.graph_ = graph;
-  dyn.index_ = WalkIndex::Build(*graph, options);
+  dyn.index_ = std::make_shared<WalkIndex>(WalkIndex::Build(*graph, options));
   // Continue the deterministic stream where the builder cannot collide
   // with it: reseed from the build seed, offset.
   dyn.rng_.Seed(options.seed ^ 0xD1F2C3B4A5968778ULL);
@@ -32,20 +34,30 @@ Result<DynamicWalkIndex> DynamicWalkIndex::Adopt(const Hin* graph,
   }
   DynamicWalkIndex dyn;
   dyn.graph_ = graph;
-  dyn.index_ = std::move(index);
+  dyn.index_ = std::make_shared<WalkIndex>(std::move(index));
   // Copy-on-write: a mapped artifact is read-only (and its pages are
   // shared machine-wide through the page cache) — materialize a private
   // heap copy before any suffix resampling can touch it.
-  dyn.index_.PromoteToOwned();
-  dyn.rng_.Seed(dyn.index_.options().seed ^ 0xD1F2C3B4A5968778ULL);
+  dyn.index_->PromoteToOwned();
+  dyn.rng_.Seed(dyn.index_->options().seed ^ 0xD1F2C3B4A5968778ULL);
   dyn.dirty_mark_.assign(graph->num_nodes(), 0);
   return dyn;
+}
+
+void DynamicWalkIndex::EnsurePrivateWalks() {
+  if (!exported_ && index_.use_count() == 1) return;
+  // An exported snapshot (or any other holder) shares these walks;
+  // clone before mutating so its readers keep serving the version they
+  // acquired. WalkIndex's copy constructor always materializes owned
+  // storage.
+  index_ = std::make_shared<WalkIndex>(*index_);
+  exported_ = false;
 }
 
 Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
                                         std::span<const NodeId> dirty_nodes) {
   if (new_graph == nullptr) return Status::InvalidArgument("null graph");
-  if (index_.mapped()) {
+  if (index_->mapped()) {
     return Status::FailedPrecondition(
         "walk index is memory-mapped (read-only); in-place suffix "
         "resampling would write through the shared mapping — adopt it "
@@ -58,13 +70,15 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
   size_t n = new_graph->num_nodes();
   for (NodeId v : dirty_nodes) {
     if (v >= n) return Status::InvalidArgument("dirty node out of range");
-    dirty_mark_[v] = 1;
   }
+  EnsurePrivateWalks();
+  for (NodeId v : dirty_nodes) dirty_mark_[v] = 1;
 
   const Hin& g = *new_graph;
-  const WalkIndexOptions& opt = index_.options_;
-  NodeId* all_steps = index_.MutableSteps();
-  uint16_t* live_lengths = index_.MutableLiveLengths();
+  WalkIndex& index = *index_;
+  const WalkIndexOptions& opt = index.options_;
+  NodeId* all_steps = index.MutableSteps();
+  uint16_t* live_lengths = index.MutableLiveLengths();
   // O(1) weighted resampling steps: the alias index over the *new*
   // graph is built lazily, on the first suffix that actually needs a
   // weighted draw — an update touching no walks pays nothing for it.
@@ -128,7 +142,29 @@ Result<size_t> DynamicWalkIndex::Update(const Hin* new_graph,
 
   for (NodeId v : dirty_nodes) dirty_mark_[v] = 0;
   graph_ = new_graph;
+  graph_keepalive_.reset();
   return resampled;
+}
+
+Result<EngineSnapshotPtr> DynamicWalkIndex::UpdateToSnapshot(
+    std::shared_ptr<const Hin> new_graph, std::span<const NodeId> dirty_nodes,
+    std::shared_ptr<const SemanticMeasure> semantic,
+    const EngineSnapshotOptions& options, uint64_t version,
+    size_t* resampled) {
+  if (new_graph == nullptr) return Status::InvalidArgument("null graph");
+  SEMSIM_ASSIGN_OR_RETURN(size_t count,
+                          Update(new_graph.get(), dirty_nodes));
+  if (resampled != nullptr) *resampled = count;
+  // Update() dropped the previous keep-alive; pin the new graph version
+  // for the maintainer (graph_ points into it) and share it with the
+  // snapshot below.
+  graph_keepalive_ = new_graph;
+  // Export copy-on-write: the snapshot shares today's walks; the next
+  // Update() clones before mutating (EnsurePrivateWalks), so the
+  // published version stays immutable for its readers.
+  exported_ = true;
+  return EngineSnapshot::Create(std::move(new_graph), std::move(semantic),
+                                index_, options, version);
 }
 
 }  // namespace semsim

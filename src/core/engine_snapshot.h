@@ -1,0 +1,224 @@
+#ifndef SEMSIM_CORE_ENGINE_SNAPSHOT_H_
+#define SEMSIM_CORE_ENGINE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/concurrent_cache.h"
+#include "core/mc_semsim.h"
+#include "core/single_source.h"
+#include "core/sling_cache.h"
+#include "core/walk_index.h"
+#include "graph/hin.h"
+#include "graph/node_sampler.h"
+#include "taxonomy/semantic_measure.h"
+
+namespace semsim {
+
+class EngineSnapshot;
+/// The handle every reader holds. A snapshot is always shared and always
+/// const: acquiring the pointer once per request is the whole RCU
+/// read-side protocol (DESIGN.md §14).
+using EngineSnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
+/// Wraps a caller-owned pointer in a non-owning shared_ptr (no-op
+/// deleter), so legacy borrow-the-artifact call sites can feed the
+/// snapshot factories without transferring ownership. The pointee must
+/// outlive every snapshot built from it — exactly the lifetime contract
+/// those call sites already honored.
+template <typename T>
+std::shared_ptr<const T> Unowned(const T* ptr) {
+  return std::shared_ptr<const T>(ptr, [](const T*) {});
+}
+
+/// What one snapshot derives from its graph + measure + walk index.
+/// The QueryOptions / cache-capacity surface mirrors
+/// BatchQueryEngineOptions; cache_min_sem / eager_single_source mirror
+/// SemSimEngineOptions — the snapshot is the common substrate both
+/// engines now share.
+struct EngineSnapshotOptions {
+  /// Kernel selection + estimator parameters applied to every query
+  /// served from this snapshot.
+  QueryOptions query;
+  /// Slot budget of the cross-query SO-normalizer cache. 0 disables it;
+  /// negative values are rejected.
+  int64_t normalizer_cache_capacity = 1 << 20;
+  /// Slot budget of the memoizing sem(·,·) cache. 0 disables it; not
+  /// built when the flat kernel devirtualizes the measure.
+  int64_t semantic_cache_capacity = 1 << 20;
+  /// When >= 0, build the SLING-style static normalizer cache for pairs
+  /// with sem >= this value (the paper uses 0.1). Negative skips the
+  /// build; an externally supplied static cache overrides this.
+  double cache_min_sem = -1.0;
+  /// Build the inverted single-source index at snapshot creation
+  /// instead of lazily on the first single-source/top-k request.
+  bool eager_single_source = false;
+};
+
+/// One immutable, versioned bundle of every artifact a query needs: the
+/// HIN, the semantic measure, the walk index (owned or mapped), the flat
+/// kernel tables, the alias sampler, the SLING caches, and the
+/// estimator bound over them (DESIGN.md §14).
+///
+/// Ownership model: a snapshot is created once, read forever, destroyed
+/// when its last reader releases it — it is only ever handled through
+/// EngineSnapshotPtr. The graph / measure / walk index are held as
+/// shared_ptr so snapshots can chain through dynamic updates (the new
+/// snapshot keeps the artifacts of the old one alive exactly as long as
+/// needed); Unowned() adapts legacy borrowed pointers.
+///
+/// The only mutable state is (a) the two concurrent caches, whose
+/// entries are bit-exact functions of their keys (cache history never
+/// changes results), and (b) the lazily built inverted single-source
+/// index, published through an atomic pointer after a mutex-guarded
+/// idempotent build. Both preserve the determinism contract: every
+/// query against a given snapshot is bit-identical regardless of thread
+/// count, cache history, or concurrent swaps.
+///
+/// `version()` is the monotone publication id assigned by the producer
+/// (SnapshotManager enforces monotonicity at the publish seam);
+/// `fingerprint()` is a chained FNV-1a hash over the options, the graph
+/// shape, and the full walk-index content — two snapshots with equal
+/// fingerprints serve bit-identical results. Fingerprinting a mapped
+/// index faults its pages in once at creation; that is a deliberate
+/// publish-time cost, not a query-time one.
+class EngineSnapshot {
+ public:
+  /// Derives a snapshot from existing artifacts. All three shared
+  /// pointers must be non-null; negative cache capacities and invalid
+  /// MC options are rejected. `static_cache` (optional, borrowed — must
+  /// outlive the snapshot) overrides cache_min_sem. `build_pool`
+  /// (optional, borrowed only during the call) parallelizes the alias
+  /// sampler and eager single-source builds.
+  static Result<EngineSnapshotPtr> Create(
+      std::shared_ptr<const Hin> graph,
+      std::shared_ptr<const SemanticMeasure> semantic,
+      std::shared_ptr<const WalkIndex> walk_index,
+      const EngineSnapshotOptions& options, uint64_t version,
+      const PairNormalizerCache* static_cache = nullptr,
+      const ThreadPool* build_pool = nullptr);
+
+  /// Samples a fresh walk index with `walks`, then Create().
+  static Result<EngineSnapshotPtr> Build(
+      std::shared_ptr<const Hin> graph,
+      std::shared_ptr<const SemanticMeasure> semantic,
+      const WalkIndexOptions& walks, const EngineSnapshotOptions& options,
+      uint64_t version, const PairNormalizerCache* static_cache = nullptr,
+      const ThreadPool* build_pool = nullptr);
+
+  /// Zero-copy path: WalkIndex::Map()s the v2 artifact at `path`, then
+  /// Create(). The cold-start story of DESIGN.md §10, now ending in a
+  /// publishable snapshot.
+  static Result<EngineSnapshotPtr> MapArtifact(
+      std::shared_ptr<const Hin> graph,
+      std::shared_ptr<const SemanticMeasure> semantic,
+      const std::string& path, const EngineSnapshotOptions& options,
+      uint64_t version, const WalkIndexMapOptions& map_options = {},
+      const ThreadPool* build_pool = nullptr);
+
+  EngineSnapshot(const EngineSnapshot&) = delete;
+  EngineSnapshot& operator=(const EngineSnapshot&) = delete;
+  ~EngineSnapshot();
+
+  const Hin& graph() const { return *graph_; }
+  const SemanticMeasure& semantic() const { return *semantic_; }
+  const WalkIndex& walk_index() const { return *walk_index_; }
+  const SemSimMcEstimator& estimator() const { return *estimator_; }
+  const EngineSnapshotOptions& options() const { return options_; }
+
+  /// Shared handles, for chaining the next snapshot off this one.
+  const std::shared_ptr<const Hin>& graph_ptr() const { return graph_; }
+  const std::shared_ptr<const SemanticMeasure>& semantic_ptr() const {
+    return semantic_;
+  }
+  const std::shared_ptr<const WalkIndex>& walk_index_ptr() const {
+    return walk_index_;
+  }
+
+  /// Monotone publication id (0 = never published through a manager).
+  uint64_t version() const { return version_; }
+  /// Chained FNV-1a over options, graph shape, and walk-index content.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// The flat tables; nullptr under kGeneric (and flat_semantic_table()
+  /// also when the measure is not flattenable).
+  const TransitionTable* transition_table() const {
+    return transition_table_.get();
+  }
+  const FlatSemanticTable* flat_semantic_table() const {
+    return flat_semantic_.get();
+  }
+  /// True when the flat kernel devirtualized sem(·,·).
+  bool sem_devirtualized() const { return sem_devirtualized_; }
+  /// "generic", or "flat+<sem kernel name>".
+  std::string kernel_name() const;
+
+  /// The alias sampler over the graph's in-neighborhoods; built only
+  /// when the walk index was sampled weighted with SamplerKind::kAlias
+  /// (dynamic updates against this snapshot reuse it instead of
+  /// rebuilding).
+  const NodeSamplerIndex* sampler() const { return sampler_.get(); }
+
+  /// The SLING-style static cache consulted by the estimator (owned or
+  /// borrowed); nullptr when neither cache_min_sem nor an external
+  /// cache was supplied.
+  const PairNormalizerCache* static_cache() const { return static_cache_; }
+  /// Cross-query concurrent caches; nullptr when disabled.
+  const ConcurrentPairCache* normalizer_cache() const {
+    return normalizer_cache_.get();
+  }
+  const CachedSemanticMeasure* cached_semantic() const {
+    return cached_semantic_.get();
+  }
+
+  /// The inverted single-source index, built on first use (idempotent;
+  /// `pool` parallelizes a build that happens on this call, nullptr
+  /// builds serially). Hot swaps warm the replacement by calling this
+  /// from the builder before publishing (eager_single_source).
+  const SingleSourceIndex& InvertedIndex(const ThreadPool* pool = nullptr)
+      const;
+  /// nullptr when no single-source/top-k request has forced the build.
+  const SingleSourceIndex* inverted_if_built() const {
+    return inverted_published_.load(std::memory_order_acquire);
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  EngineSnapshot();
+
+  static void ComputeFingerprint(EngineSnapshot& snap);
+
+  std::shared_ptr<const Hin> graph_;
+  std::shared_ptr<const SemanticMeasure> semantic_;
+  std::shared_ptr<const WalkIndex> walk_index_;
+  EngineSnapshotOptions options_;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = 0;
+  bool sem_devirtualized_ = false;
+
+  std::unique_ptr<TransitionTable> transition_table_;
+  std::unique_ptr<FlatSemanticTable> flat_semantic_;
+  std::unique_ptr<NodeSamplerIndex> sampler_;
+  std::unique_ptr<PairNormalizerCache> owned_static_cache_;
+  const PairNormalizerCache* static_cache_ = nullptr;
+  std::unique_ptr<ConcurrentPairCache> normalizer_cache_;
+  std::unique_ptr<CachedSemanticMeasure> cached_semantic_;
+  std::unique_ptr<SemSimMcEstimator> estimator_;
+
+  // Lazy inverted index: build under the mutex, read through the
+  // atomic (the release store pairs with inverted_if_built()'s and
+  // InvertedIndex()'s acquire loads).
+  mutable std::mutex inverted_mu_;
+  mutable std::unique_ptr<SingleSourceIndex> inverted_;
+  mutable std::atomic<const SingleSourceIndex*> inverted_published_{nullptr};
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_CORE_ENGINE_SNAPSHOT_H_

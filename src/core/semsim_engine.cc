@@ -1,6 +1,7 @@
 #include "core/semsim_engine.h"
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 
 namespace semsim {
 
@@ -10,68 +11,57 @@ Result<SemSimEngine> SemSimEngine::Create(const Hin* graph,
   if (graph == nullptr || semantic == nullptr) {
     return Status::InvalidArgument("graph and semantic measure are required");
   }
-  SEMSIM_RETURN_NOT_OK(ValidateMcOptions(options.query.mc));
   SEMSIM_TRACE_SPAN("semsim_engine_create");
   SemSimEngine engine;
-  engine.graph_ = graph;
-  engine.semantic_ = semantic;
   engine.options_ = options;
-  engine.walk_index_ =
-      std::make_unique<WalkIndex>(WalkIndex::Build(*graph, options.walks));
-  if (options.cache_min_sem >= 0) {
-    engine.pair_graph_ = std::make_unique<PairGraph>(graph, semantic);
-    engine.cache_ = std::make_unique<PairNormalizerCache>(
-        PairNormalizerCache::Build(*engine.pair_graph_,
-                                   options.cache_min_sem));
-  }
-  engine.estimator_ = std::make_unique<SemSimMcEstimator>(
-      graph, semantic, engine.walk_index_.get(), engine.cache_.get());
-  if (options.query.kernel == QueryKernel::kFlat) {
-    engine.transition_table_ =
-        std::make_unique<TransitionTable>(TransitionTable::Build(*graph));
-    kernels::SemInfo info = kernels::ClassifyMeasure(semantic);
-    if (info.kind != kernels::SemKind::kVirtual) {
-      engine.flat_semantic_ = std::make_unique<FlatSemanticTable>(
-          FlatSemanticTable::Build(*info.context));
-    }
-    engine.estimator_->AttachFlatKernel(engine.flat_semantic_.get(),
-                                        engine.transition_table_.get());
-  }
-  if (options.single_source) {
-    // Reuse the walk-sampling thread budget for the inverted-index
-    // build; the result is bit-identical for any thread count.
-    ThreadPool build_pool(options.walks.num_threads);
-    engine.single_source_ = std::make_unique<SingleSourceIndex>(
-        SingleSourceIndex::Build(*engine.walk_index_, graph->num_nodes(),
-                                 &build_pool));
-  }
+  EngineSnapshotOptions snap_options;
+  snap_options.query = options.query;
+  // The high-level engine is single-caller: no cross-query concurrent
+  // caches (the SLING static cache is the paper's memory/time trade).
+  snap_options.normalizer_cache_capacity = 0;
+  snap_options.semantic_cache_capacity = 0;
+  snap_options.cache_min_sem = options.cache_min_sem;
+  snap_options.eager_single_source = options.single_source;
+  // Reuse the walk-sampling thread budget for the sampler and
+  // inverted-index builds; the results are bit-identical for any
+  // thread count.
+  ThreadPool build_pool(options.walks.num_threads);
+  SEMSIM_ASSIGN_OR_RETURN(
+      engine.snapshot_,
+      EngineSnapshot::Build(Unowned(graph), Unowned(semantic), options.walks,
+                            snap_options, /*version=*/0,
+                            /*static_cache=*/nullptr, &build_pool));
   return engine;
 }
 
 std::vector<Scored> SemSimEngine::TopK(
     NodeId query, size_t k, const std::vector<NodeId>* candidates) const {
-  if (single_source_ != nullptr) {
+  const SingleSourceIndex* inverted = snapshot_->inverted_if_built();
+  if (inverted != nullptr) {
     std::vector<double> scores =
-        single_source_->SemSimFrom(query, *estimator_, options_.query.mc);
-    return CallbackTopK(graph_->num_nodes(), query, k, candidates,
+        inverted->SemSimFrom(query, snapshot_->estimator(), options_.query.mc);
+    return CallbackTopK(snapshot_->graph().num_nodes(), query, k, candidates,
                         [&](NodeId v) { return scores[v]; });
   }
-  return McTopK(*estimator_, query, k, options_.query.mc, candidates);
+  return McTopK(snapshot_->estimator(), query, k, options_.query.mc,
+                candidates);
 }
 
 Result<std::vector<double>> SemSimEngine::AllScores(NodeId query) const {
-  if (single_source_ == nullptr) {
+  const SingleSourceIndex* inverted = snapshot_->inverted_if_built();
+  if (inverted == nullptr) {
     return Status::FailedPrecondition(
         "engine built without the single-source index "
         "(SemSimEngineOptions::single_source)");
   }
-  return single_source_->SemSimFrom(query, *estimator_, options_.query.mc);
+  return inverted->SemSimFrom(query, snapshot_->estimator(),
+                              options_.query.mc);
 }
 
 Result<double> SemSimEngine::SimilarityByName(std::string_view u,
                                               std::string_view v) const {
-  SEMSIM_ASSIGN_OR_RETURN(NodeId nu, graph_->FindNode(u));
-  SEMSIM_ASSIGN_OR_RETURN(NodeId nv, graph_->FindNode(v));
+  SEMSIM_ASSIGN_OR_RETURN(NodeId nu, snapshot_->graph().FindNode(u));
+  SEMSIM_ASSIGN_OR_RETURN(NodeId nv, snapshot_->graph().FindNode(v));
   return Similarity(nu, nv);
 }
 

@@ -7,10 +7,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/engine_snapshot.h"
 #include "core/mc_semsim.h"
-#include "core/pair_graph.h"
 #include "core/single_source.h"
-#include "core/sling_cache.h"
 #include "core/topk.h"
 #include "core/walk_index.h"
 #include "graph/hin.h"
@@ -35,9 +34,10 @@ struct SemSimEngineOptions {
   bool single_source = false;
 };
 
-/// The library's front door: binds a HIN, a semantic measure and the
-/// precomputed walk index into a query service for single-pair and top-k
-/// SemSim queries. See examples/quickstart.cc for end-to-end usage.
+/// The library's front door: builds one EngineSnapshot binding a HIN, a
+/// semantic measure and the freshly sampled walk index, and serves
+/// single-pair and top-k SemSim queries from it. See
+/// examples/quickstart.cc for end-to-end usage.
 class SemSimEngine {
  public:
   /// Builds the walk index (and optionally the normalizer cache).
@@ -50,7 +50,7 @@ class SemSimEngine {
   /// counts reach the global MetricsRegistry on every call; `stats` is
   /// the legacy per-call out-param view.
   double Similarity(NodeId u, NodeId v, McQueryStats* stats = nullptr) const {
-    return estimator_->Query(u, v, options_.query.mc, stats);
+    return snapshot_->estimator().Query(u, v, options_.query.mc, stats);
   }
 
   /// Name-based convenience wrapper.
@@ -66,33 +66,22 @@ class SemSimEngine {
   /// options.single_source.
   Result<std::vector<double>> AllScores(NodeId query) const;
 
-  const Hin& graph() const { return *graph_; }
-  const SemanticMeasure& semantic() const { return *semantic_; }
-  const WalkIndex& walk_index() const { return *walk_index_; }
+  const Hin& graph() const { return snapshot_->graph(); }
+  const SemanticMeasure& semantic() const { return snapshot_->semantic(); }
+  const WalkIndex& walk_index() const { return snapshot_->walk_index(); }
   const SemSimEngineOptions& options() const { return options_; }
-  const SemSimMcEstimator& estimator() const { return *estimator_; }
+  const SemSimMcEstimator& estimator() const { return snapshot_->estimator(); }
+  /// The snapshot holding every artifact; share it to serve the same
+  /// version elsewhere (BatchQueryEngine::CreateFromSnapshot).
+  EngineSnapshotPtr snapshot() const { return snapshot_; }
   /// Index + cache + flat-table footprint (Sec. 5.2 memory report).
-  size_t MemoryBytes() const {
-    return walk_index_->MemoryBytes() + (cache_ ? cache_->MemoryBytes() : 0) +
-           (single_source_ ? single_source_->MemoryBytes() : 0) +
-           (transition_table_ ? transition_table_->MemoryBytes() : 0) +
-           (flat_semantic_ ? flat_semantic_->MemoryBytes() : 0);
-  }
+  size_t MemoryBytes() const { return snapshot_->MemoryBytes(); }
 
  private:
   SemSimEngine() = default;
 
-  const Hin* graph_ = nullptr;
-  const SemanticMeasure* semantic_ = nullptr;
   SemSimEngineOptions options_;
-  // unique_ptr members keep the engine cheaply movable.
-  std::unique_ptr<WalkIndex> walk_index_;
-  std::unique_ptr<PairGraph> pair_graph_;
-  std::unique_ptr<PairNormalizerCache> cache_;
-  std::unique_ptr<TransitionTable> transition_table_;
-  std::unique_ptr<FlatSemanticTable> flat_semantic_;
-  std::unique_ptr<SemSimMcEstimator> estimator_;
-  std::unique_ptr<SingleSourceIndex> single_source_;
+  EngineSnapshotPtr snapshot_;
 };
 
 }  // namespace semsim

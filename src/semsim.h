@@ -37,6 +37,7 @@
 
 #include "core/batch_engine.h"        // IWYU pragma: export
 #include "core/dynamic_walk_index.h"  // IWYU pragma: export
+#include "core/engine_snapshot.h"     // IWYU pragma: export
 #include "core/iterative.h"           // IWYU pragma: export
 #include "core/mc_kernels.h"          // IWYU pragma: export
 #include "core/mc_semsim.h"           // IWYU pragma: export
@@ -49,8 +50,9 @@
 #include "core/topk.h"                // IWYU pragma: export
 #include "core/walk_index.h"          // IWYU pragma: export
 
-#include "serving/admission_queue.h"  // IWYU pragma: export
-#include "serving/query_service.h"    // IWYU pragma: export
+#include "serving/admission_queue.h"   // IWYU pragma: export
+#include "serving/query_service.h"     // IWYU pragma: export
+#include "serving/snapshot_manager.h"  // IWYU pragma: export
 
 #include "baselines/hetesim.h"        // IWYU pragma: export
 #include "baselines/line.h"           // IWYU pragma: export

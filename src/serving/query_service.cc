@@ -44,6 +44,9 @@ size_t ItemCount(const QueryRequest& request) {
 
 struct QueryService::Impl {
   const BatchQueryEngine* engine = nullptr;
+  // Optional hot-swap source; nullptr pins the service to the engine's
+  // own snapshot.
+  const SnapshotManager* snapshots = nullptr;
   QueryServiceOptions options;
   AdmissionQueue<PendingRequest> queue;
   std::atomic<bool> stopping{false};
@@ -120,8 +123,15 @@ QueryResponse QueryService::Impl::Execute(PendingRequest& item) {
   QueryResponse resp;
   resp.queue_seconds = Seconds(Clock::now() - item.enqueue_time);
 
-  const int full = EffectiveWalkBudget(engine->query_options().mc,
-                                       engine->estimator().index().num_walks());
+  // The RCU read-side acquire: one snapshot serves this whole request.
+  // A Publish() landing after this line is invisible to the request;
+  // the old snapshot stays alive until `snap` releases it below.
+  EngineSnapshotPtr snap =
+      snapshots != nullptr ? snapshots->Acquire() : engine->snapshot();
+  resp.snapshot_version = snap->version();
+
+  const int full = EffectiveWalkBudget(snap->options().query.mc,
+                                       snap->walk_index().num_walks());
   resp.full_walk_budget = full;
 
   // Fast-fail before any work: a request whose deadline already passed
@@ -164,28 +174,28 @@ QueryResponse QueryService::Impl::Execute(PendingRequest& item) {
   resp.effective_walk_budget = budget;
   resp.degraded = budget < full;
 
-  SemSimMcOptions mc = engine->query_options().mc;
+  SemSimMcOptions mc = snap->options().query.mc;
   mc.walk_budget = budget;
   mc.cancel = token;
 
   Timer run_timer;
   switch (request.kind) {
     case QueryRequestKind::kPairs: {
-      BatchResult<double> r = engine->QueryBatch(request.pairs, mc);
+      BatchResult<double> r = engine->QueryBatch(*snap, request.pairs, mc);
       resp.scores = std::move(r.values);
       resp.stats = r.stats;
       break;
     }
     case QueryRequestKind::kSingleSource: {
       BatchResult<std::vector<double>> r =
-          engine->SingleSourceBatch(request.sources, mc);
+          engine->SingleSourceBatch(*snap, request.sources, mc);
       resp.rows = std::move(r.values);
       resp.stats = r.stats;
       break;
     }
     case QueryRequestKind::kTopK: {
       BatchResult<std::vector<Scored>> r =
-          engine->TopKBatch(request.sources, request.k, mc);
+          engine->TopKBatch(*snap, request.sources, request.k, mc);
       resp.topk = std::move(r.values);
       resp.stats = r.stats;
       break;
@@ -218,14 +228,20 @@ QueryResponse QueryService::Impl::Execute(PendingRequest& item) {
     rate[kind_idx] = options.cost_ema_alpha * observed +
                      (1.0 - options.cost_ema_alpha) * rate[kind_idx];
   }
-  resp.error_band = WalkBudgetErrorBand(
-      budget, options.band_delta, engine->estimator().graph().num_nodes());
+  resp.error_band = WalkBudgetErrorBand(budget, options.band_delta,
+                                        snap->graph().num_nodes());
   metrics.completed->Add(1);
   if (resp.degraded) metrics.degraded->Add(1);
   return resp;
 }
 
 Result<QueryService> QueryService::Create(const BatchQueryEngine* engine,
+                                          const QueryServiceOptions& options) {
+  return Create(engine, /*snapshots=*/nullptr, options);
+}
+
+Result<QueryService> QueryService::Create(const BatchQueryEngine* engine,
+                                          const SnapshotManager* snapshots,
                                           const QueryServiceOptions& options) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine is required");
@@ -253,6 +269,7 @@ Result<QueryService> QueryService::Create(const BatchQueryEngine* engine,
   }
   auto impl = std::make_unique<Impl>(options);
   impl->engine = engine;
+  impl->snapshots = snapshots;
   Impl* raw = impl.get();
   impl->scheduler = std::thread([raw] { raw->Run(); });
   return QueryService(std::move(impl));

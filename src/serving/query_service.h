@@ -12,6 +12,7 @@
 #include "core/batch_engine.h"
 #include "core/topk.h"
 #include "graph/hin.h"
+#include "serving/snapshot_manager.h"
 
 namespace semsim {
 
@@ -61,6 +62,13 @@ struct QueryResponse {
   /// Per-stage latency split, also observed into the service histograms.
   double queue_seconds = 0;
   double run_seconds = 0;
+  /// Version of the EngineSnapshot this request ran against. Exactly
+  /// one snapshot serves the whole request (RCU: acquired once before
+  /// the budget projection, released after the response is built), so
+  /// a response can never mix two versions. 0 = the request never
+  /// reached the engine, or the service runs without a SnapshotManager
+  /// on an unversioned engine snapshot.
+  uint64_t snapshot_version = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -107,8 +115,19 @@ class QueryService {
  public:
   /// Validating factory (the construction surface mirrors
   /// BatchQueryEngine::Create / SemSimEngine::Create). `engine` must be
-  /// non-null and outlive the service.
+  /// non-null and outlive the service. Every request runs against the
+  /// engine's own snapshot.
   static Result<QueryService> Create(const BatchQueryEngine* engine,
+                                     const QueryServiceOptions& options = {});
+
+  /// Hot-swap form: the scheduler acquires the current snapshot from
+  /// `snapshots` once per request, so a Publish() between two requests
+  /// moves the service onto the new version without a restart, while a
+  /// request already running finishes on the version it started with.
+  /// `engine` supplies the pool + scratch arenas; both pointers must
+  /// outlive the service.
+  static Result<QueryService> Create(const BatchQueryEngine* engine,
+                                     const SnapshotManager* snapshots,
                                      const QueryServiceOptions& options = {});
 
   QueryService(QueryService&&) noexcept;

@@ -1,0 +1,174 @@
+#include "serving/snapshot_manager.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+
+namespace semsim {
+
+struct SnapshotManager::Impl {
+  // The RCU cell. std::atomic<shared_ptr> serializes the control block
+  // updates; readers pay one lock-free-ish load, never a mutex.
+  std::atomic<EngineSnapshotPtr> current;
+  // Highest version handed out by NextVersion() or observed in a
+  // publish — the monotone id source.
+  std::atomic<uint64_t> next_version{0};
+  std::atomic<uint64_t> swaps{0};
+
+  // Background builder (PublishAsync). ThreadPool has no task-submit
+  // surface (ParallelFor only), so the manager owns a plain thread;
+  // builds serialize through builder_mu.
+  std::mutex builder_mu;
+  std::thread builder;
+
+  struct MetricSites {
+    Counter* swaps_total;
+    Counter* publish_failed;
+    Gauge* version;
+    Histogram* publish_seconds;
+  };
+  MetricSites metrics;
+
+  Impl() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    metrics = MetricSites{
+        reg.GetCounter("semsim_snapshot_swaps_total"),
+        reg.GetCounter("semsim_snapshot_publish_failed_total"),
+        reg.GetGauge("semsim_snapshot_version"),
+        reg.GetHistogram("semsim_snapshot_publish_seconds"),
+    };
+  }
+
+  void JoinBuilder() {
+    std::lock_guard<std::mutex> lock(builder_mu);
+    if (builder.joinable()) builder.join();
+  }
+
+  Status DoPublish(EngineSnapshotPtr next);
+};
+
+Status SnapshotManager::Impl::DoPublish(EngineSnapshotPtr next) {
+  SEMSIM_TRACE_SPAN("semsim_snapshot_swap");
+  Timer timer;
+  if (next == nullptr) {
+    metrics.publish_failed->Add(1);
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  // The publish seam: tests arm this site to fail or delay the swap
+  // after the replacement was fully built. A failed publish must leave
+  // readers on the old version — which it does, because nothing below
+  // this line ran yet.
+  {
+    Status fp = [&]() -> Status {
+      SEMSIM_FAILPOINT_RETURN("snapshot_manager/publish");
+      return Status::OK();
+    }();
+    if (!fp.ok()) {
+      metrics.publish_failed->Add(1);
+      return fp;
+    }
+  }
+  // Monotone-version guard under a CAS loop: concurrent publishers race
+  // on the atomic cell itself, and the loser (stale version) fails
+  // instead of rolling the service backwards.
+  EngineSnapshotPtr expected = current.load(std::memory_order_acquire);
+  while (true) {
+    if (next->version() <= expected->version()) {
+      metrics.publish_failed->Add(1);
+      return Status::FailedPrecondition(
+          "stale publish: snapshot version must advance the published one");
+    }
+    if (current.compare_exchange_weak(expected, next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      break;
+    }
+  }
+  // Keep NextVersion ahead of externally numbered publishes.
+  uint64_t seen = next_version.load(std::memory_order_relaxed);
+  while (seen < next->version() &&
+         !next_version.compare_exchange_weak(seen, next->version(),
+                                             std::memory_order_relaxed)) {
+  }
+  swaps.fetch_add(1, std::memory_order_relaxed);
+  metrics.swaps_total->Add(1);
+  metrics.version->Set(static_cast<double>(next->version()));
+  metrics.publish_seconds->Observe(timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Result<SnapshotManager> SnapshotManager::Create(EngineSnapshotPtr initial) {
+  if (initial == nullptr) {
+    return Status::InvalidArgument("initial snapshot is required");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->next_version.store(initial->version(), std::memory_order_relaxed);
+  impl->metrics.version->Set(static_cast<double>(initial->version()));
+  impl->current.store(std::move(initial), std::memory_order_release);
+  return SnapshotManager(std::move(impl));
+}
+
+SnapshotManager::SnapshotManager(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+SnapshotManager::SnapshotManager(SnapshotManager&&) noexcept = default;
+
+SnapshotManager& SnapshotManager::operator=(SnapshotManager&& other) noexcept {
+  if (this != &other) {
+    if (impl_ != nullptr) impl_->JoinBuilder();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+SnapshotManager::~SnapshotManager() {
+  if (impl_ != nullptr) impl_->JoinBuilder();
+}
+
+EngineSnapshotPtr SnapshotManager::Acquire() const {
+  return impl_->current.load(std::memory_order_acquire);
+}
+
+uint64_t SnapshotManager::version() const {
+  return Acquire()->version();
+}
+
+uint64_t SnapshotManager::NextVersion() {
+  return impl_->next_version.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t SnapshotManager::swaps() const {
+  return impl_->swaps.load(std::memory_order_relaxed);
+}
+
+Status SnapshotManager::Publish(EngineSnapshotPtr next) {
+  return impl_->DoPublish(std::move(next));
+}
+
+Future<Status> SnapshotManager::PublishAsync(
+    std::function<Result<EngineSnapshotPtr>()> build) {
+  Promise<Status> promise;
+  Future<Status> future = promise.GetFuture();
+  // Impl's address is stable across moves of the manager (the thread
+  // must not capture `this`).
+  Impl* impl = impl_.get();
+  std::lock_guard<std::mutex> lock(impl->builder_mu);
+  if (impl->builder.joinable()) impl->builder.join();
+  impl->builder = std::thread(
+      [impl, build = std::move(build), promise = std::move(promise)]() mutable {
+        Result<EngineSnapshotPtr> built = build();
+        if (!built.ok()) {
+          promise.Set(built.status());
+          return;
+        }
+        promise.Set(impl->DoPublish(std::move(built).value()));
+      });
+  return future;
+}
+
+}  // namespace semsim

@@ -1,0 +1,89 @@
+#ifndef SEMSIM_SERVING_SNAPSHOT_MANAGER_H_
+#define SEMSIM_SERVING_SNAPSHOT_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/future.h"
+#include "common/result.h"
+#include "core/engine_snapshot.h"
+
+namespace semsim {
+
+/// The RCU publish side of the snapshot architecture (DESIGN.md §14):
+/// holds the current EngineSnapshot behind an atomic shared_ptr and
+/// swaps the next version in without pausing readers.
+///
+/// Protocol:
+///   - Readers (the QueryService scheduler, direct engine users) call
+///     Acquire() exactly once per request and run the whole request
+///     against that pointer. No locks, no waiting: Acquire is one
+///     atomic shared_ptr load.
+///   - Writers build the replacement off to the side — Build()/Map()
+///     plus the derived tables all happen before the swap — then call
+///     Publish(). The swap itself is one atomic shared_ptr exchange;
+///     in-flight requests finish on the version they started with, and
+///     the displaced snapshot is destroyed when its last reader
+///     releases it (shared_ptr refcount — no epochs, no quiescence
+///     detection needed).
+///   - Versions are strictly monotone: Publish rejects a snapshot whose
+///     version() is not greater than the current one. NextVersion()
+///     hands out fresh ids for builders.
+///
+/// Observability: every publish runs under the `semsim_snapshot_swap`
+/// trace span, bumps `semsim_snapshot_swaps_total`, sets the
+/// `semsim_snapshot_version` gauge, and observes the publish latency
+/// into `semsim_snapshot_publish_seconds`. The failpoint site
+/// `snapshot_manager/publish` sits on the seam before the swap, so
+/// tests can fail or delay a publish deterministically.
+class SnapshotManager {
+ public:
+  /// `initial` must be non-null; its version seeds the monotone
+  /// sequence.
+  static Result<SnapshotManager> Create(EngineSnapshotPtr initial);
+
+  SnapshotManager(SnapshotManager&&) noexcept;
+  SnapshotManager& operator=(SnapshotManager&&) noexcept;
+  ~SnapshotManager();
+
+  /// The read-side acquire: one atomic load of the current snapshot.
+  /// The caller keeps the returned pointer for the whole request.
+  EngineSnapshotPtr Acquire() const;
+
+  /// Version of the currently published snapshot.
+  uint64_t version() const;
+
+  /// Hands out the next unused version id (strictly greater than every
+  /// id handed out or published so far).
+  uint64_t NextVersion();
+
+  /// Swaps `next` in as the current snapshot. Fails with
+  /// InvalidArgument on a null snapshot and FailedPrecondition when
+  /// next->version() does not advance the published version (stale
+  /// double-publish guard). On failure the current snapshot stays
+  /// published and readers are unaffected.
+  Status Publish(EngineSnapshotPtr next);
+
+  /// Runs `build` on a background builder thread and publishes its
+  /// result on success; the returned future resolves with the publish
+  /// status (or the build error). At most one background build runs at
+  /// a time — a second PublishAsync joins the first before starting.
+  /// The destructor joins any in-flight build.
+  Future<Status> PublishAsync(
+      std::function<Result<EngineSnapshotPtr>()> build);
+
+  /// Lifetime count of successful publishes (excludes the initial
+  /// snapshot).
+  uint64_t swaps() const;
+
+ private:
+  struct Impl;
+  explicit SnapshotManager(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace semsim
+
+#endif  // SEMSIM_SERVING_SNAPSHOT_MANAGER_H_

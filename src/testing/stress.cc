@@ -9,8 +9,10 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -20,6 +22,8 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "core/batch_engine.h"
+#include "core/engine_snapshot.h"
+#include "serving/snapshot_manager.h"
 #include "taxonomy/semantic_measure.h"
 #include "testing/random_taxonomy.h"
 
@@ -81,6 +85,8 @@ const char* StressScenarioName(StressScenario scenario) {
       return "midflight_shutdown";
     case StressScenario::kFailpointChaos:
       return "failpoint_chaos";
+    case StressScenario::kSnapshotSwapStorm:
+      return "snapshot_swap_storm";
   }
   return "?";
 }
@@ -92,15 +98,16 @@ std::string StressConfig::Describe() const {
      << " engine_threads=" << engine_threads << " walks=" << walks.num_walks
      << "x" << walks.walk_length
      << (lin_measure ? " measure=Lin" : " measure=Constant")
-     << " prior=" << service.initial_seconds_per_item_walk << " | "
-     << DescribeOptions(hin);
+     << " prior=" << service.initial_seconds_per_item_walk;
+  if (num_swaps > 0) os << " swaps=" << num_swaps;
+  os << " | " << DescribeOptions(hin);
   return os.str();
 }
 
 StressConfig MakeStressConfig(uint64_t seed) {
   StressConfig cfg;
   cfg.seed = seed;
-  cfg.scenario = static_cast<StressScenario>(seed % 6);
+  cfg.scenario = static_cast<StressScenario>(seed % 7);
   Rng r(seed ^ 0x57E55EEDBA5EULL);
 
   cfg.hin.seed = r.Next();
@@ -159,6 +166,12 @@ StressConfig MakeStressConfig(uint64_t seed) {
       cfg.num_ops = 32 + static_cast<int>(r.NextIndex(17));
       cfg.num_producers = 2 + static_cast<int>(r.NextIndex(2));  // [2, 3]
       cfg.service.queue_capacity = 8 + r.NextIndex(9);           // [8, 16]
+      break;
+    case StressScenario::kSnapshotSwapStorm:
+      cfg.num_ops = 32 + static_cast<int>(r.NextIndex(17));
+      cfg.num_producers = 2 + static_cast<int>(r.NextIndex(2));  // [2, 3]
+      cfg.service.queue_capacity = 128;
+      cfg.num_swaps = 3 + static_cast<int>(r.NextIndex(4));      // [3, 6]
       break;
   }
   return cfg;
@@ -397,8 +410,30 @@ class StressRunner {
   RunOutcome RunService() {
     RunOutcome run;
     run.before = MetricsRegistry::Global().Snapshot();
+
+    // Swap storm: the service reads through a SnapshotManager so a
+    // background thread can publish rebuilt snapshots mid-run. Every
+    // published version is retained for the per-version replay check.
+    const bool swap_storm =
+        cfg_.scenario == StressScenario::kSnapshotSwapStorm;
+    std::unique_ptr<SnapshotManager> manager;
+    if (swap_storm) {
+      published_.clear();
+      published_.push_back(engine_->snapshot());
+      swap_publishes_ = 0;
+      Result<SnapshotManager> m = SnapshotManager::Create(engine_->snapshot());
+      if (!m.ok()) {
+        AddViolation("service-create",
+                     "SnapshotManager::Create: " + m.status().ToString());
+        return run;
+      }
+      manager = std::make_unique<SnapshotManager>(std::move(m).value());
+    }
+
     Result<QueryService> created =
-        QueryService::Create(engine_.get(), cfg_.service);
+        swap_storm ? QueryService::Create(engine_.get(), manager.get(),
+                                          cfg_.service)
+                   : QueryService::Create(engine_.get(), cfg_.service);
     if (!created.ok()) {
       AddViolation("service-create", created.status().ToString());
       return run;
@@ -467,6 +502,37 @@ class StressRunner {
       });
     }
 
+    // The storm itself: rebuild the walk index under a fresh sampling
+    // seed and publish it while producers keep submitting. Each
+    // published snapshot copies the engine's own options, so a replay
+    // bound to that version reproduces the serving results bit for bit.
+    std::vector<std::string> swap_errors;
+    std::thread swapper;
+    if (swap_storm) {
+      swapper = std::thread([&] {
+        for (int s = 0; s < cfg_.num_swaps; ++s) {
+          std::this_thread::sleep_for(std::chrono::microseconds(120));
+          WalkIndexOptions walks = cfg_.walks;
+          walks.seed = cfg_.walks.seed + static_cast<uint64_t>(s) + 1;
+          Result<EngineSnapshotPtr> next = EngineSnapshot::Build(
+              Unowned(hin_.get()), Unowned<SemanticMeasure>(measure_.get()),
+              walks, engine_->snapshot()->options(), manager->NextVersion());
+          if (!next.ok()) {
+            swap_errors.push_back("EngineSnapshot::Build: " +
+                                  next.status().ToString());
+            break;
+          }
+          published_.push_back(next.value());
+          Status st = manager->Publish(next.value());
+          if (!st.ok()) {
+            swap_errors.push_back("Publish: " + st.ToString());
+            break;
+          }
+          ++swap_publishes_;
+        }
+      });
+    }
+
     const bool closed_loop =
         cfg_.scenario == StressScenario::kDeterministicReplay;
     std::vector<std::thread> producers;
@@ -498,6 +564,8 @@ class StressRunner {
     for (std::thread& t : producers) t.join();
     if (shutdowner.joinable()) shutdowner.join();
     if (canceller.joinable()) canceller.join();
+    if (swapper.joinable()) swapper.join();
+    for (const std::string& e : swap_errors) AddViolation("snapshot-swap", e);
 
     // Invariant 1: every submitted future resolves. The wait ceiling is
     // generous on purpose — a future that misses it is lost, not slow.
@@ -534,6 +602,7 @@ class StressRunner {
           if (resp.degraded) ++run.outcome.degraded;
           FnvMix(h, static_cast<uint64_t>(resp.effective_walk_budget));
           FnvMix(h, resp.degraded ? 1 : 0);
+          FnvMix(h, resp.snapshot_version);
           for (double v : resp.scores) FnvMixDouble(h, v);
           for (const std::vector<double>& row : resp.rows) {
             for (double v : row) FnvMixDouble(h, v);
@@ -585,6 +654,8 @@ class StressRunner {
         return code == StatusCode::kResourceExhausted ||
                code == StatusCode::kCancelled ||
                code == StatusCode::kFailedPrecondition;
+      case StressScenario::kSnapshotSwapStorm:
+        return code == StatusCode::kResourceExhausted;
     }
     return false;
   }
@@ -666,6 +737,30 @@ class StressRunner {
       AddViolation("metrics", "queue_depth gauge did not return to zero: " +
                                   std::to_string(depth));
     }
+
+    // Swap storm: every OK response names exactly one published version
+    // (a mixed or torn read would surface as an unknown id here or as a
+    // replay mismatch below), and the swap counter moved by exactly the
+    // publishes that succeeded.
+    if (cfg_.scenario == StressScenario::kSnapshotSwapStorm) {
+      std::set<uint64_t> versions;
+      for (const EngineSnapshotPtr& snap : published_) {
+        versions.insert(snap->version());
+      }
+      for (size_t i = 0; i < run.responses.size() && !suppressed_; ++i) {
+        if (!run.resolved[i] || !run.responses[i].ok()) continue;
+        ++report_.checks;
+        if (versions.count(run.responses[i].snapshot_version) == 0) {
+          AddViolation("snapshot-version",
+                       "op " + std::to_string(i) +
+                           " reports unpublished snapshot version " +
+                           std::to_string(run.responses[i].snapshot_version));
+        }
+      }
+      CheckEq("metrics", "snapshot_swaps_total delta",
+              CounterDelta(run, "semsim_snapshot_swaps_total"),
+              swap_publishes_);
+    }
   }
 
   // Invariant 6: the deterministic scenario is bit-reproducible.
@@ -685,14 +780,44 @@ class StressRunner {
   // summed Hoeffding bands of a full-budget replay. Runs after Shutdown
   // and DisarmAll, so the replay is undisturbed.
   void CheckReplay(const RunOutcome& run) {
-    const int full = EffectiveWalkBudget(engine_->query_options().mc,
-                                         walks_->num_walks());
+    // Swap-storm responses replay through an engine bound to the exact
+    // snapshot version each response reported; other scenarios serve a
+    // single version and replay through the fixture engine directly.
+    std::map<uint64_t, BatchQueryEngine> replicas;
+    auto engine_for = [&](uint64_t version) -> const BatchQueryEngine* {
+      if (cfg_.scenario != StressScenario::kSnapshotSwapStorm) {
+        return engine_.get();
+      }
+      auto it = replicas.find(version);
+      if (it != replicas.end()) return &it->second;
+      for (const EngineSnapshotPtr& snap : published_) {
+        if (snap->version() != version) continue;
+        Result<BatchQueryEngine> replica =
+            BatchQueryEngine::CreateFromSnapshot(snap, cfg_.engine_threads);
+        if (!replica.ok()) return nullptr;
+        return &replicas.emplace(version, std::move(replica).value())
+                    .first->second;
+      }
+      return nullptr;
+    };
+
     for (size_t i = 0; i < run.responses.size() && !suppressed_; ++i) {
       if (!run.resolved[i] || !run.responses[i].ok()) continue;
       const QueryResponse& resp = run.responses[i];
       const QueryRequest& req = requests_[i];
       std::string tag = "op " + std::to_string(i) + " (" +
                         KindName(req.kind) + ")";
+
+      ++report_.checks;
+      const BatchQueryEngine* eng = engine_for(resp.snapshot_version);
+      if (eng == nullptr) {
+        AddViolation("snapshot-version",
+                     tag + ": no replayable engine for snapshot version " +
+                         std::to_string(resp.snapshot_version));
+        continue;
+      }
+      const int full = EffectiveWalkBudget(
+          eng->query_options().mc, eng->snapshot()->walk_index().num_walks());
 
       ++report_.checks;
       if (resp.effective_walk_budget < 1 || resp.effective_walk_budget > full ||
@@ -705,18 +830,18 @@ class StressRunner {
         continue;
       }
 
-      SemSimMcOptions mc = engine_->query_options().mc;
+      SemSimMcOptions mc = eng->query_options().mc;
       mc.walk_budget = resp.effective_walk_budget;
       switch (req.kind) {
         case QueryRequestKind::kPairs: {
-          std::vector<double> want = engine_->QueryBatch(req.pairs, mc).values;
+          std::vector<double> want = eng->QueryBatch(req.pairs, mc).values;
           CompareVectors("replay-bit-identity", tag, resp.scores, want);
-          if (resp.degraded) CheckBand(tag, resp, req, full);
+          if (resp.degraded) CheckBand(*eng, tag, resp, req, full);
           break;
         }
         case QueryRequestKind::kSingleSource: {
           std::vector<std::vector<double>> want =
-              engine_->SingleSourceBatch(req.sources, mc).values;
+              eng->SingleSourceBatch(req.sources, mc).values;
           ++report_.checks;
           if (want.size() != resp.rows.size()) {
             AddViolation("replay-bit-identity",
@@ -732,7 +857,7 @@ class StressRunner {
         }
         case QueryRequestKind::kTopK: {
           std::vector<std::vector<Scored>> want =
-              engine_->TopKBatch(req.sources, req.k, mc).values;
+              eng->TopKBatch(req.sources, req.k, mc).values;
           ++report_.checks;
           if (want.size() != resp.topk.size()) {
             AddViolation("replay-bit-identity",
@@ -788,12 +913,13 @@ class StressRunner {
   // score must sit within the summed error bands of a full-budget
   // replay (both bands are conservative Hoeffding bounds, so the sum
   // bounds the distance between the two estimates).
-  void CheckBand(const std::string& tag, const QueryResponse& resp,
-                 const QueryRequest& req, int full) {
-    SemSimMcOptions mc_full = engine_->query_options().mc;
+  void CheckBand(const BatchQueryEngine& eng, const std::string& tag,
+                 const QueryResponse& resp, const QueryRequest& req,
+                 int full) {
+    SemSimMcOptions mc_full = eng.query_options().mc;
     mc_full.walk_budget = full;
     std::vector<double> full_vals =
-        engine_->QueryBatch(req.pairs, mc_full).values;
+        eng.QueryBatch(req.pairs, mc_full).values;
     const double band_full = WalkBudgetErrorBand(full, cfg_.service.band_delta,
                                                  hin_->num_nodes());
     ++report_.checks;
@@ -856,6 +982,10 @@ class StressRunner {
   std::unique_ptr<BatchQueryEngine> engine_;
   std::vector<StressOp> ops_;
   std::vector<QueryRequest> requests_;
+  // kSnapshotSwapStorm: every snapshot the swapper published (plus the
+  // engine's initial one), retained for the per-version replay.
+  std::vector<EngineSnapshotPtr> published_;
+  size_t swap_publishes_ = 0;
 };
 
 }  // namespace

@@ -38,6 +38,14 @@ enum class StressScenario {
   /// Armed failpoints (admission probability rejection, scheduler /
   /// dispatch / pop delays) under concurrent traffic.
   kFailpointChaos,
+  /// Concurrent snapshot swaps under load: a swapper thread rebuilds
+  /// the walk index (fresh sampling seed each time) and publishes it
+  /// through a SnapshotManager while producers keep submitting. Every
+  /// response must carry exactly one published snapshot version and
+  /// replay bit-identically against an engine bound to that exact
+  /// version — a torn read, a response mixing two versions, or a
+  /// dropped future all fail the replay or the version check.
+  kSnapshotSwapStorm,
 };
 const char* StressScenarioName(StressScenario scenario);
 
@@ -74,6 +82,7 @@ struct StressConfig {
   int shutdown_after_op = -1;  // kMidflightShutdown: Shutdown() once this
                                // many ops were submitted (-1 = never)
   uint64_t failpoint_seed = 0;  // kFailpointChaos probability stream
+  int num_swaps = 0;            // kSnapshotSwapStorm: background publishes
 
   /// One-line summary (embedded in violation reports).
   std::string Describe() const;

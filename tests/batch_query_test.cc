@@ -267,9 +267,12 @@ TEST(BatchQuery, CreateRejectsNegativeWalkBudget) {
                       "walk_budget must be >= 0");
 }
 
-// The legacy `McQueryStats*` out-param overloads are thin shims over the
-// BatchResult API: same values, same stats.
-TEST(BatchQuery, DeprecatedStatsOutParamShimsMatchBatchResult) {
+// A second engine bound over the first engine's snapshot shares every
+// artifact and answers bit-identically — the replay path the stress
+// harness and the hot-swap tests rely on. (The deprecated McQueryStats*
+// out-param shims this test used to cover are gone; BatchResult is the
+// only stats surface now.)
+TEST(BatchQuery, EngineFromSharedSnapshotIsBitIdentical) {
   Fixture f = AminerFixture();
   BatchQueryEngineOptions opt;
   opt.num_threads = 2;
@@ -283,32 +286,29 @@ TEST(BatchQuery, DeprecatedStatsOutParamShimsMatchBatchResult) {
   BatchResult<std::vector<double>> ss = engine.SingleSourceBatch(sources);
   BatchResult<std::vector<Scored>> tk = engine.TopKBatch(sources, 5);
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  McQueryStats q_stats;
-  std::vector<double> q_legacy = engine.QueryBatch(pairs, &q_stats);
-  McQueryStats ss_stats;
-  std::vector<std::vector<double>> ss_legacy =
-      engine.SingleSourceBatch(sources, &ss_stats);
-  McQueryStats tk_stats;
-  std::vector<std::vector<Scored>> tk_legacy =
-      engine.TopKBatch(sources, 5, &tk_stats);
-#pragma GCC diagnostic pop
+  EngineSnapshotPtr snapshot = engine.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_NE(snapshot->fingerprint(), 0u);
+  BatchQueryEngine replica =
+      Unwrap(BatchQueryEngine::CreateFromSnapshot(snapshot, /*num_threads=*/1));
+  EXPECT_EQ(replica.snapshot()->fingerprint(), snapshot->fingerprint());
 
-  EXPECT_EQ(q_legacy, q.values);
-  EXPECT_EQ(ss_legacy, ss.values);
-  ASSERT_EQ(tk_legacy.size(), tk.values.size());
-  for (size_t i = 0; i < tk_legacy.size(); ++i) {
-    ASSERT_EQ(tk_legacy[i].size(), tk.values[i].size());
-    for (size_t j = 0; j < tk_legacy[i].size(); ++j) {
-      EXPECT_EQ(tk_legacy[i][j].node, tk.values[i][j].node);
-      EXPECT_EQ(tk_legacy[i][j].score, tk.values[i][j].score);
+  BatchResult<double> q2 = replica.QueryBatch(pairs);
+  BatchResult<std::vector<double>> ss2 = replica.SingleSourceBatch(sources);
+  BatchResult<std::vector<Scored>> tk2 = replica.TopKBatch(sources, 5);
+
+  EXPECT_EQ(q2.values, q.values);
+  EXPECT_EQ(ss2.values, ss.values);
+  ASSERT_EQ(tk2.values.size(), tk.values.size());
+  for (size_t i = 0; i < tk2.values.size(); ++i) {
+    ASSERT_EQ(tk2.values[i].size(), tk.values[i].size());
+    for (size_t j = 0; j < tk2.values[i].size(); ++j) {
+      EXPECT_EQ(tk2.values[i][j].node, tk.values[i][j].node);
+      EXPECT_EQ(tk2.values[i][j].score, tk.values[i][j].score);
     }
   }
-  EXPECT_EQ(q_stats.met_walks, q.stats.met_walks);
-  EXPECT_GT(ss_stats.met_walks, 0);
-  EXPECT_EQ(ss_stats.met_walks, ss.stats.met_walks);
-  EXPECT_EQ(tk_stats.met_walks, tk.stats.met_walks);
+  EXPECT_GT(ss2.stats.met_walks, 0);
+  EXPECT_EQ(ss2.stats.met_walks, ss.stats.met_walks);
 }
 
 // A full (or zero) walk_budget override and an unfired cancel token are

@@ -1,0 +1,221 @@
+#include "serving/snapshot_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "core/batch_engine.h"
+#include "core/engine_snapshot.h"
+#include "serving/query_service.h"
+#include "taxonomy/semantic_measure.h"
+#include "tests/test_util.h"
+
+namespace semsim {
+namespace {
+
+using testutil::MakeSmallWorld;
+using testutil::Unwrap;
+
+WalkIndexOptions SmallWalks(uint64_t seed = 11) {
+  WalkIndexOptions opt;
+  opt.num_walks = 40;
+  opt.walk_length = 8;
+  opt.seed = seed;
+  return opt;
+}
+
+struct ManagedWorld {
+  testutil::SmallWorld w = MakeSmallWorld();
+  ConstantMeasure measure;
+  EngineSnapshotOptions opt;
+
+  EngineSnapshotPtr Snapshot(uint64_t version, uint64_t walk_seed = 11) {
+    return Unwrap(EngineSnapshot::Build(Unowned(&w.graph),
+                                        Unowned<SemanticMeasure>(&measure),
+                                        SmallWalks(walk_seed), opt, version));
+  }
+};
+
+uint64_t Counter(const char* name) {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+TEST(SnapshotManager, PublishSwapsAtomicallyAndCountsSwaps) {
+  ManagedWorld mw;
+  EngineSnapshotPtr initial = mw.Snapshot(0);
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(initial));
+  EXPECT_EQ(manager.Acquire(), initial);
+  EXPECT_EQ(manager.version(), 0u);
+  EXPECT_EQ(manager.swaps(), 0u);
+
+  uint64_t swaps_before = Counter("semsim_snapshot_swaps_total");
+  EngineSnapshotPtr next = mw.Snapshot(manager.NextVersion(), 22);
+  ASSERT_TRUE(manager.Publish(next).ok());
+  EXPECT_EQ(manager.Acquire(), next);
+  EXPECT_EQ(manager.version(), next->version());
+  EXPECT_EQ(manager.swaps(), 1u);
+  EXPECT_EQ(Counter("semsim_snapshot_swaps_total"), swaps_before + 1);
+}
+
+TEST(SnapshotManager, RejectsNullAndNonMonotoneVersions) {
+  ManagedWorld mw;
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(mw.Snapshot(3)));
+  EXPECT_FALSE(SnapshotManager::Create(nullptr).ok());
+  EXPECT_EQ(manager.Publish(nullptr).code(), StatusCode::kInvalidArgument);
+
+  // Same version (a stale double-publish) and an older version are both
+  // refused; the published snapshot is untouched.
+  EngineSnapshotPtr current = manager.Acquire();
+  EXPECT_EQ(manager.Publish(mw.Snapshot(3)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Publish(mw.Snapshot(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.Acquire(), current);
+  EXPECT_EQ(manager.swaps(), 0u);
+  // NextVersion continues past the seeded version.
+  EXPECT_GT(manager.NextVersion(), 3u);
+}
+
+TEST(SnapshotManager, FailpointOnThePublishSeamLeavesReadersUntouched) {
+  if (!SEMSIM_FAILPOINTS) GTEST_SKIP() << "failpoints compiled out";
+  ManagedWorld mw;
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(mw.Snapshot(0)));
+  EngineSnapshotPtr current = manager.Acquire();
+  uint64_t failed_before = Counter("semsim_snapshot_publish_failed_total");
+
+  FailPoints::Global().ArmError("snapshot_manager/publish",
+                                Status::Internal("injected publish failure"));
+  Status st = manager.Publish(mw.Snapshot(manager.NextVersion(), 22));
+  FailPoints::Global().DisarmAll();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // The swap never happened: same snapshot, same version, no swap count.
+  EXPECT_EQ(manager.Acquire(), current);
+  EXPECT_EQ(manager.version(), current->version());
+  EXPECT_EQ(manager.swaps(), 0u);
+  EXPECT_EQ(Counter("semsim_snapshot_publish_failed_total"),
+            failed_before + 1);
+
+  // The seam recovers: the next publish (fresh version id) lands.
+  ASSERT_TRUE(manager.Publish(mw.Snapshot(manager.NextVersion(), 23)).ok());
+  EXPECT_EQ(manager.swaps(), 1u);
+}
+
+TEST(SnapshotManager, PublishAsyncBuildsOffThreadAndPublishes) {
+  ManagedWorld mw;
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(mw.Snapshot(0)));
+
+  Future<Status> ok = manager.PublishAsync(
+      [&]() -> Result<EngineSnapshotPtr> {
+        return mw.Snapshot(manager.NextVersion(), 22);
+      });
+  ASSERT_TRUE(ok.Get().ok());
+  EXPECT_EQ(manager.swaps(), 1u);
+  EXPECT_GT(manager.version(), 0u);
+
+  // A failing build propagates its error and publishes nothing.
+  EngineSnapshotPtr current = manager.Acquire();
+  Future<Status> bad = manager.PublishAsync(
+      []() -> Result<EngineSnapshotPtr> {
+        return Status::Internal("build exploded");
+      });
+  EXPECT_EQ(bad.Get().code(), StatusCode::kInternal);
+  EXPECT_EQ(manager.Acquire(), current);
+  EXPECT_EQ(manager.swaps(), 1u);
+}
+
+// The RCU destruction half: after a swap, the displaced snapshot lives
+// exactly as long as its slowest reader and not a moment longer. ASan
+// turns a premature destruction into a hard failure; the weak_ptr turns
+// a leak into one.
+TEST(SnapshotManager, DisplacedSnapshotDiesWithItsLastReader) {
+  ManagedWorld mw;
+  EngineSnapshotPtr initial = mw.Snapshot(0);
+  std::weak_ptr<const EngineSnapshot> watch = initial;
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(initial));
+  initial.reset();
+
+  EngineSnapshotPtr reader = manager.Acquire();  // in-flight request
+  ASSERT_TRUE(manager.Publish(mw.Snapshot(manager.NextVersion(), 22)).ok());
+  // Swapped out, but the reader still pins it — and still serves from it.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(reader->version(), 0u);
+  {
+    BatchQueryEngine engine =
+        Unwrap(BatchQueryEngine::CreateFromSnapshot(reader, 1));
+    std::vector<NodePair> pairs = {{mw.w.a0, mw.w.b1}};
+    EXPECT_EQ(engine.QueryBatch(pairs).values.size(), 1u);
+  }
+  reader = manager.Acquire();  // release the old, pick up the new
+  EXPECT_EQ(reader->version(), 1u);
+  EXPECT_TRUE(watch.expired());
+}
+
+// Swap-during-query bit-identity: queries racing a publish must each be
+// served wholly by one version, and replaying any response against an
+// engine bound to its reported version reproduces it bit for bit.
+TEST(SnapshotManager, SwapDuringQueriesKeepsEveryResponseSingleVersion) {
+  ManagedWorld mw;
+  EngineSnapshotPtr v0 = mw.Snapshot(0);
+  SnapshotManager manager = Unwrap(SnapshotManager::Create(v0));
+  BatchQueryEngine engine = Unwrap(BatchQueryEngine::CreateFromSnapshot(v0, 2));
+  QueryServiceOptions service_opt;
+  service_opt.queue_capacity = 256;
+  QueryService service =
+      Unwrap(QueryService::Create(&engine, &manager, service_opt));
+
+  EngineSnapshotPtr v1 = mw.Snapshot(manager.NextVersion(), 22);
+  std::vector<NodePair> pairs = {{mw.w.a0, mw.w.a1}, {mw.w.a2, mw.w.b0}};
+
+  constexpr size_t kOps = 64;
+  std::vector<Future<QueryResponse>> futures(kOps);
+  std::atomic<bool> go{false};
+  std::thread swapper([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    ASSERT_TRUE(manager.Publish(v1).ok());
+  });
+  QueryRequest req;
+  req.kind = QueryRequestKind::kPairs;
+  req.pairs = pairs;
+  for (size_t i = 0; i < kOps; ++i) {
+    if (i == kOps / 4) go.store(true, std::memory_order_release);
+    futures[i] = service.Submit(req);
+  }
+  swapper.join();
+
+  BatchQueryEngine replay_v1 =
+      Unwrap(BatchQueryEngine::CreateFromSnapshot(v1, 1));
+  size_t served_v0 = 0, served_v1 = 0;
+  for (size_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(futures[i].valid());
+    QueryResponse resp = futures[i].Get();
+    ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+    const BatchQueryEngine* replayer = nullptr;
+    if (resp.snapshot_version == 0) {
+      ++served_v0;
+      replayer = &engine;
+    } else {
+      ASSERT_EQ(resp.snapshot_version, v1->version())
+          << "response reports an unpublished version";
+      ++served_v1;
+      replayer = &replay_v1;
+    }
+    std::vector<double> want = replayer->QueryBatch(pairs).values;
+    ASSERT_EQ(resp.scores.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(resp.scores[j], want[j]) << "op " << i << " pair " << j;
+    }
+  }
+  EXPECT_EQ(served_v0 + served_v1, kOps);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace semsim

@@ -9,11 +9,12 @@ namespace semsim {
 namespace testing {
 namespace {
 
-// One seed per scenario (seed % 6 picks it), exercised in-process so the
+// One seed per scenario (seed % 7 picks it), exercised in-process so the
 // tier-1 suite itself guards the serving invariants, not just the
 // semsim_stress binary. Seeds chosen to match the scenario rotation:
-// 6 -> kDeterministicReplay, 1 -> kOverloadBurst, 2 -> kDeadlineMix,
-// 3 -> kCancelStorm, 4 -> kMidflightShutdown, 5 -> kFailpointChaos.
+// 7 -> kDeterministicReplay, 1 -> kOverloadBurst, 2 -> kDeadlineMix,
+// 3 -> kCancelStorm, 4 -> kMidflightShutdown, 5 -> kFailpointChaos,
+// 6 -> kSnapshotSwapStorm.
 class StressInstanceTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(StressInstanceTest, InstancePassesAllInvariants) {
@@ -29,7 +30,7 @@ TEST_P(StressInstanceTest, InstancePassesAllInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ScenarioRotation, StressInstanceTest,
-                         ::testing::Values(6u, 1u, 2u, 3u, 4u, 5u),
+                         ::testing::Values(7u, 1u, 2u, 3u, 4u, 5u, 6u),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            StressConfig c = MakeStressConfig(info.param);
                            return std::string(StressScenarioName(c.scenario));
@@ -62,13 +63,14 @@ TEST(StressConfigDeterminism, ScheduleFingerprintIsStable) {
 }
 
 TEST(StressConfigDeterminism, ScenarioRotatesWithTheSeed) {
-  EXPECT_EQ(MakeStressConfig(6).scenario,
+  EXPECT_EQ(MakeStressConfig(7).scenario,
             StressScenario::kDeterministicReplay);
   EXPECT_EQ(MakeStressConfig(1).scenario, StressScenario::kOverloadBurst);
   EXPECT_EQ(MakeStressConfig(2).scenario, StressScenario::kDeadlineMix);
   EXPECT_EQ(MakeStressConfig(3).scenario, StressScenario::kCancelStorm);
   EXPECT_EQ(MakeStressConfig(4).scenario, StressScenario::kMidflightShutdown);
   EXPECT_EQ(MakeStressConfig(5).scenario, StressScenario::kFailpointChaos);
+  EXPECT_EQ(MakeStressConfig(6).scenario, StressScenario::kSnapshotSwapStorm);
 }
 
 TEST(StressConfigDeterminism, ReproCommandNamesTheSeed) {
